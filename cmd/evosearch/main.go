@@ -1,0 +1,57 @@
+// evosearch runs Algorithm 1 (the evolutionary design-space exploration)
+// for one or all model families and prints the Pareto front and the selected
+// best model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"cognitivearm/internal/evo"
+	"cognitivearm/internal/experiments"
+	"cognitivearm/internal/models"
+)
+
+func main() {
+	family := flag.String("family", "all", "cnn|lstm|transformer|rf|all")
+	pop := flag.Int("pop", 8, "population size")
+	gens := flag.Int("gens", 3, "generations")
+	epochs := flag.Int("epochs", 6, "training epochs per candidate")
+	seed := flag.Uint64("seed", 1, "search seed")
+	flag.Parse()
+
+	fams := map[string]models.Family{
+		"cnn": models.FamilyCNN, "lstm": models.FamilyLSTM,
+		"transformer": models.FamilyTransformer, "rf": models.FamilyRF,
+	}
+	var run []models.Family
+	if *family == "all" {
+		run = models.Families()
+	} else {
+		f, ok := fams[strings.ToLower(*family)]
+		if !ok {
+			log.Fatalf("unknown family %q", *family)
+		}
+		run = []models.Family{f}
+	}
+
+	sc := experiments.Quick()
+	sc.EvoPopulation, sc.EvoGenerations, sc.Epochs, sc.Seed = *pop, *gens, *epochs, *seed
+	results := map[models.Family]*evo.Result{}
+	for _, fam := range run {
+		fmt.Printf("== family %v: population %d, %d generations ==\n", fam, *pop, *gens)
+		res, err := experiments.FamilySearch(sc, fam)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[fam] = res
+		fmt.Print(experiments.FrontString(res.Front))
+		fmt.Printf("best: %s (acc %.3f, %d params)\n\n", res.Best.Spec.ID(), res.Best.Accuracy, res.Best.Params)
+	}
+	if len(run) > 1 {
+		fmt.Println("== global Pareto front ==")
+		fmt.Print(experiments.FrontString(experiments.GlobalFront(results)))
+	}
+}

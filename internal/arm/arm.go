@@ -1,0 +1,299 @@
+// Package arm models CognitiveArm's actuation chain (§IV-A): a framed serial
+// protocol from the edge device to an Arduino emulator, slew-rate-limited
+// servo dynamics, the 3-DoF arm (arm lift, elbow rotation, five finger
+// servos), a CCPM-style calibration sweep, and the pose library for the
+// everyday tasks the paper demonstrates (handshake, cup picking).
+package arm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Channel identifies a servo channel on the controller.
+type Channel int
+
+// Servo channel map: one lift, one elbow, five fingers (§IV-A: "five
+// embedded servo motors controlling finger movements").
+const (
+	ChanArm     Channel = 0
+	ChanElbow   Channel = 1
+	ChanThumb   Channel = 2
+	ChanIndex   Channel = 3
+	ChanMiddle  Channel = 4
+	ChanRing    Channel = 5
+	ChanPinky   Channel = 6
+	NumChannels         = 7
+)
+
+// FingerChannels lists the five finger servos.
+func FingerChannels() []Channel {
+	return []Channel{ChanThumb, ChanIndex, ChanMiddle, ChanRing, ChanPinky}
+}
+
+// Servo models one motor: commands set a target; Step slews the shaft toward
+// it at a bounded rate within mechanical limits.
+type Servo struct {
+	MinDeg, MaxDeg float64
+	SlewDegPerSec  float64
+	angle          float64
+	target         float64
+}
+
+// NewServo creates a servo centred between its limits.
+func NewServo(minDeg, maxDeg, slew float64) *Servo {
+	mid := (minDeg + maxDeg) / 2
+	return &Servo{MinDeg: minDeg, MaxDeg: maxDeg, SlewDegPerSec: slew, angle: mid, target: mid}
+}
+
+// SetTarget commands a position, clamped to the mechanical range.
+func (s *Servo) SetTarget(deg float64) {
+	if deg < s.MinDeg {
+		deg = s.MinDeg
+	}
+	if deg > s.MaxDeg {
+		deg = s.MaxDeg
+	}
+	s.target = deg
+}
+
+// Step advances the shaft by dt seconds of motion.
+func (s *Servo) Step(dt float64) {
+	maxMove := s.SlewDegPerSec * dt
+	d := s.target - s.angle
+	if math.Abs(d) <= maxMove {
+		s.angle = s.target
+		return
+	}
+	if d > 0 {
+		s.angle += maxMove
+	} else {
+		s.angle -= maxMove
+	}
+}
+
+// Angle returns the current shaft position.
+func (s *Servo) Angle() float64 { return s.angle }
+
+// Target returns the commanded position.
+func (s *Servo) Target() float64 { return s.target }
+
+// AtTarget reports whether the shaft is within tol degrees of the target.
+func (s *Servo) AtTarget(tol float64) bool { return math.Abs(s.target-s.angle) <= tol }
+
+// Frame is one serial command: set channel to angle. Wire format is 5 bytes:
+// [0xA5][channel][angle-hi][angle-lo][checksum], angle in deci-degrees,
+// checksum = XOR of bytes 1..3. The sync byte plus checksum let the receiver
+// resynchronise after corruption — serial links to hobby controllers glitch.
+type Frame struct {
+	Channel  Channel
+	AngleDeg float64
+}
+
+// frameSize is the wire size of one command.
+const frameSize = 5
+
+// syncByte marks the start of a frame.
+const syncByte = 0xA5
+
+// Encode renders the frame into its 5-byte wire form.
+func (f Frame) Encode() [frameSize]byte {
+	deci := int(math.Round(f.AngleDeg * 10))
+	if deci < 0 {
+		deci = 0
+	}
+	if deci > 65535 {
+		deci = 65535
+	}
+	var b [frameSize]byte
+	b[0] = syncByte
+	b[1] = byte(f.Channel)
+	b[2] = byte(deci >> 8)
+	b[3] = byte(deci)
+	b[4] = b[1] ^ b[2] ^ b[3]
+	return b
+}
+
+// Decoder incrementally parses a corrupted byte stream into frames,
+// resynchronising on the sync byte and dropping checksum failures.
+type Decoder struct {
+	buf []byte
+	// Decoded counts valid frames; Rejected counts checksum failures.
+	Decoded, Rejected int
+}
+
+// Feed consumes bytes and returns any complete valid frames.
+func (d *Decoder) Feed(data []byte) []Frame {
+	d.buf = append(d.buf, data...)
+	var out []Frame
+	for {
+		// Find sync.
+		i := 0
+		for i < len(d.buf) && d.buf[i] != syncByte {
+			i++
+		}
+		d.buf = d.buf[i:]
+		if len(d.buf) < frameSize {
+			return out
+		}
+		b := d.buf[:frameSize]
+		if b[1]^b[2]^b[3] == b[4] && int(b[1]) < NumChannels {
+			deci := int(b[2])<<8 | int(b[3])
+			out = append(out, Frame{Channel: Channel(b[1]), AngleDeg: float64(deci) / 10})
+			d.Decoded++
+			d.buf = d.buf[frameSize:]
+		} else {
+			// Corrupted: skip the false sync byte and rescan.
+			d.Rejected++
+			d.buf = d.buf[1:]
+		}
+	}
+}
+
+// Arduino emulates the microcontroller: it decodes serial frames and drives
+// the servo bank. Step advances simulated time.
+type Arduino struct {
+	mu      sync.Mutex
+	dec     Decoder
+	servos  [NumChannels]*Servo
+	elapsed float64
+}
+
+// NewArduino builds the controller with the arm's servo complement.
+func NewArduino() *Arduino {
+	a := &Arduino{}
+	a.servos[ChanArm] = NewServo(0, 120, 90)    // shoulder lift: slow, strong
+	a.servos[ChanElbow] = NewServo(0, 180, 120) // elbow rotation
+	for _, c := range FingerChannels() {
+		a.servos[c] = NewServo(0, 90, 240) // fingers: fast, short throw
+	}
+	return a
+}
+
+// Write implements io.Writer: bytes arriving over the serial link.
+func (a *Arduino) Write(p []byte) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, f := range a.dec.Feed(p) {
+		a.servos[f.Channel].SetTarget(f.AngleDeg)
+	}
+	return len(p), nil
+}
+
+// Step advances all servos by dt seconds.
+func (a *Arduino) Step(dt float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range a.servos {
+		s.Step(dt)
+	}
+	a.elapsed += dt
+}
+
+// Angle returns a servo's current position.
+func (a *Arduino) Angle(c Channel) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.servos[c].Angle()
+}
+
+// Target returns a servo's commanded position.
+func (a *Arduino) Target(c Channel) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.servos[c].Target()
+}
+
+// Stats reports decoder counters (valid, rejected).
+func (a *Arduino) Stats() (decoded, rejected int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dec.Decoded, a.dec.Rejected
+}
+
+// Settled reports whether every servo reached its target within tol degrees.
+func (a *Arduino) Settled(tol float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range a.servos {
+		if !s.AtTarget(tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// Pose is a full-arm configuration.
+type Pose map[Channel]float64
+
+// Pose library for the everyday tasks of Fig. 6.
+var (
+	PoseRest      = Pose{ChanArm: 60, ChanElbow: 90, ChanThumb: 45, ChanIndex: 45, ChanMiddle: 45, ChanRing: 45, ChanPinky: 45}
+	PoseHandshake = Pose{ChanArm: 60, ChanElbow: 90, ChanThumb: 45, ChanIndex: 50, ChanMiddle: 50, ChanRing: 50, ChanPinky: 45}
+	PoseCupGrip   = Pose{ChanArm: 45, ChanElbow: 100, ChanThumb: 70, ChanIndex: 75, ChanMiddle: 75, ChanRing: 75, ChanPinky: 70}
+	PoseOpenHand  = Pose{ChanArm: 45, ChanElbow: 90, ChanThumb: 0, ChanIndex: 0, ChanMiddle: 0, ChanRing: 0, ChanPinky: 0}
+)
+
+// Poses returns the named pose library.
+func Poses() map[string]Pose {
+	return map[string]Pose{
+		"rest":      PoseRest,
+		"handshake": PoseHandshake,
+		"cup-grip":  PoseCupGrip,
+		"open-hand": PoseOpenHand,
+	}
+}
+
+// SendPose encodes every channel of the pose onto the serial writer.
+func SendPose(w interface{ Write([]byte) (int, error) }, p Pose) error {
+	for c, deg := range p {
+		b := Frame{Channel: c, AngleDeg: deg}.Encode()
+		if _, err := w.Write(b[:]); err != nil {
+			return fmt.Errorf("arm: send pose: %w", err)
+		}
+	}
+	return nil
+}
+
+// CalibrationResult reports one servo's sweep.
+type CalibrationResult struct {
+	Channel    Channel
+	ReachedMin bool
+	ReachedMax bool
+	SettleSec  float64 // time to traverse min→max at slew limit
+}
+
+// Calibrate performs the CCPM-tester-style sweep of §IV-A6: each servo is
+// driven to its limits and the traverse time is measured against the slew
+// model.
+func Calibrate(a *Arduino) []CalibrationResult {
+	var out []CalibrationResult
+	const dt = 1.0 / 50 // 50 Hz servo tick
+	for c := Channel(0); c < NumChannels; c++ {
+		s := a.servos[c]
+		res := CalibrationResult{Channel: c}
+		// Sweep to min.
+		s.SetTarget(s.MinDeg)
+		for i := 0; i < 5000 && !s.AtTarget(0.01); i++ {
+			s.Step(dt)
+		}
+		res.ReachedMin = s.AtTarget(0.01)
+		// Sweep to max, timing it.
+		s.SetTarget(s.MaxDeg)
+		var t float64
+		for i := 0; i < 5000 && !s.AtTarget(0.01); i++ {
+			s.Step(dt)
+			t += dt
+		}
+		res.ReachedMax = s.AtTarget(0.01)
+		res.SettleSec = t
+		// Recentre.
+		s.SetTarget((s.MinDeg + s.MaxDeg) / 2)
+		for i := 0; i < 5000 && !s.AtTarget(0.01); i++ {
+			s.Step(dt)
+		}
+		out = append(out, res)
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package arm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cognitivearm/internal/tensor"
+)
+
+func TestServoSlewLimit(t *testing.T) {
+	s := NewServo(0, 180, 90) // 90 deg/s
+	s.SetTarget(180)
+	s.Step(0.5)
+	// Started at 90 (centre), can move at most 45 degrees in 0.5 s.
+	if got := s.Angle(); math.Abs(got-135) > 1e-9 {
+		t.Fatalf("angle %v want 135", got)
+	}
+	s.Step(10)
+	if s.Angle() != 180 {
+		t.Fatal("should settle exactly at target")
+	}
+}
+
+func TestServoClampsToRange(t *testing.T) {
+	s := NewServo(10, 100, 500)
+	s.SetTarget(999)
+	s.Step(10)
+	if s.Angle() != 100 {
+		t.Fatalf("angle %v should clamp to 100", s.Angle())
+	}
+	s.SetTarget(-50)
+	s.Step(10)
+	if s.Angle() != 10 {
+		t.Fatalf("angle %v should clamp to 10", s.Angle())
+	}
+}
+
+func TestServoNeverExceedsSlewProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		s := NewServo(0, 180, 60)
+		prev := s.Angle()
+		for i := 0; i < 200; i++ {
+			if rng.Intn(5) == 0 {
+				s.SetTarget(180 * rng.Float64())
+			}
+			dt := 0.01 + 0.05*rng.Float64()
+			s.Step(dt)
+			if math.Abs(s.Angle()-prev) > 60*dt+1e-9 {
+				return false
+			}
+			if s.Angle() < 0 || s.Angle() > 180 {
+				return false
+			}
+			prev = s.Angle()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var d Decoder
+	f := Frame{Channel: ChanElbow, AngleDeg: 123.4}
+	b := f.Encode()
+	got := d.Feed(b[:])
+	if len(got) != 1 {
+		t.Fatalf("decoded %d frames", len(got))
+	}
+	if got[0].Channel != ChanElbow || math.Abs(got[0].AngleDeg-123.4) > 0.05 {
+		t.Fatalf("frame %+v", got[0])
+	}
+}
+
+func TestDecoderResyncAfterCorruption(t *testing.T) {
+	var d Decoder
+	f1 := Frame{Channel: ChanArm, AngleDeg: 10}.Encode()
+	f2 := Frame{Channel: ChanIndex, AngleDeg: 20}.Encode()
+	stream := append([]byte{0x00, 0x42}, f1[:]...) // leading garbage
+	corrupted := f2
+	corrupted[2] ^= 0xFF // break checksum
+	stream = append(stream, corrupted[:]...)
+	f3 := Frame{Channel: ChanPinky, AngleDeg: 30}.Encode()
+	stream = append(stream, f3[:]...)
+	got := d.Feed(stream)
+	if len(got) != 2 {
+		t.Fatalf("want 2 valid frames, got %d", len(got))
+	}
+	if got[0].Channel != ChanArm || got[1].Channel != ChanPinky {
+		t.Fatalf("frames %+v", got)
+	}
+	if d.Rejected == 0 {
+		t.Fatal("corruption should be counted")
+	}
+}
+
+func TestDecoderHandlesFragmentation(t *testing.T) {
+	var d Decoder
+	f := Frame{Channel: ChanMiddle, AngleDeg: 45}.Encode()
+	var got []Frame
+	for _, b := range f {
+		got = append(got, d.Feed([]byte{b})...)
+	}
+	if len(got) != 1 || got[0].Channel != ChanMiddle {
+		t.Fatalf("byte-at-a-time decode failed: %+v", got)
+	}
+}
+
+func TestArduinoDrivesServos(t *testing.T) {
+	a := NewArduino()
+	f := Frame{Channel: ChanElbow, AngleDeg: 150}.Encode()
+	if _, err := a.Write(f[:]); err != nil {
+		t.Fatal(err)
+	}
+	if a.Target(ChanElbow) != 150 {
+		t.Fatalf("target %v", a.Target(ChanElbow))
+	}
+	for i := 0; i < 200; i++ {
+		a.Step(0.02)
+	}
+	if math.Abs(a.Angle(ChanElbow)-150) > 0.1 {
+		t.Fatalf("elbow at %v after settling", a.Angle(ChanElbow))
+	}
+	if !a.Settled(0.1) {
+		t.Fatal("arm should be settled")
+	}
+}
+
+func TestSendPoseReachesAllChannels(t *testing.T) {
+	a := NewArduino()
+	if err := SendPose(a, PoseHandshake); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		a.Step(0.02)
+	}
+	for c, want := range PoseHandshake {
+		if got := a.Angle(c); math.Abs(got-want) > 0.1 {
+			t.Fatalf("channel %d at %v want %v", c, got, want)
+		}
+	}
+}
+
+func TestPosesWithinServoLimits(t *testing.T) {
+	a := NewArduino()
+	for name, pose := range Poses() {
+		if len(pose) != NumChannels {
+			t.Fatalf("pose %s covers %d channels, want %d", name, len(pose), NumChannels)
+		}
+		for c, deg := range pose {
+			s := a.servos[c]
+			if deg < s.MinDeg || deg > s.MaxDeg {
+				t.Fatalf("pose %s channel %d angle %v outside [%v,%v]", name, c, deg, s.MinDeg, s.MaxDeg)
+			}
+		}
+	}
+}
+
+func TestCalibrationSweep(t *testing.T) {
+	a := NewArduino()
+	results := Calibrate(a)
+	if len(results) != NumChannels {
+		t.Fatalf("calibrated %d channels", len(results))
+	}
+	for _, r := range results {
+		if !r.ReachedMin || !r.ReachedMax {
+			t.Fatalf("channel %d failed to reach limits: %+v", r.Channel, r)
+		}
+		s := a.servos[r.Channel]
+		wantTraverse := (s.MaxDeg - s.MinDeg) / s.SlewDegPerSec
+		if math.Abs(r.SettleSec-wantTraverse) > 0.1 {
+			t.Fatalf("channel %d traverse %v s, model predicts %v s", r.Channel, r.SettleSec, wantTraverse)
+		}
+	}
+	// Calibration must leave servos centred.
+	for c := Channel(0); c < NumChannels; c++ {
+		s := a.servos[c]
+		if math.Abs(s.Angle()-(s.MinDeg+s.MaxDeg)/2) > 0.1 {
+			t.Fatalf("channel %d not recentred: %v", c, s.Angle())
+		}
+	}
+}
+
+func TestFingerChannels(t *testing.T) {
+	if len(FingerChannels()) != 5 {
+		t.Fatal("the paper's hand has five finger servos")
+	}
+}
+
+func TestFrameEncodeClamps(t *testing.T) {
+	b := Frame{Channel: ChanArm, AngleDeg: -10}.Encode()
+	var d Decoder
+	got := d.Feed(b[:])
+	if len(got) != 1 || got[0].AngleDeg != 0 {
+		t.Fatalf("negative angle should clamp to 0: %+v", got)
+	}
+}

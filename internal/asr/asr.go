@@ -1,0 +1,308 @@
+// Package asr provides CognitiveArm's speech channel (§III-F): a keyword
+// spotter that recognises the DoF mode-switch commands over synthetic audio,
+// and the Whisper-family model zoo whose PCC-vs-runtime Pareto study
+// reproduces Figure 7. The real system runs Whisper-small; here the spotter
+// is a filterbank-template matcher that plays the same architectural role
+// (audio in → command out) on the synthesized vocabulary.
+package asr
+
+import (
+	"fmt"
+	"math"
+
+	"cognitivearm/internal/audio"
+	"cognitivearm/internal/tensor"
+)
+
+// numBands is the analysis filterbank size.
+const numBands = 8
+
+// bandEdges spaces numBands bands log-ish across 100–4000 Hz.
+var bandEdges = []float64{100, 250, 450, 700, 1000, 1400, 1900, 2600, 4000}
+
+// Features converts a waveform into per-frame band-energy vectors using a
+// Goertzel-style single-bin DFT probe per band — cheap and stdlib-only.
+func Features(wave []float64) [][]float64 {
+	nFrames := len(wave) / audio.FrameSize
+	out := make([][]float64, nFrames)
+	for f := 0; f < nFrames; f++ {
+		frame := wave[f*audio.FrameSize : (f+1)*audio.FrameSize]
+		vec := make([]float64, numBands)
+		for b := 0; b < numBands; b++ {
+			centre := math.Sqrt(bandEdges[b] * bandEdges[b+1])
+			vec[b] = goertzel(frame, centre, audio.SampleRate)
+		}
+		out[f] = vec
+	}
+	return out
+}
+
+// goertzel measures the magnitude of one frequency in the frame.
+func goertzel(frame []float64, freqHz, fsHz float64) float64 {
+	w := 2 * math.Pi * freqHz / fsHz
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range frame {
+		s0 = x + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	if power < 0 {
+		power = 0
+	}
+	return math.Sqrt(power) / float64(len(frame))
+}
+
+// profile summarises an utterance as the energy-weighted mean band vector of
+// its loudest frames, normalised to unit length.
+func profile(feats [][]float64) []float64 {
+	out := make([]float64, numBands)
+	for _, f := range feats {
+		for b, v := range f {
+			out[b] += v * v
+		}
+	}
+	var norm float64
+	for _, v := range out {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm > 0 {
+		for b := range out {
+			out[b] /= norm
+		}
+	}
+	return out
+}
+
+// Spotter recognises the keyword vocabulary by cosine similarity against
+// stored per-word spectral templates.
+type Spotter struct {
+	templates map[audio.Word][]float64
+	// MinScore rejects utterances whose best similarity is below this.
+	MinScore float64
+}
+
+// NewSpotter builds speaker-independent templates by averaging the spectral
+// profiles of several enrolment speakers derived from the seed, the keyword
+// analogue of multi-speaker ASR training.
+func NewSpotter(enrollSeed uint64) *Spotter {
+	const enrolSpeakers = 6
+	s := &Spotter{templates: map[audio.Word][]float64{}, MinScore: 0.6}
+	for _, w := range audio.Keywords() {
+		acc := make([]float64, numBands)
+		for k := uint64(0); k < enrolSpeakers; k++ {
+			synth := audio.NewSynthesizer(enrollSeed*1000 + k)
+			p := profile(Features(synth.Utter(w, 0.9)))
+			for b := range acc {
+				acc[b] += p[b]
+			}
+		}
+		var norm float64
+		for _, v := range acc {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm > 0 {
+			for b := range acc {
+				acc[b] /= norm
+			}
+		}
+		s.templates[w] = acc
+	}
+	return s
+}
+
+// Recognize classifies a waveform, returning the word and its confidence.
+// Low-confidence or low-energy audio returns (Silence, score). The energy
+// gate mirrors the VAD: spectral shape alone cannot distinguish broadband
+// noise from speech, loudness can.
+func (s *Spotter) Recognize(wave []float64) (audio.Word, float64) {
+	peak := 0.0
+	for _, e := range audio.FrameEnergies(wave) {
+		if e > peak {
+			peak = e
+		}
+	}
+	if peak < 0.05 {
+		return audio.Silence, 0
+	}
+	p := profile(Features(wave))
+	// Spectral-flatness gate: speech concentrates energy in formant bands,
+	// broadband noise spreads it evenly. A flat unit-norm profile has every
+	// component near 1/√8 ≈ 0.35; require a dominant band before matching.
+	maxBand := 0.0
+	for _, v := range p {
+		if v > maxBand {
+			maxBand = v
+		}
+	}
+	if maxBand < 0.5 {
+		return audio.Silence, 0
+	}
+	best, bestScore := audio.Silence, 0.0
+	for w, tmpl := range s.templates {
+		score := cosine(p, tmpl)
+		if score > bestScore {
+			best, bestScore = w, score
+		}
+	}
+	if bestScore < s.MinScore {
+		return audio.Silence, bestScore
+	}
+	return best, bestScore
+}
+
+func cosine(a, b []float64) float64 {
+	var num, da, db float64
+	for i := range a {
+		num += a[i] * b[i]
+		da += a[i] * a[i]
+		db += b[i] * b[i]
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// ZooModel is one entry of the Whisper-family study (Fig. 7): parameters,
+// compute per second of audio, VRAM, and an intrinsic transcription fidelity
+// used to simulate its output quality.
+type ZooModel struct {
+	Name       string
+	Params     int64 // parameter count
+	MACsPerSec int64 // multiply-accumulates per second of audio
+	VRAMGB     float64
+	// fidelity in (0,1): fraction of the reference signal preserved in the
+	// model's output; bigger models preserve more.
+	fidelity float64
+}
+
+// WhisperZoo returns the model ladder evaluated in Figure 7.
+func WhisperZoo() []ZooModel {
+	return []ZooModel{
+		{Name: "whisper-tiny", Params: 39e6, MACsPerSec: 4e9, VRAMGB: 1.0, fidelity: 0.80},
+		{Name: "whisper-base", Params: 74e6, MACsPerSec: 8e9, VRAMGB: 1.3, fidelity: 0.86},
+		{Name: "whisper-small", Params: 244e6, MACsPerSec: 25e9, VRAMGB: 2.2, fidelity: 0.94},
+		{Name: "whisper-medium", Params: 769e6, MACsPerSec: 80e9, VRAMGB: 4.5, fidelity: 0.965},
+		{Name: "whisper-large", Params: 1550e6, MACsPerSec: 160e9, VRAMGB: 8.0, fidelity: 0.975},
+	}
+}
+
+// ZooResult is one measured point of the Fig. 7 Pareto study.
+type ZooResult struct {
+	Model        ZooModel
+	PCC          float64
+	InferenceSec float64 // runtime per second of audio on the edge device
+	OnFront      bool
+}
+
+// EvaluateZoo scores every zoo model on a synthetic VCC-2018-like evaluation:
+// the model's output feature series is the reference plus fidelity-dependent
+// noise, and PCC is the Pearson correlation between the two (higher =
+// better transcription). Runtime comes from the edge-device MAC throughput.
+// deviceMACsPerSec should be the deployment device's effective throughput.
+func EvaluateZoo(deviceMACsPerSec float64, evalSeconds int, seed uint64) ([]ZooResult, error) {
+	if deviceMACsPerSec <= 0 {
+		return nil, fmt.Errorf("asr: non-positive device throughput")
+	}
+	rng := tensor.NewRNG(seed ^ 0x2007)
+	// Reference series: band-energy trajectory of a long utterance mix.
+	synth := audio.NewSynthesizer(seed)
+	var wave []float64
+	words := audio.Keywords()
+	for len(wave) < evalSeconds*audio.SampleRate {
+		wave = append(wave, synth.Utter(words[rng.Intn(len(words))], 0.8)...)
+	}
+	feats := Features(wave)
+	ref := make([]float64, len(feats))
+	for i, f := range feats {
+		for _, v := range f {
+			ref[i] += v
+		}
+	}
+
+	results := make([]ZooResult, 0, len(WhisperZoo()))
+	for _, m := range WhisperZoo() {
+		out := make([]float64, len(ref))
+		noise := 1 - m.fidelity
+		var refStd float64
+		for _, v := range ref {
+			refStd += v * v
+		}
+		refStd = math.Sqrt(refStd / float64(len(ref)))
+		for i, v := range ref {
+			out[i] = m.fidelity*v + noise*refStd*rng.NormFloat64()
+		}
+		pcc := pearson(ref, out)
+		results = append(results, ZooResult{
+			Model:        m,
+			PCC:          pcc,
+			InferenceSec: float64(m.MACsPerSec) / deviceMACsPerSec,
+		})
+	}
+	markPareto(results)
+	return results, nil
+}
+
+// markPareto flags the non-dominated points (maximise PCC, minimise runtime).
+func markPareto(rs []ZooResult) {
+	for i := range rs {
+		dominated := false
+		for j := range rs {
+			if i == j {
+				continue
+			}
+			if rs[j].PCC > rs[i].PCC && rs[j].InferenceSec <= rs[i].InferenceSec {
+				dominated = true
+				break
+			}
+		}
+		rs[i].OnFront = !dominated
+	}
+}
+
+// SelectModel applies the paper's Fig. 7 rule: among Pareto-front models,
+// pick the highest-PCC one whose per-second runtime fits the real-time
+// budget (runtime < 1 s of compute per second of audio means it keeps up).
+func SelectModel(rs []ZooResult, maxInferenceSec float64) (ZooResult, error) {
+	best := -1
+	for i, r := range rs {
+		if !r.OnFront || r.InferenceSec > maxInferenceSec {
+			continue
+		}
+		if best < 0 || r.PCC > rs[best].PCC {
+			best = i
+		}
+	}
+	if best < 0 {
+		return ZooResult{}, fmt.Errorf("asr: no zoo model fits budget %v s", maxInferenceSec)
+	}
+	return rs[best], nil
+}
+
+func pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}

@@ -1,0 +1,152 @@
+package asr
+
+import (
+	"testing"
+
+	"cognitivearm/internal/audio"
+)
+
+func TestSpotterRecognisesEnrolledSpeaker(t *testing.T) {
+	spotter := NewSpotter(1)
+	synth := audio.NewSynthesizer(1)
+	for _, w := range audio.Keywords() {
+		got, score := spotter.Recognize(synth.Utter(w, 0.8))
+		if got != w {
+			t.Fatalf("said %v, recognised %v (score %v)", w, got, score)
+		}
+		if score < 0.6 {
+			t.Fatalf("confidence %v too low for clean speech", score)
+		}
+	}
+}
+
+func TestSpotterGeneralisesAcrossSpeakers(t *testing.T) {
+	spotter := NewSpotter(1)
+	correct, total := 0, 0
+	for seed := uint64(2); seed < 8; seed++ {
+		synth := audio.NewSynthesizer(seed)
+		for _, w := range audio.Keywords() {
+			got, _ := spotter.Recognize(synth.Utter(w, 0.8))
+			if got == w {
+				correct++
+			}
+			total++
+		}
+	}
+	if frac := float64(correct) / float64(total); frac < 0.8 {
+		t.Fatalf("cross-speaker accuracy %.2f too low (%d/%d)", frac, correct, total)
+	}
+}
+
+func TestSpotterRejectsNoise(t *testing.T) {
+	spotter := NewSpotter(1)
+	synth := audio.NewSynthesizer(9)
+	got, _ := spotter.Recognize(synth.Noise(0.5, 0.02))
+	if got != audio.Silence {
+		t.Fatalf("noise recognised as %v", got)
+	}
+}
+
+func TestFeaturesShape(t *testing.T) {
+	synth := audio.NewSynthesizer(3)
+	wave := synth.Utter(audio.WordArm, 0.8)
+	feats := Features(wave)
+	if len(feats) != len(wave)/audio.FrameSize {
+		t.Fatalf("frames %d", len(feats))
+	}
+	for _, f := range feats {
+		if len(f) != numBands {
+			t.Fatalf("band vector %d", len(f))
+		}
+		for _, v := range f {
+			if v < 0 {
+				t.Fatal("negative band energy")
+			}
+		}
+	}
+}
+
+func TestGoertzelSelectivity(t *testing.T) {
+	// A pure 700 Hz tone should light the 700 Hz probe more than 2 kHz.
+	frame := make([]float64, audio.FrameSize)
+	for i := range frame {
+		frame[i] = osc(700, i)
+	}
+	at700 := goertzel(frame, 700, audio.SampleRate)
+	at2000 := goertzel(frame, 2000, audio.SampleRate)
+	if at700 < 5*at2000 {
+		t.Fatalf("goertzel not selective: %v vs %v", at700, at2000)
+	}
+}
+
+func osc(freq float64, i int) float64 {
+	return sinApprox(2 * 3.141592653589793 * freq * float64(i) / audio.SampleRate)
+}
+
+func sinApprox(x float64) float64 {
+	// small helper to avoid importing math just for the test
+	for x > 3.141592653589793 {
+		x -= 2 * 3.141592653589793
+	}
+	for x < -3.141592653589793 {
+		x += 2 * 3.141592653589793
+	}
+	// 7th-order Taylor is plenty for test tolerances
+	x2 := x * x
+	return x * (1 - x2/6*(1-x2/20*(1-x2/42)))
+}
+
+// TestFig7Shape verifies the qualitative Figure 7 result: PCC increases with
+// model size, runtime increases faster, whisper-small is on the front and is
+// selected under the real-time budget while whisper-large is rejected.
+func TestFig7Shape(t *testing.T) {
+	jetsonMACs := 1.49e9 * 25 // audio encoder batch throughput ≫ GEMV EEG path
+	results, err := EvaluateZoo(jetsonMACs, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("zoo size %d", len(results))
+	}
+	// PCC monotone non-decreasing with model size; runtime strictly rising.
+	for i := 1; i < len(results); i++ {
+		if results[i].PCC < results[i-1].PCC-0.03 {
+			t.Fatalf("PCC should rise with size: %v then %v", results[i-1].PCC, results[i].PCC)
+		}
+		if results[i].InferenceSec <= results[i-1].InferenceSec {
+			t.Fatal("runtime should rise with size")
+		}
+	}
+	byName := map[string]ZooResult{}
+	for _, r := range results {
+		byName[r.Model.Name] = r
+	}
+	if !byName["whisper-small"].OnFront {
+		t.Fatal("whisper-small should be on the Pareto front")
+	}
+	// Budget: keep up with real time (1 s of compute per 1 s of audio),
+	// which whisper-large's runtime exceeds on this device.
+	sel, err := SelectModel(results, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Model.Name != "whisper-small" && sel.Model.Name != "whisper-medium" {
+		t.Fatalf("selected %s; paper selects whisper-small", sel.Model.Name)
+	}
+	if byName["whisper-large"].InferenceSec <= 1.0 {
+		t.Fatalf("whisper-large should miss the real-time budget, runtime %v", byName["whisper-large"].InferenceSec)
+	}
+}
+
+func TestSelectModelNoFit(t *testing.T) {
+	results, _ := EvaluateZoo(1e9, 5, 2)
+	if _, err := SelectModel(results, 1e-9); err == nil {
+		t.Fatal("impossible budget should error")
+	}
+}
+
+func TestEvaluateZooErrors(t *testing.T) {
+	if _, err := EvaluateZoo(0, 5, 1); err == nil {
+		t.Fatal("zero throughput should error")
+	}
+}

@@ -1,0 +1,210 @@
+// Package audio synthesises the microphone input of CognitiveArm's voice
+// channel and provides the Voice Activity Detection (VAD) gate of §III-F2.
+// Speech-like waveforms are built from pitch harmonics shaped by per-word
+// formant envelopes; the VAD is a frame-energy detector with attack/release
+// hysteresis, triggering the (expensive) ASR model only when speech is
+// present.
+package audio
+
+import (
+	"math"
+
+	"cognitivearm/internal/tensor"
+)
+
+// SampleRate is the audio acquisition rate in Hz.
+const SampleRate = 16000
+
+// FrameSize is the VAD/ASR analysis frame (20 ms).
+const FrameSize = 320
+
+// Word is a spoken command in the CognitiveArm vocabulary (§III-F1: the DoF
+// mode-switch keywords).
+type Word int
+
+// Vocabulary: the three mode keywords plus silence/noise.
+const (
+	Silence Word = iota
+	WordArm
+	WordElbow
+	WordFingers
+)
+
+// String implements fmt.Stringer.
+func (w Word) String() string {
+	switch w {
+	case Silence:
+		return "silence"
+	case WordArm:
+		return "arm"
+	case WordElbow:
+		return "elbow"
+	case WordFingers:
+		return "fingers"
+	default:
+		return "unknown"
+	}
+}
+
+// Keywords returns the non-silence vocabulary.
+func Keywords() []Word { return []Word{WordArm, WordElbow, WordFingers} }
+
+// formantTrack describes a word's acoustic signature: per-syllable formant
+// centre frequencies and durations. Distinct tracks make the keywords
+// separable, standing in for real speech.
+type formantTrack struct {
+	freqs     []float64 // formant centre per syllable (Hz)
+	durations []float64 // seconds per syllable
+}
+
+var tracks = map[Word]formantTrack{
+	WordArm:     {freqs: []float64{350}, durations: []float64{0.35}},
+	WordElbow:   {freqs: []float64{800, 1300}, durations: []float64{0.2, 0.2}},
+	WordFingers: {freqs: []float64{2400, 2900}, durations: []float64{0.15, 0.25}},
+}
+
+// Synthesizer generates deterministic utterances for a given speaker seed.
+type Synthesizer struct {
+	rng      *tensor.RNG
+	pitchHz  float64
+	noiseAmp float64
+}
+
+// NewSynthesizer creates a speaker with a reproducible voice.
+func NewSynthesizer(seed uint64) *Synthesizer {
+	rng := tensor.NewRNG(seed ^ 0xA0D10)
+	return &Synthesizer{
+		rng:      rng,
+		pitchHz:  100 + 80*rng.Float64(),
+		noiseAmp: 0.01,
+	}
+}
+
+// Utter renders the word as a waveform at the given loudness (0–1], padded
+// with silence on both sides.
+func (s *Synthesizer) Utter(w Word, loudness float64) []float64 {
+	padSec := 0.1
+	if w == Silence {
+		return s.Noise(0.5, s.noiseAmp)
+	}
+	track := tracks[w]
+	var wave []float64
+	wave = append(wave, s.Noise(padSec, s.noiseAmp)...)
+	for i, f := range track.freqs {
+		n := int(track.durations[i] * SampleRate)
+		for j := 0; j < n; j++ {
+			t := float64(j) / SampleRate
+			env := math.Sin(math.Pi * float64(j) / float64(n)) // syllable envelope
+			v := 0.0
+			// Pitch harmonics weighted by distance to the formant.
+			for h := 1; h <= 32; h++ {
+				hf := s.pitchHz * float64(h)
+				d := (hf - f) / 250
+				weight := math.Exp(-d * d)
+				v += weight * math.Sin(2*math.Pi*hf*t)
+			}
+			v = loudness * env * v / 4
+			v += s.noiseAmp * s.rng.NormFloat64()
+			wave = append(wave, v)
+		}
+	}
+	wave = append(wave, s.Noise(padSec, s.noiseAmp)...)
+	return wave
+}
+
+// Noise renders dur seconds of background noise at the given amplitude.
+func (s *Synthesizer) Noise(dur, amp float64) []float64 {
+	n := int(dur * SampleRate)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = amp * s.rng.NormFloat64()
+	}
+	return out
+}
+
+// FrameEnergies returns per-frame RMS energies of the waveform.
+func FrameEnergies(wave []float64) []float64 {
+	nFrames := len(wave) / FrameSize
+	out := make([]float64, nFrames)
+	for i := 0; i < nFrames; i++ {
+		var s float64
+		for j := i * FrameSize; j < (i+1)*FrameSize; j++ {
+			s += wave[j] * wave[j]
+		}
+		out[i] = math.Sqrt(s / FrameSize)
+	}
+	return out
+}
+
+// VAD is an energy detector with hysteresis: activation requires Attack
+// consecutive loud frames, deactivation Release consecutive quiet ones
+// (§III-F2).
+type VAD struct {
+	// Threshold is the RMS energy above which a frame counts as speech.
+	Threshold float64
+	// Attack / Release are the hysteresis frame counts.
+	Attack, Release int
+
+	active   bool
+	loudRun  int
+	quietRun int
+	// Triggers counts rising edges (speech onsets) seen so far.
+	Triggers int
+}
+
+// NewVAD returns a detector tuned for the synthesizer's levels.
+func NewVAD() *VAD {
+	return &VAD{Threshold: 0.05, Attack: 2, Release: 5}
+}
+
+// ProcessFrame consumes one frame's energy and returns whether speech is
+// currently active.
+func (v *VAD) ProcessFrame(energy float64) bool {
+	if energy >= v.Threshold {
+		v.loudRun++
+		v.quietRun = 0
+		if !v.active && v.loudRun >= v.Attack {
+			v.active = true
+			v.Triggers++
+		}
+	} else {
+		v.quietRun++
+		v.loudRun = 0
+		if v.active && v.quietRun >= v.Release {
+			v.active = false
+		}
+	}
+	return v.active
+}
+
+// Active reports the current detector state.
+func (v *VAD) Active() bool { return v.active }
+
+// Reset returns the detector to idle.
+func (v *VAD) Reset() {
+	v.active = false
+	v.loudRun, v.quietRun = 0, 0
+}
+
+// DetectSegments runs the VAD over a whole waveform and returns the active
+// frame spans as [start, end) frame indices.
+func (v *VAD) DetectSegments(wave []float64) [][2]int {
+	v.Reset()
+	energies := FrameEnergies(wave)
+	var segs [][2]int
+	open := -1
+	for i, e := range energies {
+		active := v.ProcessFrame(e)
+		if active && open < 0 {
+			open = i
+		}
+		if !active && open >= 0 {
+			segs = append(segs, [2]int{open, i})
+			open = -1
+		}
+	}
+	if open >= 0 {
+		segs = append(segs, [2]int{open, len(energies)})
+	}
+	return segs
+}

@@ -1,0 +1,130 @@
+package audio
+
+import (
+	"testing"
+)
+
+func TestUtterProducesAudio(t *testing.T) {
+	s := NewSynthesizer(1)
+	for _, w := range Keywords() {
+		wave := s.Utter(w, 0.8)
+		if len(wave) < SampleRate/10 {
+			t.Fatalf("%v too short: %d samples", w, len(wave))
+		}
+		// Speech must be louder than the noise floor somewhere.
+		peak := 0.0
+		for _, v := range wave {
+			if v > peak {
+				peak = v
+			}
+		}
+		if peak < 0.1 {
+			t.Fatalf("%v peak %v too quiet", w, peak)
+		}
+	}
+}
+
+func TestUtterSilenceIsQuiet(t *testing.T) {
+	s := NewSynthesizer(2)
+	wave := s.Utter(Silence, 1)
+	for _, e := range FrameEnergies(wave) {
+		if e > 0.05 {
+			t.Fatalf("silence frame energy %v", e)
+		}
+	}
+}
+
+func TestSynthesizerDeterminism(t *testing.T) {
+	a := NewSynthesizer(3).Utter(WordArm, 0.8)
+	b := NewSynthesizer(3).Utter(WordArm, 0.8)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should reproduce the waveform")
+		}
+	}
+}
+
+func TestWordStrings(t *testing.T) {
+	if WordArm.String() != "arm" || WordElbow.String() != "elbow" ||
+		WordFingers.String() != "fingers" || Silence.String() != "silence" {
+		t.Fatal("word names")
+	}
+	if Word(99).String() != "unknown" {
+		t.Fatal("unknown word")
+	}
+}
+
+func TestFrameEnergies(t *testing.T) {
+	wave := make([]float64, FrameSize*3)
+	for i := FrameSize; i < 2*FrameSize; i++ {
+		wave[i] = 1
+	}
+	e := FrameEnergies(wave)
+	if len(e) != 3 {
+		t.Fatalf("frames %d", len(e))
+	}
+	if e[0] != 0 || e[2] != 0 || e[1] < 0.99 {
+		t.Fatalf("energies %v", e)
+	}
+}
+
+func TestVADDetectsSpeechOnly(t *testing.T) {
+	s := NewSynthesizer(4)
+	v := NewVAD()
+	speech := s.Utter(WordElbow, 0.8)
+	segs := v.DetectSegments(speech)
+	if len(segs) == 0 {
+		t.Fatal("VAD missed speech")
+	}
+	noise := s.Noise(1.0, 0.01)
+	if segs := v.DetectSegments(noise); len(segs) != 0 {
+		t.Fatalf("VAD false-triggered on noise: %v", segs)
+	}
+}
+
+func TestVADHysteresis(t *testing.T) {
+	v := NewVAD()
+	// One loud frame alone must not trigger (attack = 2).
+	if v.ProcessFrame(1.0) {
+		t.Fatal("single frame should not trigger")
+	}
+	if !v.ProcessFrame(1.0) {
+		t.Fatal("second loud frame should trigger")
+	}
+	// A single quiet frame must not release (release = 5).
+	if !v.ProcessFrame(0.0) {
+		t.Fatal("one quiet frame should not release")
+	}
+	for i := 0; i < 5; i++ {
+		v.ProcessFrame(0.0)
+	}
+	if v.Active() {
+		t.Fatal("sustained quiet should release")
+	}
+	if v.Triggers != 1 {
+		t.Fatalf("trigger count %d", v.Triggers)
+	}
+}
+
+func TestVADResourceGating(t *testing.T) {
+	// The point of VAD (§III-F2): ASR work is proportional to triggered
+	// segments, not total audio.
+	s := NewSynthesizer(5)
+	v := NewVAD()
+	var wave []float64
+	wave = append(wave, s.Noise(2, 0.01)...)
+	wave = append(wave, s.Utter(WordArm, 0.8)...)
+	wave = append(wave, s.Noise(2, 0.01)...)
+	segs := v.DetectSegments(wave)
+	if len(segs) != 1 {
+		t.Fatalf("want exactly 1 speech segment, got %d", len(segs))
+	}
+	totalFrames := len(wave) / FrameSize
+	activeFrames := segs[0][1] - segs[0][0]
+	if activeFrames >= totalFrames/2 {
+		t.Fatalf("VAD should gate most audio out: %d of %d frames active", activeFrames, totalFrames)
+	}
+}

@@ -1,0 +1,342 @@
+// Package control closes CognitiveArm's loop (§IV-A): EEG samples stream
+// from the board through causal preprocessing into a rolling window; the
+// classifier produces action labels at 15 Hz; a voice-selected mode
+// multiplexes the three core actions onto the arm's degrees of freedom
+// (arm / elbow / fingers, Fig. 6); and serial frames drive the Arduino's
+// servos. The package also implements the paper's real-world validation
+// protocol (19/20 sessions, §IV-A5) and end-to-end latency accounting.
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"cognitivearm/internal/arm"
+	"cognitivearm/internal/audio"
+	"cognitivearm/internal/board"
+	"cognitivearm/internal/dataset"
+	"cognitivearm/internal/edge"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/signal"
+	"cognitivearm/internal/tensor"
+)
+
+// Mode is the voice-selected degree of freedom (§III-F1).
+type Mode int
+
+// The three control modes of Fig. 6.
+const (
+	ModeArm Mode = iota
+	ModeElbow
+	ModeFingers
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeArm:
+		return "arm"
+	case ModeElbow:
+		return "elbow"
+	case ModeFingers:
+		return "fingers"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ClassifyRateHz is the paper's action-label rate (§IV-A3).
+const ClassifyRateHz = 15
+
+// StepDeg is the per-label angular increment, the "variable amount of
+// change in the position of the arm" unit.
+const StepDeg = 3.0
+
+// SmoothingWindow is the actuation debounce: the arm moves only when this
+// many consecutive labels agree, absorbing the stray labels produced while
+// the rolling window still straddles an intent transition.
+const SmoothingWindow = 5
+
+// Config assembles a Controller.
+type Config struct {
+	Board      board.Board
+	Classifier models.Classifier
+	// Norm holds the subject's training normalisation constants, applied to
+	// live windows exactly as during training (§V-A).
+	Norm dataset.Stats
+	// Device models inference latency; zero value disables edge accounting.
+	Device edge.Device
+	// InferenceMACs is the classifier's per-window workload for the device
+	// model.
+	InferenceMACs int64
+	// Sparsity/Precision describe the deployed model for latency accounting.
+	Sparsity  float64
+	Precision edge.Precision
+}
+
+// LatencyBreakdown aggregates modelled and measured per-stage latencies.
+type LatencyBreakdown struct {
+	Ticks            int
+	FilterWallSec    float64 // measured Go time in filtering
+	InferenceWallSec float64 // measured Go time in classification
+	EdgeInferenceSec float64 // modelled Jetson inference time (per tick sum)
+	ActuationSec     float64 // modelled serial+servo command latency
+}
+
+// PerTick returns the mean modelled end-to-end latency per classification.
+func (l LatencyBreakdown) PerTick() float64 {
+	if l.Ticks == 0 {
+		return 0
+	}
+	return (l.EdgeInferenceSec + l.ActuationSec) / float64(l.Ticks)
+}
+
+// Controller runs the closed loop in simulated time.
+type Controller struct {
+	cfg     Config
+	arduino *arm.Arduino
+	pre     []*signal.EEGPreprocessor
+	window  *tensor.Matrix // rolling WindowSize×Channels buffer
+	filled  int
+	mode    Mode
+	// sampleAcc implements the 125/15 fractional samples-per-tick schedule.
+	sampleAcc float64
+	// recent holds the last SmoothingWindow labels for the actuation debounce.
+	recent []eeg.Action
+
+	// Predictions counts labels emitted per action.
+	Predictions map[eeg.Action]int
+	Latency     LatencyBreakdown
+}
+
+// New builds a controller. The board must be started by the caller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Board == nil || cfg.Classifier == nil {
+		return nil, fmt.Errorf("control: board and classifier are required")
+	}
+	info := cfg.Board.Info()
+	pre := make([]*signal.EEGPreprocessor, info.Channels)
+	for i := range pre {
+		p, err := signal.NewEEGPreprocessor(info.SampleRateHz)
+		if err != nil {
+			return nil, fmt.Errorf("control: %w", err)
+		}
+		pre[i] = p
+	}
+	w := cfg.Classifier.WindowSize()
+	return &Controller{
+		cfg:         cfg,
+		arduino:     arm.NewArduino(),
+		pre:         pre,
+		window:      tensor.New(w, info.Channels),
+		Predictions: map[eeg.Action]int{},
+	}, nil
+}
+
+// Arduino exposes the actuator for inspection.
+func (c *Controller) Arduino() *arm.Arduino { return c.arduino }
+
+// Mode returns the active voice-selected mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// HandleVoice applies a recognised keyword to the mode multiplexer.
+func (c *Controller) HandleVoice(w audio.Word) {
+	switch w {
+	case audio.WordArm:
+		c.mode = ModeArm
+	case audio.WordElbow:
+		c.mode = ModeElbow
+	case audio.WordFingers:
+		c.mode = ModeFingers
+	}
+}
+
+// pushSample filters one raw sample and appends it to the rolling window.
+func (c *Controller) pushSample(values []float64) {
+	// Shift up (cheap for the window sizes in play; avoids reindexing).
+	if c.filled == c.window.Rows {
+		copy(c.window.Data, c.window.Data[c.window.Cols:])
+		c.filled--
+	}
+	row := c.window.Row(c.filled)
+	for ch := range row {
+		v := values[ch]
+		v = c.pre[ch].Process(v)
+		if ch < len(c.cfg.Norm.Mean) {
+			v = (v - c.cfg.Norm.Mean[ch]) / c.cfg.Norm.Std[ch]
+		}
+		row[ch] = v
+	}
+	c.filled++
+}
+
+// WindowReady reports whether enough samples have accumulated to classify.
+func (c *Controller) WindowReady() bool { return c.filled == c.window.Rows }
+
+// Tick advances one classification period: pull samples, filter, classify if
+// ready, actuate, and advance servo time. It returns the emitted action (or
+// Idle before the window fills).
+func (c *Controller) Tick() (eeg.Action, error) {
+	info := c.cfg.Board.Info()
+	c.sampleAcc += info.SampleRateHz / ClassifyRateHz
+	n := int(c.sampleAcc)
+	c.sampleAcc -= float64(n)
+
+	samples := c.cfg.Board.Read(n)
+	t0 := time.Now()
+	for _, s := range samples {
+		c.pushSample(s.Values)
+	}
+	c.Latency.FilterWallSec += time.Since(t0).Seconds()
+
+	action := eeg.Idle
+	if c.WindowReady() {
+		t1 := time.Now()
+		action = eeg.Action(c.cfg.Classifier.Predict(c.window))
+		c.Latency.InferenceWallSec += time.Since(t1).Seconds()
+		if c.cfg.InferenceMACs > 0 {
+			c.Latency.EdgeInferenceSec += c.cfg.Device.Latency(edge.Workload{
+				MACs: c.cfg.InferenceMACs, Sparsity: c.cfg.Sparsity, Precision: c.cfg.Precision,
+			}).Seconds()
+		}
+		c.Predictions[action]++
+		c.recent = append(c.recent, action)
+		if len(c.recent) > SmoothingWindow {
+			c.recent = c.recent[1:]
+		}
+		if c.agreed() {
+			c.actuate(action)
+		}
+	}
+	// Servo time advances one tick; serial latency ~1 frame at 115200 baud.
+	c.arduino.Step(1.0 / ClassifyRateHz)
+	c.Latency.ActuationSec += 5.0*10/115200 + 1.0/ClassifyRateHz/2
+	c.Latency.Ticks++
+	return action, nil
+}
+
+// agreed reports whether the debounce buffer is full and the latest label
+// has a 4-of-5 supermajority — strict enough to ignore transition strays,
+// loose enough that an intermittent classifier still drives the arm.
+func (c *Controller) agreed() bool {
+	if len(c.recent) < SmoothingWindow {
+		return false
+	}
+	latest := c.recent[len(c.recent)-1]
+	votes := 0
+	for _, a := range c.recent {
+		if a == latest {
+			votes++
+		}
+	}
+	return votes >= SmoothingWindow-1
+}
+
+// actuate maps (mode, action) to servo deltas per Fig. 6.
+func (c *Controller) actuate(a eeg.Action) {
+	if a == eeg.Idle {
+		return
+	}
+	dir := 1.0 // Right
+	if a == eeg.Left {
+		dir = -1
+	}
+	var frames []arm.Frame
+	switch c.mode {
+	case ModeArm: // raise / lower
+		frames = append(frames, arm.Frame{Channel: arm.ChanArm, AngleDeg: c.arduino.Target(arm.ChanArm) + dir*StepDeg})
+	case ModeElbow: // rotate CW / ACW
+		frames = append(frames, arm.Frame{Channel: arm.ChanElbow, AngleDeg: c.arduino.Target(arm.ChanElbow) + dir*StepDeg})
+	case ModeFingers: // close / open
+		for _, ch := range arm.FingerChannels() {
+			frames = append(frames, arm.Frame{Channel: ch, AngleDeg: c.arduino.Target(ch) + dir*StepDeg})
+		}
+	}
+	for _, f := range frames {
+		b := f.Encode()
+		c.arduino.Write(b[:])
+	}
+}
+
+// SessionResult reports one real-world validation session (§IV-A5).
+type SessionResult struct {
+	Intents      int
+	CorrectMoves int
+	Success      bool
+}
+
+// RunValidationSession reproduces the paper's protocol: the participant
+// holds a sequence of intents (announced verbally in the paper; here the
+// ground truth drives the simulated board), the loop runs, and the session
+// succeeds if every intent block moves the arm in the intended direction.
+// ticksPerIntent controls how long each intent is held.
+func RunValidationSession(c *Controller, intents []eeg.Action, ticksPerIntent int) (SessionResult, error) {
+	res := SessionResult{Intents: len(intents)}
+	for _, intent := range intents {
+		// Each block starts from the rest pose, as each live trial did —
+		// otherwise earlier blocks park the servos at their limits and later
+		// movement has nowhere to go.
+		if err := arm.SendPose(c.arduino, arm.PoseRest); err != nil {
+			return res, err
+		}
+		c.arduino.Step(3)
+		c.cfg.Board.SetState(intent)
+		// Transition period (§III-B2): let the rolling window flush the
+		// previous intent before scoring, as the live protocol's cue-to-task
+		// margin does. One window plus the debounce depth suffices.
+		warmup := c.window.Rows/8 + SmoothingWindow
+		for t := 0; t < warmup; t++ {
+			if _, err := c.Tick(); err != nil {
+				return res, err
+			}
+		}
+		before := c.dofPosition()
+		counts := map[eeg.Action]int{}
+		for t := 0; t < ticksPerIntent; t++ {
+			a, err := c.Tick()
+			if err != nil {
+				return res, err
+			}
+			if c.WindowReady() {
+				counts[a]++
+			}
+		}
+		moved := c.dofPosition() - before
+		// Scoring follows the live protocol: the participant's verbal
+		// confirmation is compared against the emitted labels, i.e. the
+		// majority label must match the intent; non-idle intents must also
+		// move the arm the right way.
+		majority := eeg.Idle
+		bestCount := -1
+		for _, a := range eeg.Actions() {
+			if counts[a] > bestCount {
+				majority, bestCount = a, counts[a]
+			}
+		}
+		correct := majority == intent
+		switch intent {
+		case eeg.Right:
+			correct = correct && moved > 0
+		case eeg.Left:
+			correct = correct && moved < 0
+		}
+		if correct {
+			res.CorrectMoves++
+		}
+	}
+	res.Success = res.CorrectMoves == res.Intents
+	return res, nil
+}
+
+// dofPosition reads the active mode's primary servo target.
+func (c *Controller) dofPosition() float64 {
+	switch c.mode {
+	case ModeElbow:
+		return c.arduino.Target(arm.ChanElbow)
+	case ModeFingers:
+		return c.arduino.Target(arm.ChanIndex)
+	default:
+		return c.arduino.Target(arm.ChanArm)
+	}
+}

@@ -1,0 +1,229 @@
+// Package core assembles the full CognitiveArm system of Figure 2: dataset
+// generation over the synthetic participant pool, model training (single
+// models or the paper's CNN+Transformer ensemble), compression, and the
+// deployment of a closed-loop controller with voice-command mode switching —
+// one façade over every substrate package.
+package core
+
+import (
+	"fmt"
+
+	"cognitivearm/internal/asr"
+	"cognitivearm/internal/audio"
+	"cognitivearm/internal/board"
+	"cognitivearm/internal/compress"
+	"cognitivearm/internal/control"
+	"cognitivearm/internal/dataset"
+	"cognitivearm/internal/edge"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/ensemble"
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/tensor"
+)
+
+// Config sizes a pipeline run. The zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// SubjectIDs are the synthetic participants (the paper uses five).
+	SubjectIDs []int
+	// Sessions per subject (the paper uses three).
+	Sessions int
+	// SessionSeconds is the length of one collection session.
+	SessionSeconds float64
+	// WindowSize is the classifier input length in samples.
+	WindowSize int
+	// Train controls the per-model training budget.
+	Train models.TrainOptions
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns a laptop-scale configuration: two short sessions for
+// three subjects, enough for ~85–95 % within-distribution accuracy in a few
+// seconds of CPU training.
+func DefaultConfig() Config {
+	return Config{
+		SubjectIDs:     []int{0, 1, 2},
+		Sessions:       1,
+		SessionSeconds: 48,
+		WindowSize:     100,
+		Train:          models.TrainOptions{Epochs: 10, BatchSize: 32, Patience: 4, Seed: 1},
+		Seed:           1,
+	}
+}
+
+// PaperConfig mirrors the paper's protocol sizes (five subjects, three
+// sessions, five minutes each). Training the full pool at this size takes
+// minutes to hours of CPU; use for the full reproduction runs.
+func PaperConfig() Config {
+	return Config{
+		SubjectIDs:     []int{0, 1, 2, 3, 4},
+		Sessions:       3,
+		SessionSeconds: 300,
+		WindowSize:     190,
+		Train:          models.TrainOptions{Epochs: 8, BatchSize: 64, Patience: 3, Seed: 1},
+		Seed:           1,
+	}
+}
+
+// Pipeline is a configured CognitiveArm instance.
+type Pipeline struct {
+	Config Config
+	// BySubject holds the processed windows per subject.
+	BySubject map[int][]dataset.Window
+	// Stats holds per-subject normalisation constants (for live control).
+	Stats map[int]dataset.Stats
+}
+
+// New builds the dataset stage of the pipeline (acquisition → preprocessing
+// → annotation → windows → normalisation → balancing).
+func New(cfg Config) (*Pipeline, error) {
+	if len(cfg.SubjectIDs) == 0 || cfg.Sessions < 1 {
+		return nil, fmt.Errorf("core: need at least one subject and session")
+	}
+	proto := dataset.ShortProtocol(cfg.SessionSeconds)
+	p := &Pipeline{Config: cfg, BySubject: map[int][]dataset.Window{}, Stats: map[int]dataset.Stats{}}
+	rng := tensor.NewRNG(cfg.Seed)
+	for _, id := range cfg.SubjectIDs {
+		subj := eeg.NewSubject(id)
+		var all []dataset.Window
+		for s := 0; s < cfg.Sessions; s++ {
+			rec := dataset.Collect(subj, s, proto, cfg.Seed+uint64(id)*101+uint64(s))
+			clean, err := dataset.Preprocess(rec)
+			if err != nil {
+				return nil, fmt.Errorf("core: preprocess subject %d: %w", id, err)
+			}
+			ws, err := dataset.Segment(clean, dataset.DefaultSegment(cfg.WindowSize))
+			if err != nil {
+				return nil, fmt.Errorf("core: segment subject %d: %w", id, err)
+			}
+			all = append(all, ws...)
+		}
+		st := dataset.ComputeStats(all)
+		dataset.Normalize(all, st)
+		p.Stats[id] = st
+		p.BySubject[id] = dataset.Balance(all, rng.Fork())
+	}
+	return p, nil
+}
+
+// Pooled returns all subjects' windows shuffled together with an 80:20
+// train/val split (the within-distribution evaluation).
+func (p *Pipeline) Pooled() (train, val []dataset.Window) {
+	var all []dataset.Window
+	for _, id := range p.Config.SubjectIDs {
+		all = append(all, p.BySubject[id]...)
+	}
+	rng := tensor.NewRNG(p.Config.Seed + 7)
+	dataset.Shuffle(all, rng)
+	cut := len(all) * 8 / 10
+	return all[:cut], all[cut:]
+}
+
+// LOSO returns the leave-one-subject-out folds (§III-D1).
+func (p *Pipeline) LOSO() []dataset.Split {
+	return dataset.LOSO(p.BySubject, tensor.NewRNG(p.Config.Seed+13))
+}
+
+// TrainModel fits one spec on the pooled split.
+func (p *Pipeline) TrainModel(spec models.Spec) (models.Classifier, models.Result, error) {
+	if spec.WindowSize != p.Config.WindowSize {
+		return nil, models.Result{}, fmt.Errorf("core: spec window %d != pipeline window %d",
+			spec.WindowSize, p.Config.WindowSize)
+	}
+	train, val := p.Pooled()
+	return models.Train(spec, train, val, p.Config.Train)
+}
+
+// System is a deployed CognitiveArm: trained classifier, voice channel and
+// closed-loop controller for one subject.
+type System struct {
+	Classifier models.Classifier
+	Controller *control.Controller
+	Spotter    *asr.Spotter
+	VAD        *audio.VAD
+	Board      board.Board
+}
+
+// Deploy wires a trained classifier into a live controller for subjectID.
+func (p *Pipeline) Deploy(clf models.Classifier, macs int64, subjectID int) (*System, error) {
+	st, ok := p.Stats[subjectID]
+	if !ok {
+		return nil, fmt.Errorf("core: subject %d not in pipeline", subjectID)
+	}
+	b := board.NewSyntheticCyton(eeg.NewSubject(subjectID), p.Config.Seed+0xB0A4D, false)
+	if err := b.Start(); err != nil {
+		return nil, err
+	}
+	ctrl, err := control.New(control.Config{
+		Board:         b,
+		Classifier:    clf,
+		Norm:          st,
+		Device:        edge.JetsonOrinNano(),
+		InferenceMACs: macs,
+	})
+	if err != nil {
+		b.Stop()
+		return nil, err
+	}
+	return &System{
+		Classifier: clf,
+		Controller: ctrl,
+		Spotter:    asr.NewSpotter(p.Config.Seed),
+		VAD:        audio.NewVAD(),
+		Board:      b,
+	}, nil
+}
+
+// Close stops the system's acquisition stream.
+func (s *System) Close() error { return s.Board.Stop() }
+
+// HearCommand runs the voice path end-to-end: VAD gates the audio, and if
+// speech is present the spotter's keyword switches the controller mode. It
+// returns the recognised word.
+func (s *System) HearCommand(wave []float64) audio.Word {
+	if len(s.VAD.DetectSegments(wave)) == 0 {
+		return audio.Silence
+	}
+	word, _ := s.Spotter.Recognize(wave)
+	s.Controller.HandleVoice(word)
+	return word
+}
+
+// TrainPaperEnsemble trains the scaled equivalents of the paper's four
+// Pareto-optimal models on the pooled split and returns the CNN+Transformer
+// soft-voting ensemble of §V plus all four members. Specs are re-windowed to
+// the pipeline's window size.
+func (p *Pipeline) TrainPaperEnsemble() (*ensemble.Ensemble, []models.Classifier, error) {
+	var pool []models.Classifier
+	var cnnTF []models.Classifier
+	for _, spec := range models.ScaledPaperSpecs() {
+		spec.WindowSize = p.Config.WindowSize
+		clf, _, err := p.TrainModel(spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: train %s: %w", spec.ID(), err)
+		}
+		pool = append(pool, clf)
+		if spec.Family == models.FamilyCNN || spec.Family == models.FamilyTransformer {
+			cnnTF = append(cnnTF, clf)
+		}
+	}
+	ens, err := ensemble.New(cnnTF...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ens, pool, nil
+}
+
+// CompressBest applies the paper's §III-E recipe to an NN classifier:
+// 70 % global pruning (the selected operating point) and reports before/after
+// accuracy on val.
+func (p *Pipeline) CompressBest(clf *models.NNClassifier, val []dataset.Window) (pruned *models.NNClassifier, baseAcc, prunedAcc float64, err error) {
+	baseAcc = models.Accuracy(clf, val)
+	pruned, _, err = compress.Prune(clf, 0.7)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	prunedAcc = models.Accuracy(pruned, val)
+	return pruned, baseAcc, prunedAcc, nil
+}

@@ -1,0 +1,400 @@
+// Package dataset reproduces CognitiveArm's EEG dataset generation and
+// annotation pipeline (§III-B): a cue-driven experimental protocol (10 s
+// mental task / 10 s idle blocks), auditory-cue-based labelling with
+// transition periods, offline preprocessing, sliding-window segmentation
+// (window 100–200 samples, step 25), per-subject normalisation, class
+// balancing, and leave-one-subject-out splits.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/signal"
+	"cognitivearm/internal/tensor"
+)
+
+// Cue marks an auditory cue instructing the participant to begin a task.
+type Cue struct {
+	TimeSec  float64
+	Action   eeg.Action
+	Duration float64 // seconds the task is held
+}
+
+// Recording is one acquisition session: continuous multichannel EEG plus the
+// cue schedule that produced it.
+type Recording struct {
+	SubjectID int
+	Session   int
+	// Signal is channel-major: Signal[ch][sample], at eeg.SampleRate.
+	Signal [][]float64
+	Cues   []Cue
+	// TruthLatencySec is the subject's actual cue-to-imagery delay, known
+	// only to the simulator (used to validate the annotation margins).
+	TruthLatencySec float64
+}
+
+// Protocol describes the collection structure. The paper uses TaskSec=10,
+// RestSec=10, about 5 minutes per session, 3 sessions per subject.
+type Protocol struct {
+	TaskSec  float64
+	RestSec  float64
+	TotalSec float64
+	// Order cycles through the non-idle tasks; rest blocks are labelled Idle.
+	Order []eeg.Action
+}
+
+// PaperProtocol returns the collection structure from §III-B1.
+func PaperProtocol() Protocol {
+	return Protocol{TaskSec: 10, RestSec: 10, TotalSec: 300, Order: []eeg.Action{eeg.Left, eeg.Right}}
+}
+
+// ShortProtocol is a scaled-down variant for tests and quick experiments.
+func ShortProtocol(totalSec float64) Protocol {
+	return Protocol{TaskSec: 4, RestSec: 4, TotalSec: totalSec, Order: []eeg.Action{eeg.Left, eeg.Right}}
+}
+
+// Collect simulates one session for the subject: the generator is driven
+// through the protocol's cue schedule, including the subject's cue-response
+// latency, exactly as a live participant would lag the beep.
+func Collect(subject eeg.Subject, session int, proto Protocol, seed uint64) Recording {
+	gen := eeg.NewGenerator(subject, seed+uint64(session)*0x9E37)
+	fs := eeg.SampleRate
+	total := int(proto.TotalSec * fs)
+	sig := make([][]float64, eeg.NumChannels)
+	for c := range sig {
+		sig[c] = make([]float64, total)
+	}
+	var cues []Cue
+
+	// Build the cue schedule: task, rest, task, rest...
+	type span struct {
+		start, end int
+		action     eeg.Action
+	}
+	var spans []span
+	cursor, orderIdx := 0, 0
+	for cursor < total {
+		task := proto.Order[orderIdx%len(proto.Order)]
+		orderIdx++
+		taskLen := int(proto.TaskSec * fs)
+		restLen := int(proto.RestSec * fs)
+		if cursor+taskLen > total {
+			taskLen = total - cursor
+		}
+		if taskLen > 0 {
+			spans = append(spans, span{cursor, cursor + taskLen, task})
+			cues = append(cues, Cue{TimeSec: float64(cursor) / fs, Action: task, Duration: float64(taskLen) / fs})
+			cursor += taskLen
+		}
+		if cursor+restLen > total {
+			restLen = total - cursor
+		}
+		if restLen > 0 {
+			spans = append(spans, span{cursor, cursor + restLen, eeg.Idle})
+			cues = append(cues, Cue{TimeSec: float64(cursor) / fs, Action: eeg.Idle, Duration: float64(restLen) / fs})
+			cursor += restLen
+		}
+	}
+
+	// Drive the generator. The participant switches mental state only after
+	// their personal cue latency.
+	latencySamples := int(subject.CueLatencySec * fs)
+	current := eeg.Idle
+	for _, sp := range spans {
+		for i := sp.start; i < sp.end; i++ {
+			if i >= sp.start+latencySamples {
+				current = sp.action
+			}
+			s := gen.Next(current)
+			for c := 0; c < eeg.NumChannels; c++ {
+				sig[c][i] = s[c]
+			}
+		}
+	}
+	return Recording{SubjectID: subject.ID, Session: session, Signal: sig, Cues: cues, TruthLatencySec: subject.CueLatencySec}
+}
+
+// Preprocess applies the paper's offline cleaning chain to every channel:
+// zero-phase Butterworth band-pass + notch, then artifact repair. It returns
+// a new Recording.
+func Preprocess(rec Recording) (Recording, error) {
+	pre, err := signal.NewEEGPreprocessor(eeg.SampleRate)
+	if err != nil {
+		return Recording{}, fmt.Errorf("dataset: %w", err)
+	}
+	cleaner := signal.NewArtifactCleaner()
+	out := rec
+	out.Signal = make([][]float64, len(rec.Signal))
+	for c := range rec.Signal {
+		filtered := pre.FilterOffline(rec.Signal[c])
+		repaired, _ := cleaner.Clean(filtered)
+		out.Signal[c] = repaired
+	}
+	return out, nil
+}
+
+// Window is one labelled training example: Data is time-major
+// (rows = samples, cols = channels).
+type Window struct {
+	Data      *tensor.Matrix
+	Label     eeg.Action
+	SubjectID int
+}
+
+// SegmentConfig controls sliding-window extraction (§III-B3).
+type SegmentConfig struct {
+	// Size is the window length in samples (paper sweeps 100–200).
+	Size int
+	// Step is the hop in samples (paper: 25 = 0.2 s).
+	Step int
+	// TransitionSec trims this much signal after every cue before windows are
+	// taken, absorbing cue-response latency (§III-B2).
+	TransitionSec float64
+}
+
+// DefaultSegment matches the paper's headline configuration.
+func DefaultSegment(windowSize int) SegmentConfig {
+	return SegmentConfig{Size: windowSize, Step: 25, TransitionSec: 0.75}
+}
+
+// Segment slices a recording into labelled windows. Each cue span contributes
+// windows wholly inside [cue+transition, cue+duration), all carrying the
+// span's label.
+func Segment(rec Recording, cfg SegmentConfig) ([]Window, error) {
+	if cfg.Size <= 0 || cfg.Step <= 0 {
+		return nil, fmt.Errorf("dataset: invalid segment config %+v", cfg)
+	}
+	if len(rec.Signal) == 0 {
+		return nil, fmt.Errorf("dataset: empty recording")
+	}
+	fs := eeg.SampleRate
+	nch := len(rec.Signal)
+	total := len(rec.Signal[0])
+	var out []Window
+	for _, cue := range rec.Cues {
+		start := int((cue.TimeSec + cfg.TransitionSec) * fs)
+		end := int((cue.TimeSec + cue.Duration) * fs)
+		if end > total {
+			end = total
+		}
+		for w := start; w+cfg.Size <= end; w += cfg.Step {
+			m := tensor.New(cfg.Size, nch)
+			for t := 0; t < cfg.Size; t++ {
+				row := m.Row(t)
+				for c := 0; c < nch; c++ {
+					row[c] = rec.Signal[c][w+t]
+				}
+			}
+			out = append(out, Window{Data: m, Label: cue.Action, SubjectID: rec.SubjectID})
+		}
+	}
+	return out, nil
+}
+
+// Stats holds per-channel normalisation constants for one subject.
+type Stats struct {
+	Mean, Std []float64
+}
+
+// ComputeStats derives per-channel mean/std over a set of windows, the
+// per-subject normalisation of §V-A.
+func ComputeStats(windows []Window) Stats {
+	if len(windows) == 0 {
+		return Stats{}
+	}
+	nch := windows[0].Data.Cols
+	mean := make([]float64, nch)
+	var count float64
+	for _, w := range windows {
+		for t := 0; t < w.Data.Rows; t++ {
+			row := w.Data.Row(t)
+			for c := range row {
+				mean[c] += row[c]
+			}
+		}
+		count += float64(w.Data.Rows)
+	}
+	for c := range mean {
+		mean[c] /= count
+	}
+	std := make([]float64, nch)
+	for _, w := range windows {
+		for t := 0; t < w.Data.Rows; t++ {
+			row := w.Data.Row(t)
+			for c := range row {
+				d := row[c] - mean[c]
+				std[c] += d * d
+			}
+		}
+	}
+	for c := range std {
+		std[c] = math.Sqrt(std[c] / count)
+		if std[c] == 0 {
+			std[c] = 1
+		}
+	}
+	return Stats{Mean: mean, Std: std}
+}
+
+// Normalize z-scores every window in place using the given stats and returns
+// the same slice for chaining.
+func Normalize(windows []Window, st Stats) []Window {
+	for _, w := range windows {
+		for t := 0; t < w.Data.Rows; t++ {
+			row := w.Data.Row(t)
+			for c := range row {
+				row[c] = (row[c] - st.Mean[c]) / st.Std[c]
+			}
+		}
+	}
+	return windows
+}
+
+// Balance subsamples so every class has the count of the rarest class,
+// preventing classifier bias (§III-D4). Selection is deterministic given rng.
+func Balance(windows []Window, rng *tensor.RNG) []Window {
+	byClass := map[eeg.Action][]int{}
+	for i, w := range windows {
+		byClass[w.Label] = append(byClass[w.Label], i)
+	}
+	minCount := math.MaxInt
+	for _, idx := range byClass {
+		if len(idx) < minCount {
+			minCount = len(idx)
+		}
+	}
+	if minCount == math.MaxInt {
+		return nil
+	}
+	var out []Window
+	for _, a := range eeg.Actions() {
+		idx := byClass[a]
+		if len(idx) == 0 {
+			continue
+		}
+		perm := rng.Perm(len(idx))
+		for i := 0; i < minCount; i++ {
+			out = append(out, windows[idx[perm[i]]])
+		}
+	}
+	Shuffle(out, rng)
+	return out
+}
+
+// Shuffle permutes windows in place, deterministically for a given rng.
+func Shuffle(windows []Window, rng *tensor.RNG) {
+	for i := len(windows) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		windows[i], windows[j] = windows[j], windows[i]
+	}
+}
+
+// ClassCounts tallies windows per class.
+func ClassCounts(windows []Window) map[eeg.Action]int {
+	counts := map[eeg.Action]int{}
+	for _, w := range windows {
+		counts[w.Label]++
+	}
+	return counts
+}
+
+// Split is one leave-one-subject-out fold: Train/Val from the other
+// subjects (80:20), Test entirely from the held-out subject (§III-D1).
+type Split struct {
+	TestSubject      int
+	Train, Val, Test []Window
+}
+
+// LOSO builds the leave-one-subject-out folds from per-subject window sets.
+func LOSO(bySubject map[int][]Window, rng *tensor.RNG) []Split {
+	var ids []int
+	for id := range bySubject {
+		ids = append(ids, id)
+	}
+	// sort for determinism
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	var splits []Split
+	for _, test := range ids {
+		var pool []Window
+		for _, id := range ids {
+			if id != test {
+				pool = append(pool, bySubject[id]...)
+			}
+		}
+		pool = append([]Window(nil), pool...)
+		Shuffle(pool, rng)
+		cut := len(pool) * 8 / 10
+		splits = append(splits, Split{
+			TestSubject: test,
+			Train:       pool[:cut],
+			Val:         pool[cut:],
+			Test:        append([]Window(nil), bySubject[test]...),
+		})
+	}
+	return splits
+}
+
+// FeatureVector extracts the Random-Forest feature set from Table III:
+// mean, std, min, max, variance for every channel (5 × channels values).
+func FeatureVector(w Window) []float64 {
+	nch := w.Data.Cols
+	out := make([]float64, 0, 5*nch)
+	for c := 0; c < nch; c++ {
+		var sum, sq float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for t := 0; t < w.Data.Rows; t++ {
+			v := w.Data.At(t, c)
+			sum += v
+			sq += v * v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		n := float64(w.Data.Rows)
+		mean := sum / n
+		variance := sq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		out = append(out, mean, math.Sqrt(variance), lo, hi, variance)
+	}
+	return out
+}
+
+// Build runs the full pipeline for a set of subjects: collect sessions,
+// preprocess, segment, normalise per subject, and balance. It returns windows
+// grouped by subject, ready for LOSO.
+func Build(subjectIDs []int, sessions int, proto Protocol, windowSize int, seed uint64) (map[int][]Window, error) {
+	rng := tensor.NewRNG(seed)
+	bySubject := make(map[int][]Window, len(subjectIDs))
+	for _, id := range subjectIDs {
+		subj := eeg.NewSubject(id)
+		var all []Window
+		for s := 0; s < sessions; s++ {
+			rec := Collect(subj, s, proto, seed+uint64(id)*101+uint64(s))
+			clean, err := Preprocess(rec)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := Segment(clean, DefaultSegment(windowSize))
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ws...)
+		}
+		Normalize(all, ComputeStats(all))
+		bySubject[id] = Balance(all, rng.Fork())
+	}
+	return bySubject, nil
+}

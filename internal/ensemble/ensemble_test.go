@@ -1,0 +1,115 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/tensor"
+)
+
+// fixedClf is a stub classifier returning constant probabilities.
+type fixedClf struct {
+	probs  []float64
+	params int
+	window int
+	name   string
+}
+
+func (f *fixedClf) Predict(x *tensor.Matrix) int     { return tensor.Argmax(f.probs) }
+func (f *fixedClf) Probs(x *tensor.Matrix) []float64 { return append([]float64(nil), f.probs...) }
+func (f *fixedClf) NumParams() int                   { return f.params }
+func (f *fixedClf) WindowSize() int                  { return f.window }
+func (f *fixedClf) Name() string                     { return f.name }
+
+func TestNewRequiresMembers(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("empty ensemble should error")
+	}
+}
+
+func TestSoftVotingAverages(t *testing.T) {
+	a := &fixedClf{probs: []float64{0.8, 0.1, 0.1}, params: 10, window: 4, name: "a"}
+	b := &fixedClf{probs: []float64{0.2, 0.7, 0.1}, params: 20, window: 4, name: "b"}
+	e, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(4, 2)
+	p := e.Probs(x)
+	want := []float64{0.5, 0.4, 0.1}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("probs %v want %v", p, want)
+		}
+	}
+	if e.Predict(x) != 0 {
+		t.Fatalf("predict %d", e.Predict(x))
+	}
+	if e.NumParams() != 30 {
+		t.Fatalf("params %d", e.NumParams())
+	}
+}
+
+func TestEnsembleOutvotesBadMember(t *testing.T) {
+	good1 := &fixedClf{probs: []float64{0.1, 0.8, 0.1}, window: 4, name: "g1"}
+	good2 := &fixedClf{probs: []float64{0.2, 0.6, 0.2}, window: 4, name: "g2"}
+	bad := &fixedClf{probs: []float64{0.6, 0.2, 0.2}, window: 4, name: "bad"}
+	e, _ := New(good1, good2, bad)
+	if e.Predict(tensor.New(4, 2)) != 1 {
+		t.Fatal("majority should win soft vote")
+	}
+}
+
+func TestWindowSizeIsMax(t *testing.T) {
+	a := &fixedClf{probs: []float64{1, 0}, window: 90, name: "a"}
+	b := &fixedClf{probs: []float64{1, 0}, window: 190, name: "b"}
+	e, _ := New(a, b)
+	if e.WindowSize() != 190 {
+		t.Fatalf("window %d", e.WindowSize())
+	}
+}
+
+func TestMemberInputSlicing(t *testing.T) {
+	x := tensor.New(6, 2)
+	for i := 0; i < 6; i++ {
+		x.Set(i, 0, float64(i))
+	}
+	v := memberInput(x, 3)
+	if v.Rows != 3 || v.At(0, 0) != 3 || v.At(2, 0) != 5 {
+		t.Fatalf("trailing slice wrong: %+v", v.Data)
+	}
+	if memberInput(x, 6) != x {
+		t.Fatal("exact size should return the same matrix")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short input should panic")
+		}
+	}()
+	memberInput(x, 10)
+}
+
+func TestCombinations(t *testing.T) {
+	pool := []models.Classifier{
+		&fixedClf{probs: []float64{1, 0}, window: 4, name: "a"},
+		&fixedClf{probs: []float64{1, 0}, window: 4, name: "b"},
+		&fixedClf{probs: []float64{1, 0}, window: 4, name: "c"},
+		&fixedClf{probs: []float64{1, 0}, window: 4, name: "d"},
+	}
+	combos := Combinations(pool)
+	// C(4,2)+C(4,3)+C(4,4) = 6+4+1 = 11
+	if len(combos) != 11 {
+		t.Fatalf("combinations %d want 11", len(combos))
+	}
+	names := map[string]bool{}
+	for _, e := range combos {
+		if len(e.Members) < 2 {
+			t.Fatal("singleton leaked into combinations")
+		}
+		if names[e.Name()] {
+			t.Fatalf("duplicate combination %s", e.Name())
+		}
+		names[e.Name()] = true
+	}
+}

@@ -1,0 +1,550 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each ExpN function runs the corresponding workload end-to-end
+// on the synthetic substrates and returns a printable result whose *shape*
+// (orderings, ratios, crossovers) is asserted against the paper in
+// EXPERIMENTS.md; cmd/benchtables and the root bench suite are thin callers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cognitivearm/internal/compress"
+	"cognitivearm/internal/dataset"
+	"cognitivearm/internal/edge"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/ensemble"
+	"cognitivearm/internal/evo"
+	"cognitivearm/internal/metrics"
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/signal"
+	"cognitivearm/internal/stream"
+	"cognitivearm/internal/tensor"
+)
+
+// Scale sizes an experiment run: Quick for tests/benches, Full for the
+// reproduction runs recorded in EXPERIMENTS.md.
+type Scale struct {
+	SubjectIDs     []int
+	SessionSeconds float64
+	Epochs         int
+	EvoPopulation  int
+	EvoGenerations int
+	Seed           uint64
+}
+
+// Quick returns the CI-sized scale.
+func Quick() Scale {
+	return Scale{SubjectIDs: []int{0, 1, 2}, SessionSeconds: 48, Epochs: 12,
+		EvoPopulation: 6, EvoGenerations: 2, Seed: 1}
+}
+
+// Full returns the reproduction scale used for EXPERIMENTS.md.
+func Full() Scale {
+	return Scale{SubjectIDs: []int{0, 1, 2, 3, 4}, SessionSeconds: 96, Epochs: 12,
+		EvoPopulation: 12, EvoGenerations: 4, Seed: 1}
+}
+
+// buildPooled constructs a pooled train/val split at the given window size.
+func buildPooled(sc Scale, window int) (train, val []dataset.Window, err error) {
+	bySubject, err := dataset.Build(sc.SubjectIDs, 1, dataset.ShortProtocol(sc.SessionSeconds), window, sc.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []dataset.Window
+	for _, id := range sc.SubjectIDs {
+		all = append(all, bySubject[id]...)
+	}
+	dataset.Shuffle(all, tensor.NewRNG(sc.Seed+3))
+	cut := len(all) * 8 / 10
+	return all[:cut], all[cut:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Table I — EMG vs EEG suitability (qualitative, from the paper).
+
+// TableIRow is one condition of Table I.
+type TableIRow struct {
+	Condition string
+	EMGImpact string
+	EEGCase   string
+}
+
+// TableI returns the paper's qualitative comparison verbatim.
+func TableI() []TableIRow {
+	return []TableIRow{
+		{"ALS", "Muscle atrophy limits residual EMG signals", "EEG-based BCI can interpret brain signals directly"},
+		{"Spinal Cord Injury", "Loss of voluntary muscle control below the injury", "EEG can bypass muscle control pathways"},
+		{"Brainstem Stroke", "Severe loss of motor control (locked-in syndrome)", "EEG can control assistive devices using brain signals"},
+		{"Multiple Sclerosis", "Muscle spasticity and weakness reduce EMG effectiveness", "EEG can offer more reliable control options"},
+		{"Muscular Dystrophies", "Progressive muscle degeneration limits EMG utility", "EEG allows control through brain signals"},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table II — comparison of brain-controlled prosthetic arms, with our row
+// measured from the pipeline.
+
+// TableIIRow is one system of Table II.
+type TableIIRow struct {
+	Solution string
+	Method   string
+	Accuracy string
+	Cost     string
+	Scope    string
+}
+
+// TableII returns the literature rows plus CognitiveArm's measured row.
+// measuredAcc should come from Headline().
+func TableII(measuredAcc float64) []TableIIRow {
+	rows := []TableIIRow{
+		{"Ali et al. [22]", "EEG-based", "Mod.", "Low", "Limited real-time use"},
+		{"Chinbat & Lin [23]", "EEG-based", "Mod.", "High", "Limited real-time use"},
+		{"Beyrouthy et al. [24]", "EEG-based", "Mod.", "High", "Power-intensive, limited use"},
+		{"Lonsdale et al. [25]", "EEG + sEMG", "High", "Mod.", "High resource demand"},
+		{"Zhang et al. [26]", "EEG + EoG", "80%", "Mod.", "Simple movements, user-dependent"},
+		{"Vilela & Hochberg [27]", "EEG-based", "High", "High", "Invasive solution"},
+		{"MindArm [28]", "EEG-based", "87.5%", "Low", "Affordable, modular"},
+		{"LIBRA NeuroLimb [29]", "EEG + sEMG", "High", "Low", "Designed for developing regions"},
+		{"BeBionic [30]", "sEMG-based", "High", "£30k", "More grips, fine motor control"},
+		{"LUKE Arm [31]", "sEMG-based", "High", "$50k+", "Powered joints, fine motor control"},
+		{"i-Limb [32]", "sEMG-based", "High", "$40-50k", "Multi-articulating, customizable"},
+		{"Michelangelo [33]", "sEMG-based", "High", "$50k+", "Advanced control, multiple grips"},
+		{"Shadow Hand [34]", "sEMG-based", "High", "$65k+", "High dexterity, advanced robotics"},
+	}
+	rows = append(rows, TableIIRow{
+		"CognitiveArm (this repro)", "EEG-based",
+		fmt.Sprintf("%.0f%%", 100*measuredAcc), "$500", "3 DoF, efficient implementation",
+	})
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Table III — the hyperparameter search space, printed from the evo package
+// so the table can never drift from the code.
+
+// TableIII renders the search space rows.
+func TableIII() string {
+	sp := evo.PaperSearchSpace()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s | %-28s | %-22s | %s\n", "Model", "Architecture axes", "Hyperparameters", "Optimizers")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 100))
+	fmt.Fprintf(&b, "%-12s | units %v, layers %v | window %v, dropout %v | %v\n",
+		"LSTM", sp.Hidden, sp.LSTMLayers, sp.WindowSizes, sp.Dropouts, []string{"Adam", "RMSProp"})
+	fmt.Fprintf(&b, "%-12s | conv layers %v, filters %v | kernels %v, strides %v, pool %v | %v\n",
+		"CNN", sp.ConvLayers, sp.Filters, sp.Kernels, sp.Strides, sp.Pools, []string{"Adam", "SGD"})
+	fmt.Fprintf(&b, "%-12s | trees %v | depth %v (0 = None), features mean/std/min/max/var | %s\n",
+		"RandomForest", sp.Trees, sp.MaxDepths, "N/A (non-gradient)")
+	fmt.Fprintf(&b, "%-12s | layers %v, heads %v | d_model %v, ff %v, dropout %v | %s\n",
+		"Transformer", sp.TFLayers, sp.Heads, sp.DModels, sp.FFDims, sp.Dropouts, "AdamW")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — LSL vs UDP.
+
+// Fig4Result carries both transports' metrics and scores.
+type Fig4Result struct {
+	LSL, UDP stream.TransportMetrics
+}
+
+// Fig4 runs the transport comparison at the paper's operating point.
+func Fig4(samples int, seed uint64) (Fig4Result, error) {
+	cfg := stream.DefaultComparisonConfig()
+	if samples > 0 {
+		cfg.Samples = samples
+	}
+	cfg.Link.Seed = seed
+	lsl, udp, err := stream.RunComparison(cfg)
+	return Fig4Result{LSL: lsl, UDP: udp}, err
+}
+
+// String renders the radar-chart axes as a table.
+func (r Fig4Result) String() string {
+	axes := []string{"latency", "sample_rate", "synchronization", "low_jitter", "reliability", "bandwidth_efficiency"}
+	ls, us := r.LSL.Scores(), r.UDP.Scores()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", r.LSL, r.UDP)
+	fmt.Fprintf(&b, "%-22s %6s %6s\n", "axis (0-10)", "LSL", "UDP")
+	for _, a := range axes {
+		fmt.Fprintf(&b, "%-22s %6.1f %6.1f\n", a, ls[a], us[a])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — raw vs filtered EEG.
+
+// Fig5Result reports band powers and SNR before/after preprocessing.
+type Fig5Result struct {
+	Bands       []signal.Band
+	RawPower    []float64
+	CleanPower  []float64
+	Line50Raw   float64
+	Line50Clean float64
+	SNRRaw      float64
+	SNRClean    float64
+}
+
+// Fig5 filters one channel of synthetic EEG and reports the spectra.
+func Fig5(seed uint64) Fig5Result {
+	gen := eeg.NewGenerator(eeg.NewSubject(0), seed)
+	seg := gen.Generate(eeg.Idle, int(8*eeg.SampleRate))
+	raw := seg[eeg.ChannelIndex("C3")]
+	pre, err := signal.NewEEGPreprocessor(eeg.SampleRate)
+	if err != nil {
+		panic(err) // design of fixed constants cannot fail
+	}
+	clean := pre.FilterOffline(raw)
+	res := Fig5Result{Bands: signal.StandardBands()}
+	for _, band := range res.Bands {
+		res.RawPower = append(res.RawPower, signal.BandPower(raw, eeg.SampleRate, band.LowHz, band.HighHz))
+		res.CleanPower = append(res.CleanPower, signal.BandPower(clean, eeg.SampleRate, band.LowHz, band.HighHz))
+	}
+	res.Line50Raw = signal.BandPower(raw, eeg.SampleRate, 48, 52)
+	res.Line50Clean = signal.BandPower(clean, eeg.SampleRate, 48, 52)
+	res.SNRRaw = signal.SNR(raw, eeg.SampleRate, 8, 13)
+	res.SNRClean = signal.SNR(clean, eeg.SampleRate, 8, 13)
+	return res
+}
+
+// String renders the band table.
+func (r Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %12s\n", "band", "raw µV²", "filtered µV²")
+	for i, band := range r.Bands {
+		fmt.Fprintf(&b, "%-8s %12.2f %12.2f\n", band.Name, r.RawPower[i], r.CleanPower[i])
+	}
+	fmt.Fprintf(&b, "%-8s %12.2f %12.2f\n", "50Hz", r.Line50Raw, r.Line50Clean)
+	fmt.Fprintf(&b, "alpha SNR: %.1f dB raw → %.1f dB filtered\n", r.SNRRaw, r.SNRClean)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8/9/10 — evolutionary search and Pareto fronts.
+
+// FamilySearch runs the per-family evolutionary search of Figure 8 and
+// returns the result (Figure 9 is the union of the fronts; Figure 10 is the
+// RF slice).
+func FamilySearch(sc Scale, fam models.Family) (*evo.Result, error) {
+	cfg := evo.DefaultConfig()
+	cfg.PopulationSize = sc.EvoPopulation
+	cfg.Generations = sc.EvoGenerations
+	cfg.Families = []models.Family{fam}
+	// Sequence models cost an order of magnitude more per epoch than the
+	// CNN/RF; halve their per-candidate budget so a search sweep stays
+	// proportionate (the paper pays this difference in GPU-hours instead).
+	epochs := sc.Epochs
+	if fam == models.FamilyLSTM || fam == models.FamilyTransformer {
+		epochs = maxIntExp(3, sc.Epochs/2)
+	}
+	cfg.Train = models.TrainOptions{Epochs: epochs, BatchSize: 32, Patience: 2}
+	cfg.Seed = sc.Seed + uint64(fam)*17
+	data := func(window int) ([]dataset.Window, []dataset.Window, error) {
+		return buildPooled(sc, window)
+	}
+	return evo.Search(cfg, data)
+}
+
+func maxIntExp(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FrontString renders a Pareto front for reporting.
+func FrontString(cands []evo.Candidate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %10s %8s\n", "model", "params", "val acc")
+	for _, c := range cands {
+		fmt.Fprintf(&b, "%-36s %10d %8.3f\n", c.Spec.ID(), c.Params, c.Accuracy)
+	}
+	return b.String()
+}
+
+// GlobalFront merges per-family populations into the Figure 9 front.
+func GlobalFront(results map[models.Family]*evo.Result) []evo.Candidate {
+	var all []evo.Candidate
+	for _, r := range results {
+		all = append(all, r.Population...)
+	}
+	return evo.ParetoFront(all)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — ensemble combinations.
+
+// Fig11Entry is one ensemble's measured point.
+type Fig11Entry struct {
+	Name         string
+	Accuracy     float64
+	InferenceSec float64
+	Params       int
+}
+
+// Fig11 trains scaled versions of the four paper models and evaluates every
+// ensemble combination's accuracy and modelled Jetson latency.
+func Fig11(sc Scale) ([]Fig11Entry, error) {
+	window := 100
+	train, val, err := buildPooled(sc, window)
+	if err != nil {
+		return nil, err
+	}
+	device := edge.JetsonOrinNano()
+	var pool []models.Classifier
+	macs := map[string]int64{}
+	for _, spec := range models.ScaledPaperSpecs() {
+		spec.WindowSize = window
+		clf, _, err := models.Train(spec, train, val, models.TrainOptions{
+			Epochs: sc.Epochs, BatchSize: 32, Patience: 3, Seed: sc.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, clf)
+		macs[clf.Name()] = models.OpsPerInference(spec)
+	}
+	var out []Fig11Entry
+	for _, ens := range ensemble.Combinations(pool) {
+		var totalMACs int64
+		for _, m := range ens.Members {
+			totalMACs += macs[m.Name()]
+		}
+		out = append(out, Fig11Entry{
+			Name:         ens.Name(),
+			Accuracy:     models.Accuracy(ens, val),
+			InferenceSec: device.Latency(edge.Workload{MACs: totalMACs}).Seconds(),
+			Params:       ens.NumParams(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Accuracy > out[j].Accuracy })
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — compression sweep.
+
+// Fig12Entry is one compression operating point.
+type Fig12Entry struct {
+	Name         string
+	Accuracy     float64
+	InferenceSec float64
+	Params       int
+	Sparsity     float64
+}
+
+// CompressionSpec returns the compression-study network: the paper prunes
+// its selected (heavily over-parameterized) ensemble; the equivalent here is
+// a wide GAP-CNN with ~10× the capacity the task needs, which is what gives
+// 70 % pruning its "nearly free" character.
+func CompressionSpec(window int) models.Spec {
+	return models.Spec{Family: models.FamilyCNN, WindowSize: window, Optimizer: "adam", LR: 2e-3,
+		Dropout: 0.2, ConvLayers: 1, Filters: 128, Kernel: 5, Stride: 2, Pool: "none"}
+}
+
+// Fig12 trains the compression CNN, sweeps the paper's pruning levels (with
+// the standard prune→fine-tune recipe) and both int8 calibration modes, and
+// reports accuracy vs modelled latency.
+func Fig12(sc Scale) ([]Fig12Entry, error) {
+	window := 100
+	train, val, err := buildPooled(sc, window)
+	if err != nil {
+		return nil, err
+	}
+	spec := CompressionSpec(window)
+	clf, _, err := models.Train(spec, train, val, models.TrainOptions{
+		Epochs: sc.Epochs + 4, BatchSize: 32, Patience: 5, Seed: sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nn := clf.(*models.NNClassifier)
+	device := edge.JetsonOrinNano()
+	macs := models.OpsPerInference(spec)
+	var out []Fig12Entry
+	for _, ratio := range compress.PaperPruneLevels() {
+		pruned, rep, err := compress.Prune(nn, ratio)
+		if err != nil {
+			return nil, err
+		}
+		if ratio > 0 {
+			compress.FineTunePruned(pruned, train, val, 10, sc.Seed+uint64(100*ratio))
+		}
+		out = append(out, Fig12Entry{
+			Name:         fmt.Sprintf("prune-%.0f%%", 100*ratio),
+			Accuracy:     models.Accuracy(pruned, val),
+			InferenceSec: device.Latency(edge.Workload{MACs: macs, Sparsity: rep.AchievedSparsity}).Seconds(),
+			Params:       pruned.NumParams(),
+			Sparsity:     rep.AchievedSparsity,
+		})
+	}
+	calib := val
+	if len(calib) > 20 {
+		calib = calib[:20]
+	}
+	for mode, name := range map[compress.QuantMode]string{
+		compress.PerTensor:   "int8-per-tensor",
+		compress.GlobalNaive: "int8-global-naive",
+	} {
+		q, err := compress.QuantizeWithActivations(nn, mode, calib)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig12Entry{
+			Name:         name,
+			Accuracy:     models.Accuracy(q, val),
+			InferenceSec: device.Latency(edge.Workload{MACs: macs, Precision: edge.INT8}).Seconds(),
+			Params:       q.NumParams(),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// §V headline: the selected models, their accuracy, and statistics.
+
+// HeadlineResult gathers the §V summary numbers.
+type HeadlineResult struct {
+	// PerModel maps spec ID → (pooled val accuracy, params).
+	PerModel map[string]evo.Candidate
+	// EnsembleAcc is the CNN+Transformer ensemble's pooled accuracy.
+	EnsembleAcc float64
+	// EnsembleLatencySec is the modelled Jetson latency of the paper-size
+	// ensemble (CNN + Transformer at full width).
+	EnsembleLatencySec float64
+	PrunedAcc          float64
+	PrunedLatencySec   float64
+	QuantAcc           float64
+	QuantLatencySec    float64
+	// LOSO statistics across held-out subjects for the ensemble.
+	LOSOMean, LOSOStd float64
+	CI91Lo, CI91Hi    float64
+	WallTime          time.Duration
+}
+
+// Headline reproduces the §V numbers at the given scale.
+func Headline(sc Scale) (*HeadlineResult, error) {
+	start := time.Now()
+	window := 100
+	train, val, err := buildPooled(sc, window)
+	if err != nil {
+		return nil, err
+	}
+	res := &HeadlineResult{PerModel: map[string]evo.Candidate{}}
+	opts := models.TrainOptions{Epochs: sc.Epochs, BatchSize: 32, Patience: 3, Seed: sc.Seed}
+
+	var members []models.Classifier
+	for _, spec := range models.ScaledPaperSpecs() {
+		spec.WindowSize = window
+		clf, r, err := models.Train(spec, train, val, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.PerModel[spec.ID()] = evo.Candidate{Spec: spec, Accuracy: r.ValAcc, Params: clf.NumParams(), Clf: clf}
+		if spec.Family == models.FamilyCNN || spec.Family == models.FamilyTransformer {
+			members = append(members, clf)
+		}
+	}
+	ens, err := ensemble.New(members...)
+	if err != nil {
+		return nil, err
+	}
+	res.EnsembleAcc = models.Accuracy(ens, val)
+
+	// Latency anchors use the PAPER-size CNN+Transformer MACs (the models the
+	// Jetson actually ran), per the edge-model calibration.
+	var paperMACs int64
+	for _, s := range models.PaperSpecs() {
+		if s.Family == models.FamilyCNN || s.Family == models.FamilyTransformer {
+			paperMACs += models.OpsPerInference(s)
+		}
+	}
+	device := edge.JetsonOrinNano()
+	res.EnsembleLatencySec = device.Latency(edge.Workload{MACs: paperMACs}).Seconds()
+	res.PrunedLatencySec = device.Latency(edge.Workload{MACs: paperMACs, Sparsity: 0.7}).Seconds()
+	res.QuantLatencySec = device.Latency(edge.Workload{MACs: paperMACs, Precision: edge.INT8}).Seconds()
+
+	// Compression accuracy on the wide compression CNN (prune → fine-tune,
+	// §III-E1; naive int8 with activation quantization, §III-E2).
+	cSpec := CompressionSpec(window)
+	cClf, _, err := models.Train(cSpec, train, val, models.TrainOptions{
+		Epochs: sc.Epochs + 4, BatchSize: 32, Patience: 5, Seed: sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cNN := cClf.(*models.NNClassifier)
+	pruned, _, err := compress.Prune(cNN, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	compress.FineTunePruned(pruned, train, val, 10, sc.Seed+70)
+	res.PrunedAcc = models.Accuracy(pruned, val)
+	calib := val
+	if len(calib) > 20 {
+		calib = calib[:20]
+	}
+	quant, err := compress.QuantizeWithActivations(cNN, compress.GlobalNaive, calib)
+	if err != nil {
+		return nil, err
+	}
+	res.QuantAcc = models.Accuracy(quant, val)
+
+	// LOSO cross-subject statistics (ensemble retrained per fold).
+	bySubject, err := dataset.Build(sc.SubjectIDs, 1, dataset.ShortProtocol(sc.SessionSeconds), window, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var accs []float64
+	for _, fold := range dataset.LOSO(bySubject, tensor.NewRNG(sc.Seed+5)) {
+		var foldMembers []models.Classifier
+		for _, spec := range models.ScaledPaperSpecs() {
+			if spec.Family != models.FamilyCNN && spec.Family != models.FamilyTransformer {
+				continue
+			}
+			spec.WindowSize = window
+			clf, _, err := models.Train(spec, fold.Train, fold.Val, opts)
+			if err != nil {
+				return nil, err
+			}
+			foldMembers = append(foldMembers, clf)
+		}
+		foldEns, err := ensemble.New(foldMembers...)
+		if err != nil {
+			return nil, err
+		}
+		accs = append(accs, models.Accuracy(foldEns, fold.Test))
+	}
+	res.LOSOMean = metrics.Mean(accs)
+	res.LOSOStd = metrics.SampleStd(accs)
+	res.CI91Lo, res.CI91Hi = metrics.ConfidenceInterval(accs, 0.91)
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// String renders the headline summary.
+func (r *HeadlineResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %10s %8s\n", "model", "params", "val acc")
+	var ids []string
+	for id := range r.PerModel {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		c := r.PerModel[id]
+		fmt.Fprintf(&b, "%-36s %10d %8.3f\n", id, c.Params, c.Accuracy)
+	}
+	fmt.Fprintf(&b, "CNN+Transformer ensemble: acc %.3f, modelled latency %.3f s (paper: 0.91, 0.075 s)\n",
+		r.EnsembleAcc, r.EnsembleLatencySec)
+	fmt.Fprintf(&b, "70%% pruned: acc %.3f, latency %.3f s (paper: 0.901, 0.071 s)\n",
+		r.PrunedAcc, r.PrunedLatencySec)
+	fmt.Fprintf(&b, "int8 naive: acc %.3f, latency %.3f s (paper: 0.385, 0.036 s)\n",
+		r.QuantAcc, r.QuantLatencySec)
+	fmt.Fprintf(&b, "LOSO: %.3f ± %.3f (91%% CI [%.3f, %.3f])\n", r.LOSOMean, r.LOSOStd, r.CI91Lo, r.CI91Hi)
+	fmt.Fprintf(&b, "wall time: %v\n", r.WallTime.Round(time.Millisecond))
+	return b.String()
+}

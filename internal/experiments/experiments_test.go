@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cognitivearm/internal/evo"
+	"cognitivearm/internal/models"
+)
+
+func TestTableIShape(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 5 {
+		t.Fatalf("Table I has %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Condition == "" || r.EMGImpact == "" || r.EEGCase == "" {
+			t.Fatalf("incomplete row %+v", r)
+		}
+	}
+}
+
+func TestTableIIIncludesOurRow(t *testing.T) {
+	rows := TableII(0.9)
+	last := rows[len(rows)-1]
+	if !strings.Contains(last.Solution, "CognitiveArm") {
+		t.Fatalf("last row %+v", last)
+	}
+	if last.Accuracy != "90%" {
+		t.Fatalf("measured accuracy formatted as %q", last.Accuracy)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("Table II rows %d", len(rows))
+	}
+}
+
+func TestTableIIIMentionsAllFamilies(t *testing.T) {
+	s := TableIII()
+	for _, fam := range []string{"LSTM", "CNN", "RandomForest", "Transformer"} {
+		if !strings.Contains(s, fam) {
+			t.Fatalf("Table III missing %s:\n%s", fam, s)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := Fig5(1)
+	// 50 Hz line must collapse by orders of magnitude.
+	if r.Line50Clean > r.Line50Raw/100 {
+		t.Fatalf("50 Hz power %v → %v; want ≥100× reduction", r.Line50Raw, r.Line50Clean)
+	}
+	// Alpha band must survive.
+	alphaIdx := 2
+	if r.Bands[alphaIdx].Name != "alpha" {
+		t.Fatal("band order changed")
+	}
+	if r.CleanPower[alphaIdx] < r.RawPower[alphaIdx]*0.3 {
+		t.Fatalf("alpha destroyed: %v → %v", r.RawPower[alphaIdx], r.CleanPower[alphaIdx])
+	}
+	if r.SNRClean <= r.SNRRaw {
+		t.Fatalf("SNR should improve: %v → %v", r.SNRRaw, r.SNRClean)
+	}
+	if !strings.Contains(r.String(), "alpha") {
+		t.Fatal("render missing bands")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	r, err := Fig4(150, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LSL.SyncErrorMs >= r.UDP.SyncErrorMs {
+		t.Fatalf("LSL sync %.2f ms should beat UDP %.2f ms", r.LSL.SyncErrorMs, r.UDP.SyncErrorMs)
+	}
+	if r.UDP.BandwidthEfficiency <= r.LSL.BandwidthEfficiency {
+		t.Fatal("UDP should win bandwidth efficiency")
+	}
+	if !strings.Contains(r.String(), "reliability") {
+		t.Fatal("render missing axes")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains four models")
+	}
+	sc := Quick()
+	entries, err := Fig11(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 11 {
+		t.Fatalf("ensemble combinations %d want 11", len(entries))
+	}
+	// Entries are accuracy-sorted; all latencies positive.
+	for i, e := range entries {
+		if e.InferenceSec <= 0 {
+			t.Fatalf("entry %d latency %v", i, e.InferenceSec)
+		}
+		if i > 0 && e.Accuracy > entries[i-1].Accuracy {
+			t.Fatal("entries not sorted by accuracy")
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the CNN")
+	}
+	sc := Quick()
+	entries, err := Fig12(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig12Entry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	dense := byName["prune-0%"]
+	p70 := byName["prune-70%"]
+	quant := byName["int8-global-naive"]
+	if dense.Accuracy < 0.6 {
+		t.Skipf("baseline too weak at quick scale: %v", dense.Accuracy)
+	}
+	// The Figure 12 shape: 70% pruning nearly free, naive int8 fast but
+	// destructive, and int8 latency is the lowest of all points.
+	if p70.Accuracy < dense.Accuracy-0.15 {
+		t.Fatalf("70%% pruning dropped too much: %v → %v", dense.Accuracy, p70.Accuracy)
+	}
+	if quant.InferenceSec >= p70.InferenceSec {
+		t.Fatal("int8 should be faster than pruned fp32")
+	}
+	if quant.Accuracy > dense.Accuracy {
+		t.Fatal("naive int8 should not beat the dense baseline")
+	}
+}
+
+func TestFamilySearchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evolutionary search")
+	}
+	sc := Quick()
+	sc.EvoPopulation, sc.EvoGenerations, sc.Epochs = 4, 1, 3
+	res, err := FamilySearch(sc, models.FamilyRF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	if !strings.Contains(FrontString(res.Front), "rf-") {
+		t.Fatal("front should contain RF specs")
+	}
+	global := GlobalFront(map[models.Family]*evo.Result{models.FamilyRF: res})
+	if len(global) == 0 {
+		t.Fatal("global front empty")
+	}
+}

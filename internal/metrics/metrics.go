@@ -1,0 +1,267 @@
+// Package metrics provides the statistical machinery of the paper's §V-A:
+// accuracy with confusion matrices, mean/stddev across subjects, paired
+// t-tests, confidence intervals, and the Pearson correlation coefficient
+// used to score ASR transcription quality (Fig. 7).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConfusionMatrix counts predictions: M[actual][predicted].
+type ConfusionMatrix struct {
+	Classes int
+	M       [][]int
+}
+
+// NewConfusionMatrix creates a k-class matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	m := make([][]int, k)
+	for i := range m {
+		m[i] = make([]int, k)
+	}
+	return &ConfusionMatrix{Classes: k, M: m}
+}
+
+// Add records one (actual, predicted) pair.
+func (c *ConfusionMatrix) Add(actual, predicted int) {
+	c.M[actual][predicted]++
+}
+
+// Accuracy returns the overall fraction correct.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	var correct, total int
+	for i := range c.M {
+		for j, n := range c.M[i] {
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PerClassRecall returns recall for every class (NaN-free: empty classes
+// report 0).
+func (c *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, c.Classes)
+	for i := range c.M {
+		var rowTotal int
+		for _, n := range c.M[i] {
+			rowTotal += n
+		}
+		if rowTotal > 0 {
+			out[i] = float64(c.M[i][i]) / float64(rowTotal)
+		}
+	}
+	return out
+}
+
+// String renders the matrix with row=actual, col=predicted.
+func (c *ConfusionMatrix) String() string {
+	s := "actual\\pred"
+	for j := 0; j < c.Classes; j++ {
+		s += fmt.Sprintf("\t%d", j)
+	}
+	s += "\n"
+	for i := range c.M {
+		s += fmt.Sprintf("%d", i)
+		for _, n := range c.M[i] {
+			s += fmt.Sprintf("\t%d", n)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// SampleStd returns the Bessel-corrected sample standard deviation.
+func SampleStd(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mu := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)-1))
+}
+
+// PairedTTest computes the paired t statistic and two-sided p-value for two
+// matched samples (e.g. two models' per-subject accuracies, §V-A). It
+// returns an error for fewer than two pairs or mismatched lengths.
+func PairedTTest(a, b []float64) (tstat, p float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, fmt.Errorf("metrics: paired samples differ in length (%d vs %d)", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, 0, fmt.Errorf("metrics: need at least 2 pairs, got %d", n)
+	}
+	diffs := make([]float64, n)
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	sd := SampleStd(diffs)
+	if sd == 0 {
+		if Mean(diffs) == 0 {
+			return 0, 1, nil
+		}
+		return math.Inf(1), 0, nil
+	}
+	tstat = Mean(diffs) / (sd / math.Sqrt(float64(n)))
+	p = 2 * (1 - studentTCDF(math.Abs(tstat), float64(n-1)))
+	return tstat, p, nil
+}
+
+// studentTCDF evaluates the Student-t CDF via the regularised incomplete
+// beta function.
+func studentTCDF(t, df float64) float64 {
+	x := df / (df + t*t)
+	ib := regIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - 0.5*ib
+	}
+	return 0.5 * ib
+}
+
+// regIncBeta computes the regularised incomplete beta I_x(a,b) using the
+// continued-fraction expansion (Numerical Recipes style).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b+lbeta) / a
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	// Lentz's algorithm for the continued fraction.
+	const eps = 1e-14
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= 300; i++ {
+		m := i / 2
+		var num float64
+		switch {
+		case i == 0:
+			num = 1
+		case i%2 == 0:
+			num = float64(m) * (b - float64(m)) * x / ((a + 2*float64(m) - 1) * (a + 2*float64(m)))
+		default:
+			num = -((a + float64(m)) * (a + b + float64(m)) * x) / ((a + 2*float64(m)) * (a + 2*float64(m) + 1))
+		}
+		d = 1 + num*d
+		if math.Abs(d) < 1e-30 {
+			d = 1e-30
+		}
+		d = 1 / d
+		c = 1 + num/c
+		if math.Abs(c) < 1e-30 {
+			c = 1e-30
+		}
+		f *= c * d
+		if math.Abs(1-c*d) < eps {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// ConfidenceInterval returns the mean ± half-width interval at the given
+// confidence level (e.g. 0.91 as in §V-A) using the normal approximation.
+func ConfidenceInterval(v []float64, level float64) (lo, hi float64) {
+	mu := Mean(v)
+	if len(v) < 2 {
+		return mu, mu
+	}
+	se := SampleStd(v) / math.Sqrt(float64(len(v)))
+	z := normQuantile(0.5 + level/2)
+	return mu - z*se, mu + z*se
+}
+
+// normQuantile is the standard normal inverse CDF (Acklam's approximation).
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// Pearson returns the Pearson correlation coefficient between two
+// equal-length samples — the PCC score of the ASR study (Fig. 7).
+func Pearson(a, b []float64) (float64, error) {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0, fmt.Errorf("metrics: pearson needs two equal samples of length >= 2")
+	}
+	ma, mb := Mean(a), Mean(b)
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0, fmt.Errorf("metrics: pearson undefined for constant input")
+	}
+	return num / math.Sqrt(da*db), nil
+}
+
+// VarianceReduction quantifies how much an ensemble's prediction variance
+// shrinks relative to the mean variance of its members (§V-A "variance
+// reduction was analyzed").
+func VarianceReduction(memberVars []float64, ensembleVar float64) float64 {
+	mv := Mean(memberVars)
+	if mv == 0 {
+		return 0
+	}
+	return 1 - ensembleVar/mv
+}

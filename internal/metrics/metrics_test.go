@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	// 8 correct, 2 wrong
+	for i := 0; i < 8; i++ {
+		cm.Add(i%3, i%3)
+	}
+	cm.Add(0, 1)
+	cm.Add(2, 0)
+	if got := cm.Accuracy(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("accuracy %v", got)
+	}
+	rec := cm.PerClassRecall()
+	if rec[0] != 3.0/4 {
+		t.Fatalf("class 0 recall %v", rec[0])
+	}
+	if !strings.Contains(cm.String(), "actual") {
+		t.Fatal("String should render header")
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	if NewConfusionMatrix(3).Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(v) != 5 {
+		t.Fatalf("mean %v", Mean(v))
+	}
+	// sample std uses n-1
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(SampleStd(v)-want) > 1e-12 {
+		t.Fatalf("std %v want %v", SampleStd(v), want)
+	}
+	if SampleStd([]float64{1}) != 0 {
+		t.Fatal("single-element std should be 0")
+	}
+}
+
+func TestPairedTTestIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	tstat, p, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tstat != 0 || p != 1 {
+		t.Fatalf("identical samples: t=%v p=%v", tstat, p)
+	}
+}
+
+func TestPairedTTestClearDifference(t *testing.T) {
+	a := []float64{0.90, 0.91, 0.89, 0.92, 0.90}
+	b := []float64{0.60, 0.62, 0.58, 0.61, 0.59}
+	tstat, p, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tstat < 10 {
+		t.Fatalf("t statistic %v too small for this separation", tstat)
+	}
+	if p > 0.01 {
+		t.Fatalf("p-value %v should be significant", p)
+	}
+}
+
+func TestPairedTTestKnownValue(t *testing.T) {
+	// diffs = [1,2,3]: mean 2, sd 1, t = 2/(1/sqrt(3)) = 3.4641
+	a := []float64{2, 4, 6}
+	b := []float64{1, 2, 3}
+	tstat, p, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tstat-3.4641016) > 1e-5 {
+		t.Fatalf("t=%v want 3.4641", tstat)
+	}
+	// two-sided p for t=3.464, df=2 is ~0.0742
+	if math.Abs(p-0.0742) > 0.005 {
+		t.Fatalf("p=%v want ~0.0742", p)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, _, err := PairedTTest([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single pair should error")
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	v := []float64{0.9, 0.88, 0.92, 0.91, 0.89}
+	lo, hi := ConfidenceInterval(v, 0.91)
+	mu := Mean(v)
+	if lo >= mu || hi <= mu {
+		t.Fatalf("interval [%v,%v] should straddle mean %v", lo, hi, mu)
+	}
+	lo95, hi95 := ConfidenceInterval(v, 0.95)
+	if hi95-lo95 <= hi-lo {
+		t.Fatal("95% interval should be wider than 91%")
+	}
+	l, h := ConfidenceInterval([]float64{5}, 0.95)
+	if l != 5 || h != 5 {
+		t.Fatal("single sample interval should collapse")
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := map[float64]float64{0.5: 0, 0.975: 1.959964, 0.025: -1.959964, 0.95: 1.644854}
+	for p, want := range cases {
+		if got := normQuantile(p); math.Abs(got-want) > 1e-4 {
+			t.Fatalf("quantile(%v)=%v want %v", p, got, want)
+		}
+	}
+}
+
+func TestStudentTCDFSanity(t *testing.T) {
+	if got := studentTCDF(0, 5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("CDF(0)=%v", got)
+	}
+	// t=2.015, df=5 → 0.95 (one-sided critical value)
+	if got := studentTCDF(2.015, 5); math.Abs(got-0.95) > 0.002 {
+		t.Fatalf("CDF(2.015, df=5)=%v want ~0.95", got)
+	}
+	if studentTCDF(10, 5) < 0.999 {
+		t.Fatal("extreme t should be ~1")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(a, b)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect correlation: r=%v err=%v", r, err)
+	}
+	c := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(a, c)
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation: r=%v", r)
+	}
+	if _, err := Pearson(a, []float64{1, 1, 1, 1, 1}); err == nil {
+		t.Fatal("constant input should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("short input should error")
+	}
+}
+
+func TestVarianceReduction(t *testing.T) {
+	if got := VarianceReduction([]float64{1, 1, 1}, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("reduction %v", got)
+	}
+	if VarianceReduction([]float64{0, 0}, 0) != 0 {
+		t.Fatal("degenerate case should be 0")
+	}
+}

@@ -1,0 +1,61 @@
+package models
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"cognitivearm/internal/nn"
+)
+
+// savedModel is the on-disk representation of an NN classifier: the spec
+// (from which the architecture is rebuilt) plus the flat weight tensors in
+// parameter order.
+type savedModel struct {
+	Spec    Spec
+	Weights [][]float64
+}
+
+// SaveNN writes an NN classifier to w in gob format. Random forests are not
+// serialised (they retrain in seconds and their node layout is an internal
+// detail); callers should persist the spec and retrain.
+func SaveNN(w io.Writer, c *NNClassifier) error {
+	sm := savedModel{Spec: c.Spec}
+	for _, p := range c.Net.Params() {
+		sm.Weights = append(sm.Weights, append([]float64(nil), p.W.Data...))
+	}
+	if err := gob.NewEncoder(w).Encode(sm); err != nil {
+		return fmt.Errorf("models: save: %w", err)
+	}
+	return nil
+}
+
+// LoadNN reads a classifier saved by SaveNN, rebuilding the architecture
+// from the stored spec and restoring the weights.
+func LoadNN(r io.Reader) (*NNClassifier, error) {
+	var sm savedModel
+	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, fmt.Errorf("models: load: %w", err)
+	}
+	net, err := BuildNet(sm.Spec, 0)
+	if err != nil {
+		return nil, fmt.Errorf("models: load: rebuild: %w", err)
+	}
+	params := net.Params()
+	if len(params) != len(sm.Weights) {
+		return nil, fmt.Errorf("models: load: parameter count mismatch (%d stored, %d rebuilt)",
+			len(sm.Weights), len(params))
+	}
+	for i, p := range params {
+		if len(p.W.Data) != len(sm.Weights[i]) {
+			return nil, fmt.Errorf("models: load: parameter %d size mismatch (%d stored, %d rebuilt)",
+				i, len(sm.Weights[i]), len(p.W.Data))
+		}
+		copy(p.W.Data, sm.Weights[i])
+	}
+	return &NNClassifier{Net: net, Spec: sm.Spec}, nil
+}
+
+// ensure nn is referenced for documentation clarity (Params ordering is the
+// contract both sides rely on).
+var _ = func() *nn.Network { return nil }

@@ -1,0 +1,78 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	train, val := smallData(t, 50)
+	spec := Spec{Family: FamilyCNN, WindowSize: 50, Optimizer: "adam", LR: 2e-3,
+		Dropout: 0.1, ConvLayers: 1, Filters: 8, Kernel: 5, Stride: 2, Pool: "none"}
+	clf, _, err := Train(spec, train, val, TrainOptions{Epochs: 3, BatchSize: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := clf.(*NNClassifier)
+
+	var buf bytes.Buffer
+	if err := SaveNN(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNN(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Spec != orig.Spec {
+		t.Fatalf("spec mangled: %+v vs %+v", loaded.Spec, orig.Spec)
+	}
+	if loaded.NumParams() != orig.NumParams() {
+		t.Fatal("parameter count changed")
+	}
+	// Identical predictions on every validation window.
+	for _, w := range val {
+		if orig.Predict(w.Data) != loaded.Predict(w.Data) {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+	// And bit-identical probabilities.
+	p1, p2 := orig.Probs(val[0].Data), loaded.Probs(val[0].Data)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("probabilities differ: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := LoadNN(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage input should error")
+	}
+}
+
+func TestSaveLoadAllNNFamilies(t *testing.T) {
+	train, val := smallData(t, 50)
+	specs := []Spec{
+		{Family: FamilyLSTM, WindowSize: 50, Optimizer: "adam", LR: 3e-3, Dropout: 0.1, LSTMLayers: 1, Hidden: 8},
+		{Family: FamilyTransformer, WindowSize: 50, Optimizer: "adamw", LR: 1e-3, Dropout: 0.1, TFLayers: 1, Heads: 2, DModel: 8, FFDim: 16},
+	}
+	for _, spec := range specs {
+		clf, _, err := Train(spec, train, val, TrainOptions{Epochs: 1, BatchSize: 32, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := SaveNN(&buf, clf.(*NNClassifier)); err != nil {
+			t.Fatalf("%s: %v", spec.ID(), err)
+		}
+		loaded, err := LoadNN(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID(), err)
+		}
+		for _, w := range val[:3] {
+			if clf.Predict(w.Data) != loaded.Predict(w.Data) {
+				t.Fatalf("%s: divergent predictions after round trip", spec.ID())
+			}
+		}
+	}
+}

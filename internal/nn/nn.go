@@ -1,0 +1,128 @@
+// Package nn is the from-scratch deep-learning framework CognitiveArm's
+// classifiers are built on. It provides the layers the paper's search space
+// needs (Dense, Conv1D, pooling, LSTM, multi-head attention with LayerNorm,
+// dropout), softmax cross-entropy, and the four optimizers of Table III
+// (SGD, RMSProp, Adam, AdamW). Everything operates on float64 matrices from
+// internal/tensor; examples are processed one at a time with gradient
+// accumulation across a mini-batch, which keeps every layer's code
+// two-dimensional and auditable.
+package nn
+
+import (
+	"fmt"
+
+	"cognitivearm/internal/tensor"
+)
+
+// Param is one learnable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Matrix
+	Grad *tensor.Matrix
+}
+
+// newParam allocates a parameter and its gradient of the same shape.
+func newParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: tensor.New(rows, cols), Grad: tensor.New(rows, cols)}
+}
+
+// Size returns the number of scalar weights.
+func (p *Param) Size() int { return len(p.W.Data) }
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable stage. Forward consumes the previous
+// activation; Backward consumes dL/d(output) and returns dL/d(input),
+// accumulating parameter gradients internally. Layers are stateful between
+// Forward and Backward (they cache what they need), so a Network must not be
+// shared across goroutines during training.
+type Layer interface {
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	Backward(gradOut *tensor.Matrix) *tensor.Matrix
+	Params() []*Param
+	Name() string
+}
+
+// Network is a simple sequential container.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a sequential network.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs all layers.
+func (n *Network) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through all layers in reverse.
+func (n *Network) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params collects every learnable parameter.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total scalar parameter count — the paper's model-size
+// objective P(m) in the evolutionary search.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Size()
+	}
+	return total
+}
+
+// ZeroGrad clears all gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Predict runs inference and returns the class index of the single output
+// row. The final layer must produce a 1×K logit row.
+func (n *Network) Predict(x *tensor.Matrix) int {
+	out := n.Forward(x, false)
+	return tensor.Argmax(out.Row(0))
+}
+
+// Logits runs inference and returns a copy of the raw 1×K output.
+func (n *Network) Logits(x *tensor.Matrix) []float64 {
+	out := n.Forward(x, false)
+	return append([]float64(nil), out.Row(0)...)
+}
+
+// Probs runs inference and returns softmax class probabilities.
+func (n *Network) Probs(x *tensor.Matrix) []float64 {
+	logits := n.Logits(x)
+	probs := make([]float64, len(logits))
+	tensor.Softmax(probs, logits)
+	return probs
+}
+
+// String summarises the architecture.
+func (n *Network) String() string {
+	s := "Network["
+	for i, l := range n.Layers {
+		if i > 0 {
+			s += " → "
+		}
+		s += l.Name()
+	}
+	return s + fmt.Sprintf("] (%d params)", n.NumParams())
+}

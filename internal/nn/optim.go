@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param][]float64
+}
+
+// NewSGD creates the optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := o.vel[p]
+		if !ok {
+			v = make([]float64, p.Size())
+			o.vel[p] = v
+		}
+		for i := range p.W.Data {
+			v[i] = o.Momentum*v[i] - o.LR*p.Grad.Data[i]
+			p.W.Data[i] += v[i]
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return fmt.Sprintf("SGD(lr=%g,m=%g)", o.LR, o.Momentum) }
+
+// RMSProp divides the step by a running RMS of gradients.
+type RMSProp struct {
+	LR, Decay, Eps float64
+	sq             map[*Param][]float64
+}
+
+// NewRMSProp creates the optimizer with the conventional decay of 0.9.
+func NewRMSProp(lr float64) *RMSProp {
+	return &RMSProp{LR: lr, Decay: 0.9, Eps: 1e-8, sq: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (o *RMSProp) Step(params []*Param) {
+	for _, p := range params {
+		s, ok := o.sq[p]
+		if !ok {
+			s = make([]float64, p.Size())
+			o.sq[p] = s
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			s[i] = o.Decay*s[i] + (1-o.Decay)*g*g
+			p.W.Data[i] -= o.LR * g / (math.Sqrt(s[i]) + o.Eps)
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (o *RMSProp) Name() string { return fmt.Sprintf("RMSProp(lr=%g)", o.LR) }
+
+// Adam is the Adam optimizer; WeightDecay > 0 turns it into AdamW (decoupled
+// decay, the Table III transformer setting).
+type Adam struct {
+	LR, Beta1, Beta2, Eps, WeightDecay float64
+	t                                  int
+	m, v                               map[*Param][]float64
+}
+
+// NewAdam creates Adam with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param][]float64{}, v: map[*Param][]float64{}}
+}
+
+// NewAdamW creates AdamW with the given decoupled weight decay.
+func NewAdamW(lr, weightDecay float64) *Adam {
+	a := NewAdam(lr)
+	a.WeightDecay = weightDecay
+	return a
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float64, p.Size())
+			o.m[p] = m
+		}
+		v, ok := o.v[p]
+		if !ok {
+			v = make([]float64, p.Size())
+			o.v[p] = v
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			upd := o.LR * mh / (math.Sqrt(vh) + o.Eps)
+			if o.WeightDecay > 0 {
+				upd += o.LR * o.WeightDecay * p.W.Data[i]
+			}
+			p.W.Data[i] -= upd
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string {
+	if o.WeightDecay > 0 {
+		return fmt.Sprintf("AdamW(lr=%g,wd=%g)", o.LR, o.WeightDecay)
+	}
+	return fmt.Sprintf("Adam(lr=%g)", o.LR)
+}
+
+// NewOptimizer constructs an optimizer by the names used in Table III.
+func NewOptimizer(name string, lr float64) (Optimizer, error) {
+	switch name {
+	case "sgd":
+		return NewSGD(lr, 0.9), nil
+	case "rmsprop":
+		return NewRMSProp(lr), nil
+	case "adam":
+		return NewAdam(lr), nil
+	case "adamw":
+		return NewAdamW(lr, 1e-4), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown optimizer %q", name)
+	}
+}

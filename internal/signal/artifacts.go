@@ -1,0 +1,198 @@
+package signal
+
+import "math"
+
+// ArtifactReport summarises what the artifact-removal pass found and fixed in
+// one channel, mirroring BrainFlow's signal-cleaning utilities the paper
+// relies on (§III-A3).
+type ArtifactReport struct {
+	BlinksRepaired int // high-amplitude low-frequency excursions (eye blinks)
+	SamplesClamped int // isolated spikes clamped to the local envelope
+	DriftRemoved   bool
+}
+
+// ArtifactCleaner removes the common EEG artifacts the paper lists: eye
+// blinks (large slow deflections), muscle/motion spikes, and slow electrode
+// drift. Thresholds are expressed in multiples of the channel's robust
+// standard deviation so the cleaner adapts to per-subject amplitude.
+type ArtifactCleaner struct {
+	// BlinkSigma is the detection threshold for blink-like excursions, in
+	// robust standard deviations (default 4).
+	BlinkSigma float64
+	// SpikeSigma is the clamping threshold for isolated spikes (default 6).
+	SpikeSigma float64
+	// DriftWindow is the moving-average window (samples) subtracted to remove
+	// drift; 0 disables drift removal.
+	DriftWindow int
+}
+
+// NewArtifactCleaner returns a cleaner with the defaults used throughout the
+// pipeline (tuned for 125 Hz EEG).
+func NewArtifactCleaner() *ArtifactCleaner {
+	return &ArtifactCleaner{BlinkSigma: 4, SpikeSigma: 6, DriftWindow: 125}
+}
+
+// Clean repairs artifacts in x, returning a new slice and a report. The input
+// is not modified.
+func (a *ArtifactCleaner) Clean(x []float64) ([]float64, ArtifactReport) {
+	out := make([]float64, len(x))
+	copy(out, x)
+	var rep ArtifactReport
+	if len(x) == 0 {
+		return out, rep
+	}
+	if a.DriftWindow > 1 {
+		removeDrift(out, a.DriftWindow)
+		rep.DriftRemoved = true
+	}
+	med, rstd := robustStats(out)
+	if rstd == 0 {
+		return out, rep
+	}
+	// Blink repair: find contiguous runs exceeding BlinkSigma and linearly
+	// interpolate across them.
+	thr := a.BlinkSigma * rstd
+	i := 0
+	for i < len(out) {
+		if math.Abs(out[i]-med) <= thr {
+			i++
+			continue
+		}
+		j := i
+		for j < len(out) && math.Abs(out[j]-med) > thr {
+			j++
+		}
+		// Runs longer than ~40 ms are blink-like; interpolate them.
+		if j-i >= 3 {
+			left := med
+			if i > 0 {
+				left = out[i-1]
+			}
+			right := med
+			if j < len(out) {
+				right = out[j]
+			}
+			for k := i; k < j; k++ {
+				t := float64(k-i+1) / float64(j-i+1)
+				out[k] = left + t*(right-left)
+			}
+			rep.BlinksRepaired++
+		}
+		i = j
+	}
+	// Spike clamp: isolated samples beyond SpikeSigma.
+	clamp := a.SpikeSigma * rstd
+	for k := range out {
+		d := out[k] - med
+		if d > clamp {
+			out[k] = med + clamp
+			rep.SamplesClamped++
+		} else if d < -clamp {
+			out[k] = med - clamp
+			rep.SamplesClamped++
+		}
+	}
+	return out, rep
+}
+
+// removeDrift subtracts a centred moving average of the given window from x
+// in place.
+func removeDrift(x []float64, window int) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	half := window / 2
+	prefix := make([]float64, n+1)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v
+	}
+	base := make([]float64, n)
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= n {
+			hi = n - 1
+		}
+		base[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+	}
+	for i := range x {
+		x[i] -= base[i]
+	}
+}
+
+// robustStats returns the median and a robust standard deviation estimate
+// (1.4826 × median absolute deviation).
+func robustStats(x []float64) (median, rstd float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	median = quickMedian(append([]float64(nil), x...))
+	dev := make([]float64, len(x))
+	for i, v := range x {
+		dev[i] = math.Abs(v - median)
+	}
+	rstd = 1.4826 * quickMedian(dev)
+	return median, rstd
+}
+
+// quickMedian selects the median in expected O(n) via quickselect. It
+// modifies its argument.
+func quickMedian(v []float64) float64 {
+	n := len(v)
+	if n == 0 {
+		return 0
+	}
+	k := n / 2
+	lo, hi := 0, n-1
+	for lo < hi {
+		p := partition(v, lo, hi)
+		switch {
+		case p == k:
+			lo, hi = k, k
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	if n%2 == 1 {
+		return v[k]
+	}
+	// even length: average with the max of the lower half
+	maxLower := v[0]
+	for i := 1; i < k; i++ {
+		if v[i] > maxLower {
+			maxLower = v[i]
+		}
+	}
+	return (v[k] + maxLower) / 2
+}
+
+func partition(v []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// median-of-three pivot to dodge adversarial orderings
+	if v[mid] < v[lo] {
+		v[mid], v[lo] = v[lo], v[mid]
+	}
+	if v[hi] < v[lo] {
+		v[hi], v[lo] = v[lo], v[hi]
+	}
+	if v[hi] < v[mid] {
+		v[hi], v[mid] = v[mid], v[hi]
+	}
+	pivot := v[mid]
+	v[mid], v[hi] = v[hi], v[mid]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if v[j] < pivot {
+			v[i], v[j] = v[j], v[i]
+			i++
+		}
+	}
+	v[i], v[hi] = v[hi], v[i]
+	return i
+}

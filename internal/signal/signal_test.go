@@ -1,0 +1,411 @@
+package signal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const fs = 125.0
+
+func sine(freq, fsHz float64, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freq * float64(i) / fsHz)
+	}
+	return x
+}
+
+func TestButterworthDesignValid(t *testing.T) {
+	c, err := Butterworth(9, 0.5, 45, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Order(); got != 18 {
+		t.Fatalf("band-pass order = %d, want 18 (2×9)", got)
+	}
+	if !c.Stable() {
+		t.Fatal("design must be stable")
+	}
+}
+
+func TestButterworthGainShape(t *testing.T) {
+	c, err := Butterworth(9, 0.5, 45, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unity-ish in the passband centre.
+	fc := math.Sqrt(0.5 * 45)
+	if g := c.GainAt(fc, fs); math.Abs(g-1) > 1e-6 {
+		t.Fatalf("centre gain = %v, want 1", g)
+	}
+	if g := c.GainAt(10, fs); g < 0.9 {
+		t.Fatalf("alpha-band gain = %v, want near 1", g)
+	}
+	if g := c.GainAt(55, fs); g > 0.05 {
+		t.Fatalf("stop-band gain at 55 Hz = %v, want tiny", g)
+	}
+	if g := c.GainAt(0.05, fs); g > 0.05 {
+		t.Fatalf("drift gain at 0.05 Hz = %v, want tiny", g)
+	}
+	// Monotone-ish rolloff beyond the edge.
+	if c.GainAt(50, fs) > c.GainAt(46, fs)+1e-9 {
+		t.Fatal("gain should roll off past the upper edge")
+	}
+}
+
+func TestButterworthBadArgs(t *testing.T) {
+	cases := []struct {
+		n      int
+		lo, hi float64
+	}{
+		{0, 1, 40}, {-1, 1, 40}, {4, 0, 40}, {4, 50, 40}, {4, 1, 70}, {4, 40, 40},
+	}
+	for _, c := range cases {
+		if _, err := Butterworth(c.n, c.lo, c.hi, fs); err == nil {
+			t.Fatalf("expected error for n=%d band=[%g,%g]", c.n, c.lo, c.hi)
+		}
+	}
+}
+
+func TestButterworthStableAcrossOrders(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 1 + int(raw)%12
+		c, err := Butterworth(n, 0.5, 45, fs)
+		return err == nil && c.Stable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotchKillsTargetOnly(t *testing.T) {
+	c, err := Notch(50, 30, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := c.GainAt(50, fs); g > 1e-6 {
+		t.Fatalf("notch gain at 50 Hz = %v, want ~0", g)
+	}
+	if g := c.GainAt(45, fs); g < 0.8 {
+		t.Fatalf("gain at 45 Hz = %v, want near 1 (narrow notch)", g)
+	}
+	if g := c.GainAt(10, fs); g < 0.99 {
+		t.Fatalf("gain at 10 Hz = %v, want ≈1", g)
+	}
+}
+
+func TestNotchBadArgs(t *testing.T) {
+	if _, err := Notch(0, 30, fs); err == nil {
+		t.Fatal("freq 0 must error")
+	}
+	if _, err := Notch(70, 30, fs); err == nil {
+		t.Fatal("freq above Nyquist must error")
+	}
+	if _, err := Notch(50, 0, fs); err == nil {
+		t.Fatal("Q 0 must error")
+	}
+}
+
+func TestFilterRemovesPowerline(t *testing.T) {
+	n := 1024
+	clean := sine(10, fs, n)
+	noisy := make([]float64, n)
+	line := sine(50, fs, n)
+	for i := range noisy {
+		noisy[i] = clean[i] + 2*line[i]
+	}
+	pre, err := NewEEGPreprocessor(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pre.FilterOffline(noisy)
+	before := BandPower(noisy, fs, 48, 52)
+	after := BandPower(out, fs, 48, 52)
+	if after > before/100 {
+		t.Fatalf("50 Hz power only reduced from %v to %v", before, after)
+	}
+	// Alpha content survives.
+	alphaIn := BandPower(noisy, fs, 8, 12)
+	alphaOut := BandPower(out, fs, 8, 12)
+	if alphaOut < alphaIn*0.5 {
+		t.Fatalf("alpha power destroyed: %v -> %v", alphaIn, alphaOut)
+	}
+}
+
+func TestStreamingMatchesBatchFilter(t *testing.T) {
+	c, err := Butterworth(4, 1, 40, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sine(10, fs, 200)
+	batch := c.Filter(x)
+	c.Reset()
+	for i, v := range x {
+		if got := c.Process(v); math.Abs(got-batch[i]) > 1e-12 {
+			t.Fatalf("sample %d: streaming %v vs batch %v", i, got, batch[i])
+		}
+	}
+}
+
+func TestFiltFiltZeroPhase(t *testing.T) {
+	c, err := Butterworth(4, 1, 40, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sine(10, fs, 512)
+	y := c.FiltFilt(x)
+	if len(y) != len(x) {
+		t.Fatalf("length changed: %d vs %d", len(y), len(x))
+	}
+	// Zero-phase: cross-correlation peak at zero lag.
+	bestLag, bestCorr := 0, math.Inf(-1)
+	for lag := -5; lag <= 5; lag++ {
+		var c float64
+		for i := 100; i < 400; i++ {
+			c += x[i] * y[i+lag]
+		}
+		if c > bestCorr {
+			bestCorr, bestLag = c, lag
+		}
+	}
+	if bestLag != 0 {
+		t.Fatalf("FiltFilt introduced %d samples of lag", bestLag)
+	}
+}
+
+func TestFiltFiltEmptyAndShort(t *testing.T) {
+	c, _ := Butterworth(2, 1, 40, fs)
+	if out := c.FiltFilt(nil); out != nil {
+		t.Fatal("nil input should give nil output")
+	}
+	out := c.FiltFilt([]float64{1, 2, 3})
+	if len(out) != 3 {
+		t.Fatalf("short input length mangled: %d", len(out))
+	}
+}
+
+func TestBiquadStability(t *testing.T) {
+	stable := Biquad{B0: 1, A1: -1.6, A2: 0.8}
+	if !stable.Stable() {
+		t.Fatal("known-stable biquad reported unstable")
+	}
+	unstable := Biquad{B0: 1, A1: 0, A2: 1.2}
+	if unstable.Stable() {
+		t.Fatal("pole outside unit circle reported stable")
+	}
+}
+
+func TestFFTKnownSpike(t *testing.T) {
+	n := 64
+	x := make([]complex128, n)
+	freq := 8
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*float64(freq)*float64(i)/float64(n)), 0)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= n/2; k++ {
+		mag := math.Hypot(real(x[k]), imag(x[k]))
+		if k == freq {
+			if math.Abs(mag-float64(n)/2) > 1e-9 {
+				t.Fatalf("bin %d magnitude %v, want %v", k, mag, float64(n)/2)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("leakage at bin %d: %v", k, mag)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rngState := seed | 1
+		next := func() float64 {
+			rngState ^= rngState << 13
+			rngState ^= rngState >> 7
+			rngState ^= rngState << 17
+			return float64(int64(rngState))/float64(1<<62) - 0
+		}
+		x := make([]complex128, 128)
+		orig := make([]complex128, 128)
+		for i := range x {
+			x[i] = complex(next(), 0)
+			orig[i] = x[i]
+		}
+		if FFT(x) != nil {
+			return false
+		}
+		if IFFT(x) != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(real(x[i])-real(orig[i])) > 1e-6*(1+math.Abs(real(orig[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTNonPow2Errors(t *testing.T) {
+	if err := FFT(make([]complex128, 12)); err == nil {
+		t.Fatal("expected error for non-power-of-two length")
+	}
+	if err := FFT(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestPSDPeakLocation(t *testing.T) {
+	x := sine(20, fs, 512)
+	freqs, power := PSD(x, fs)
+	best := 0
+	for k := range power {
+		if power[k] > power[best] {
+			best = k
+		}
+	}
+	if math.Abs(freqs[best]-20) > 1 {
+		t.Fatalf("PSD peak at %v Hz, want ~20", freqs[best])
+	}
+}
+
+func TestBandPowerPartition(t *testing.T) {
+	x := sine(10, fs, 1024)
+	alpha := BandPower(x, fs, 8, 13)
+	beta := BandPower(x, fs, 13, 30)
+	if alpha < 10*beta {
+		t.Fatalf("10 Hz tone: alpha %v should dominate beta %v", alpha, beta)
+	}
+}
+
+func TestSNRImprovesWithFiltering(t *testing.T) {
+	n := 1024
+	x := make([]float64, n)
+	alpha := sine(10, fs, n)
+	line := sine(50, fs, n)
+	for i := range x {
+		x[i] = alpha[i] + 3*line[i]
+	}
+	pre, _ := NewEEGPreprocessor(fs)
+	y := pre.FilterOffline(x)
+	if SNR(y, fs, 8, 13) <= SNR(x, fs, 8, 13) {
+		t.Fatalf("filtering should improve alpha SNR: before %v after %v",
+			SNR(x, fs, 8, 13), SNR(y, fs, 8, 13))
+	}
+}
+
+func TestStandardBandsCoverPassband(t *testing.T) {
+	bands := StandardBands()
+	if bands[0].LowHz != 0.5 || bands[len(bands)-1].HighHz != 45 {
+		t.Fatalf("bands should span the 0.5–45 Hz passband: %+v", bands)
+	}
+	for i := 1; i < len(bands); i++ {
+		if bands[i].LowHz != bands[i-1].HighHz {
+			t.Fatalf("bands must tile contiguously: %+v", bands)
+		}
+	}
+}
+
+func TestArtifactCleanerRepairsBlink(t *testing.T) {
+	n := 500
+	x := sine(10, fs, n)
+	// Inject a blink: large slow bump over 30 samples.
+	for i := 200; i < 230; i++ {
+		x[i] += 40
+	}
+	cl := NewArtifactCleaner()
+	cl.DriftWindow = 0 // isolate the blink logic
+	y, rep := cl.Clean(x)
+	if rep.BlinksRepaired == 0 {
+		t.Fatal("blink not detected")
+	}
+	for i := 205; i < 225; i++ {
+		if math.Abs(y[i]) > 10 {
+			t.Fatalf("blink not repaired at %d: %v", i, y[i])
+		}
+	}
+}
+
+func TestArtifactCleanerRemovesDrift(t *testing.T) {
+	n := 1000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.5*math.Sin(2*math.Pi*10*float64(i)/fs) + 0.02*float64(i)
+	}
+	cl := NewArtifactCleaner()
+	y, rep := cl.Clean(x)
+	if !rep.DriftRemoved {
+		t.Fatal("drift removal should run by default")
+	}
+	// After drift removal the tail should no longer sit ~20 above zero.
+	tailMean := 0.0
+	for i := n - 100; i < n; i++ {
+		tailMean += y[i]
+	}
+	tailMean /= 100
+	if math.Abs(tailMean) > 1 {
+		t.Fatalf("drift not removed, tail mean %v", tailMean)
+	}
+}
+
+func TestArtifactCleanerNoFalsePositivesOnCleanSignal(t *testing.T) {
+	x := sine(10, fs, 500)
+	cl := NewArtifactCleaner()
+	cl.DriftWindow = 0
+	_, rep := cl.Clean(x)
+	if rep.BlinksRepaired != 0 || rep.SamplesClamped != 0 {
+		t.Fatalf("clean sine triggered repairs: %+v", rep)
+	}
+}
+
+func TestArtifactCleanerEmptyInput(t *testing.T) {
+	cl := NewArtifactCleaner()
+	out, rep := cl.Clean(nil)
+	if len(out) != 0 || rep.BlinksRepaired != 0 {
+		t.Fatal("empty input should be a no-op")
+	}
+}
+
+func TestQuickMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{3, 1}, 2},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{9, 8, 7, 6, 5, 4, 3, 2, 1}, 5},
+	}
+	for _, c := range cases {
+		if got := quickMedian(append([]float64(nil), c.in...)); got != c.want {
+			t.Fatalf("median(%v)=%v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRobustStatsResistOutliers(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	x[50] = 1e6
+	med, rstd := robustStats(x)
+	if math.Abs(med) > 1 || rstd > 5 {
+		t.Fatalf("robust stats blew up: med=%v rstd=%v", med, rstd)
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if RMS(nil) != 0 {
+		t.Fatal("empty RMS should be 0")
+	}
+	if got := RMS([]float64{3, -3, 3, -3}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("RMS=%v want 3", got)
+	}
+}

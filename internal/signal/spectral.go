@@ -1,0 +1,163 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 Cooley–Tukey FFT of x. len(x) must be a
+// power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("signal: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse FFT in place. len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	inv := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+	return nil
+}
+
+// nextPow2 returns the smallest power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// PSD estimates the one-sided power spectral density of x sampled at fsHz
+// using a Hann-windowed periodogram, zero-padded to the next power of two.
+// It returns the frequency bins and the corresponding power values
+// (units²/Hz). Both slices have length nfft/2+1.
+func PSD(x []float64, fsHz float64) (freqs, power []float64) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	nfft := nextPow2(n)
+	buf := make([]complex128, nfft)
+	var winPow float64
+	den := float64(n - 1)
+	if den == 0 {
+		den = 1
+	}
+	for i := 0; i < n; i++ {
+		w := 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/den))
+		buf[i] = complex(x[i]*w, 0)
+		winPow += w * w
+	}
+	if err := FFT(buf); err != nil {
+		return nil, nil
+	}
+	half := nfft/2 + 1
+	freqs = make([]float64, half)
+	power = make([]float64, half)
+	scale := 1 / (fsHz * winPow)
+	for k := 0; k < half; k++ {
+		freqs[k] = float64(k) * fsHz / float64(nfft)
+		p := cmplx.Abs(buf[k])
+		p = p * p * scale
+		if k != 0 && k != nfft/2 {
+			p *= 2 // fold negative frequencies
+		}
+		power[k] = p
+	}
+	return freqs, power
+}
+
+// BandPower integrates the PSD of x over [lowHz, highHz] via the trapezoid
+// rule, returning the total in-band power.
+func BandPower(x []float64, fsHz, lowHz, highHz float64) float64 {
+	freqs, power := PSD(x, fsHz)
+	var total float64
+	for k := 1; k < len(freqs); k++ {
+		f0, f1 := freqs[k-1], freqs[k]
+		if f1 < lowHz || f0 > highHz {
+			continue
+		}
+		total += 0.5 * (power[k-1] + power[k]) * (f1 - f0)
+	}
+	return total
+}
+
+// Band names the canonical EEG frequency bands used in reporting.
+type Band struct {
+	Name          string
+	LowHz, HighHz float64
+}
+
+// StandardBands returns the delta/theta/alpha/beta/gamma partition the paper
+// refers to (the band-pass retains delta through beta).
+func StandardBands() []Band {
+	return []Band{
+		{"delta", 0.5, 4},
+		{"theta", 4, 8},
+		{"alpha", 8, 13},
+		{"beta", 13, 30},
+		{"gamma", 30, 45},
+	}
+}
+
+// SNR computes the signal-to-noise ratio in dB, defining "signal" as power
+// inside [lowHz, highHz] and "noise" as power outside it (up to Nyquist).
+func SNR(x []float64, fsHz, lowHz, highHz float64) float64 {
+	inBand := BandPower(x, fsHz, lowHz, highHz)
+	total := BandPower(x, fsHz, 0, fsHz/2)
+	noise := total - inBand
+	if noise <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(inBand/noise)
+}
+
+// RMS returns the root-mean-square amplitude of x.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}

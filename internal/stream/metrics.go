@@ -1,0 +1,286 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Per-packet header overhead on the wire (bytes), used for the bandwidth-
+// efficiency comparison: UDP pays IPv4(20)+UDP(8); the LSL-like transport
+// pays IPv4(20)+TCP(20) plus our 2-byte frame prefix.
+const (
+	udpHeaderOverhead = 28
+	tcpHeaderOverhead = 42
+)
+
+// ToHost converts a virtual-clock reading back to host seconds-since-base.
+// The conversion inverts Now(): host = (v − offset)/(1+drift).
+func (c *VirtualClock) ToHost(v float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return (v - c.offset) / (1 + c.drift)
+}
+
+// TransportMetrics summarises one transport's behaviour under a test load —
+// the six axes of the paper's Figure 4.
+type TransportMetrics struct {
+	Name string
+	// LatencyMeanMs is the mean end-to-end delivery latency.
+	LatencyMeanMs float64
+	// JitterMs is the standard deviation of delivery latency.
+	JitterMs float64
+	// DeliveredFrac is the fraction of pushed samples that arrived.
+	DeliveredFrac float64
+	// EffectiveRateHz is delivered samples / wall time.
+	EffectiveRateHz float64
+	// SyncErrorMs is the absolute error of the receiver's reconstruction of
+	// sender timestamps, after any synchronisation protocol.
+	SyncErrorMs float64
+	// BandwidthEfficiency is payload bytes / (payload + header) per packet.
+	BandwidthEfficiency float64
+}
+
+// Scores maps the metrics onto the 0–10 "higher is better" axes used in
+// Figure 4: latency, sample-rate consistency, synchronisation, jitter,
+// reliability, bandwidth efficiency.
+func (m TransportMetrics) Scores() map[string]float64 {
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 10 {
+			return 10
+		}
+		return v
+	}
+	return map[string]float64{
+		// 0 ms → 10, 50 ms → 0.
+		"latency": clamp(10 * (1 - m.LatencyMeanMs/50)),
+		// fraction of nominal 125 Hz sustained.
+		"sample_rate": clamp(10 * m.EffectiveRateHz / 125),
+		// 0 ms sync error → 10, 25 ms → 0.
+		"synchronization": clamp(10 * (1 - m.SyncErrorMs/25)),
+		// 0 ms jitter → 10, 10 ms → 0.
+		"low_jitter":           clamp(10 * (1 - m.JitterMs/10)),
+		"reliability":          clamp(10 * m.DeliveredFrac),
+		"bandwidth_efficiency": clamp(10 * m.BandwidthEfficiency),
+	}
+}
+
+func (m TransportMetrics) String() string {
+	return fmt.Sprintf("%-4s latency=%.2fms jitter=%.2fms delivered=%.1f%% rate=%.1fHz sync_err=%.2fms bw_eff=%.3f",
+		m.Name, m.LatencyMeanMs, m.JitterMs, 100*m.DeliveredFrac, m.EffectiveRateHz, m.SyncErrorMs, m.BandwidthEfficiency)
+}
+
+// ComparisonConfig drives RunComparison.
+type ComparisonConfig struct {
+	Samples  int     // number of EEG frames to stream
+	Channels int     // channels per frame
+	RateHz   float64 // nominal acquisition rate
+	Link     LinkConfig
+	// ClockOffset/ClockDrift model the disagreement between the acquisition
+	// machine and the edge device.
+	ClockOffset float64
+	ClockDrift  float64
+}
+
+// DefaultComparisonConfig reproduces the paper's operating point: 16-channel
+// EEG at 125 Hz over a mildly jittery local link with skewed endpoint clocks.
+func DefaultComparisonConfig() ComparisonConfig {
+	return ComparisonConfig{
+		Samples:  500,
+		Channels: 16,
+		RateHz:   125,
+		Link: LinkConfig{
+			DelayMean:   2e-3,
+			DelayJitter: 0.5e-3,
+			LossProb:    0.02,
+			Seed:        1,
+		},
+		ClockOffset: 0.015, // 15 ms skew between headset laptop and edge device
+		ClockDrift:  30e-6,
+	}
+}
+
+// RunComparison streams the same synthetic load over the LSL-like and UDP
+// transports and measures the Figure 4 axes for each.
+func RunComparison(cfg ComparisonConfig) (lsl, udp TransportMetrics, err error) {
+	lsl, err = runLSL(cfg)
+	if err != nil {
+		return lsl, udp, fmt.Errorf("lsl leg: %w", err)
+	}
+	udp, err = runUDP(cfg)
+	if err != nil {
+		return lsl, udp, fmt.Errorf("udp leg: %w", err)
+	}
+	return lsl, udp, nil
+}
+
+func runLSL(cfg ComparisonConfig) (TransportMetrics, error) {
+	var m TransportMetrics
+	m.Name = "LSL"
+	srcClock := NewVirtualClock(cfg.ClockOffset, cfg.ClockDrift)
+	dstClock := NewVirtualClock(0, 0)
+
+	out, err := NewLSLOutlet(srcClock, cfg.Link)
+	if err != nil {
+		return m, err
+	}
+	defer out.Close()
+	in, err := NewLSLInlet(out.Addr(), dstClock, cfg.Samples+16, 20*time.Millisecond)
+	if err != nil {
+		return m, err
+	}
+	defer in.Close()
+	if err := out.WaitReady(2 * time.Second); err != nil {
+		return m, err
+	}
+	// Give the sync protocol a few probes before data flows, as liblsl does
+	// on stream open.
+	time.Sleep(120 * time.Millisecond)
+
+	sendHost := make(map[uint64]time.Time, cfg.Samples)
+	values := make([]float64, cfg.Channels)
+	interval := time.Duration(float64(time.Second) / cfg.RateHz)
+	start := time.Now()
+	for i := 0; i < cfg.Samples; i++ {
+		for c := range values {
+			values[c] = float64(i + c)
+		}
+		s := out.Push(values)
+		sendHost[s.Seq] = time.Now()
+		time.Sleep(interval)
+	}
+	// Allow in-flight frames to land.
+	deadline := time.Now().Add(time.Second)
+	for in.Ring.Len() < cfg.Samples && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	samples := in.Ring.Drain()
+	lat := make([]float64, 0, len(samples))
+	syncErrs := make([]float64, 0, len(samples))
+	trueOffset := srcClock.OffsetTo(dstClock)
+	for _, s := range samples {
+		arrV, ok := in.ArrivalTime(s.Seq)
+		if !ok {
+			continue
+		}
+		arrHostSec := dstClock.ToHost(arrV)
+		sentAt, ok := sendHost[s.Seq]
+		if !ok {
+			continue
+		}
+		lat = append(lat, arrHostSec-sentAt.Sub(dstClockBase(dstClock)).Seconds())
+		corrected := in.Corrected(s)
+		truthInDst := s.Timestamp - trueOffset
+		syncErrs = append(syncErrs, math.Abs(corrected-truthInDst))
+	}
+	m.LatencyMeanMs = 1e3 * mean(lat)
+	m.JitterMs = 1e3 * std(lat)
+	m.DeliveredFrac = float64(len(samples)) / float64(cfg.Samples)
+	m.EffectiveRateHz = float64(len(samples)) / elapsed
+	m.SyncErrorMs = 1e3 * mean(syncErrs)
+	payload := float64(WireSize(cfg.Channels))
+	m.BandwidthEfficiency = payload / (payload + 2 + tcpHeaderOverhead)
+	return m, nil
+}
+
+func runUDP(cfg ComparisonConfig) (TransportMetrics, error) {
+	var m TransportMetrics
+	m.Name = "UDP"
+	srcClock := NewVirtualClock(cfg.ClockOffset, cfg.ClockDrift)
+	dstClock := NewVirtualClock(0, 0)
+
+	in, err := NewUDPInlet(dstClock, cfg.Samples+16)
+	if err != nil {
+		return m, err
+	}
+	defer in.Close()
+	out, err := NewUDPOutlet(in.Addr(), srcClock, cfg.Link)
+	if err != nil {
+		return m, err
+	}
+
+	sendHost := make(map[uint64]time.Time, cfg.Samples)
+	values := make([]float64, cfg.Channels)
+	interval := time.Duration(float64(time.Second) / cfg.RateHz)
+	start := time.Now()
+	for i := 0; i < cfg.Samples; i++ {
+		for c := range values {
+			values[c] = float64(i + c)
+		}
+		s := out.Push(values)
+		sendHost[s.Seq] = time.Now()
+		time.Sleep(interval)
+	}
+	out.Close() // waits for delayed datagrams
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) && in.Ring.Len() < cfg.Samples {
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	samples := in.Ring.Drain()
+	lat := make([]float64, 0, len(samples))
+	syncErrs := make([]float64, 0, len(samples))
+	trueOffset := srcClock.OffsetTo(dstClock)
+	for _, s := range samples {
+		arrV, ok := in.ArrivalTime(s.Seq)
+		if !ok {
+			continue
+		}
+		arrHostSec := dstClock.ToHost(arrV)
+		sentAt, ok := sendHost[s.Seq]
+		if !ok {
+			continue
+		}
+		lat = append(lat, arrHostSec-sentAt.Sub(dstClockBase(dstClock)).Seconds())
+		// No sync protocol: the receiver's best reconstruction IS the raw
+		// sender timestamp, so the error equals the clock disagreement.
+		truthInDst := s.Timestamp - trueOffset
+		syncErrs = append(syncErrs, math.Abs(s.Timestamp-truthInDst))
+	}
+	m.LatencyMeanMs = 1e3 * mean(lat)
+	m.JitterMs = 1e3 * std(lat)
+	m.DeliveredFrac = float64(len(samples)) / float64(cfg.Samples)
+	m.EffectiveRateHz = float64(len(samples)) / elapsed
+	m.SyncErrorMs = 1e3 * mean(syncErrs)
+	payload := float64(WireSize(cfg.Channels))
+	m.BandwidthEfficiency = payload / (payload + udpHeaderOverhead)
+	return m, nil
+}
+
+// dstClockBase exposes the receiver clock's epoch so host-time latencies can
+// be formed from time.Time values.
+func dstClockBase(c *VirtualClock) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func std(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	mu := mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}

@@ -1,0 +1,89 @@
+package stream
+
+import "sync"
+
+// Ring is a fixed-capacity thread-safe FIFO of samples. When full, pushing
+// overwrites the oldest element — matching acquisition-buffer semantics where
+// stale EEG is worthless and the newest data must always flow.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Sample
+	head    int // index of the oldest element
+	size    int
+	dropped uint64
+	notify  chan struct{}
+}
+
+// NewRing creates a ring holding up to capacity samples. Capacity must be
+// positive.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("stream: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Sample, capacity), notify: make(chan struct{}, 1)}
+}
+
+// Push appends a sample, overwriting the oldest if full. It reports whether
+// an old sample was overwritten.
+func (r *Ring) Push(s Sample) (overwrote bool) {
+	r.mu.Lock()
+	if r.size == len(r.buf) {
+		r.buf[r.head] = s
+		r.head = (r.head + 1) % len(r.buf)
+		r.dropped++
+		overwrote = true
+	} else {
+		r.buf[(r.head+r.size)%len(r.buf)] = s
+		r.size++
+	}
+	r.mu.Unlock()
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+	return overwrote
+}
+
+// Pop removes and returns the oldest sample, or ok=false when empty.
+func (r *Ring) Pop() (s Sample, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.size == 0 {
+		return Sample{}, false
+	}
+	s = r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return s, true
+}
+
+// Len returns the number of buffered samples.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Dropped returns how many samples have been overwritten since creation.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Wait returns a channel that receives a token when new data may be
+// available. It never blocks producers.
+func (r *Ring) Wait() <-chan struct{} { return r.notify }
+
+// Drain pops everything currently buffered, oldest first.
+func (r *Ring) Drain() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, r.size)
+	for r.size > 0 {
+		out = append(out, r.buf[r.head])
+		r.head = (r.head + 1) % len(r.buf)
+		r.size--
+	}
+	return out
+}

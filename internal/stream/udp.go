@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cognitivearm/internal/tensor"
+)
+
+// UDPOutlet streams samples as independent datagrams over loopback UDP.
+// There is no handshake, no retransmission and no clock synchronisation —
+// the minimal-overhead baseline of Figure 4.
+type UDPOutlet struct {
+	conn  *net.UDPConn
+	clock *VirtualClock
+	link  LinkConfig
+	mu    sync.Mutex
+	rng   *tensor.RNG
+	seq   uint64
+	wg    sync.WaitGroup
+	// BytesSent counts payload bytes actually handed to the socket (dropped
+	// datagrams are not counted, matching what a sender-side meter sees).
+	BytesSent uint64
+	// DroppedBySim counts datagrams removed by the simulated lossy link.
+	DroppedBySim uint64
+}
+
+// NewUDPOutlet creates a sender targeting addr (the inlet's bound address).
+func NewUDPOutlet(addr string, clock *VirtualClock, link LinkConfig) (*UDPOutlet, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: udp resolve: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("stream: udp dial: %w", err)
+	}
+	return &UDPOutlet{conn: conn, clock: clock, link: link, rng: tensor.NewRNG(link.Seed ^ 0x0DB)}, nil
+}
+
+// Push stamps and transmits one sample. Datagrams may be delayed (jitter) or
+// dropped by the simulated link; delayed datagrams can reorder, exactly as
+// real UDP allows.
+func (o *UDPOutlet) Push(values []float64) Sample {
+	o.mu.Lock()
+	seq := o.seq
+	o.seq++
+	drop := o.rng.Float64() < o.link.LossProb
+	delay := o.link.DelayMean
+	if o.link.DelayJitter > 0 {
+		delay += o.link.DelayJitter * o.rng.NormFloat64()
+	}
+	o.mu.Unlock()
+
+	s := Sample{Seq: seq, Timestamp: o.clock.Now(), Values: append([]float64(nil), values...)}
+	if drop {
+		o.mu.Lock()
+		o.DroppedBySim++
+		o.mu.Unlock()
+		return s
+	}
+	frame := s.MarshalBinary()
+	send := func() {
+		if _, err := o.conn.Write(frame); err == nil {
+			o.mu.Lock()
+			o.BytesSent += uint64(len(frame))
+			o.mu.Unlock()
+		}
+	}
+	if delay > 0 {
+		o.wg.Add(1)
+		time.AfterFunc(time.Duration(delay*float64(time.Second)), func() {
+			defer o.wg.Done()
+			send()
+		})
+	} else {
+		send()
+	}
+	return s
+}
+
+// Close flushes in-flight delayed datagrams and closes the socket.
+func (o *UDPOutlet) Close() error {
+	o.wg.Wait()
+	return o.conn.Close()
+}
+
+// UDPInlet receives datagrams into a ring buffer. Timestamps stay in the
+// sender's clock frame — UDP has no synchronisation protocol, which is the
+// crux of the Figure 4 comparison.
+type UDPInlet struct {
+	conn  *net.UDPConn
+	clock *VirtualClock
+	Ring  *Ring
+
+	mu        sync.Mutex
+	arrivals  map[uint64]float64
+	bytesRecv uint64
+}
+
+// NewUDPInlet binds a loopback UDP socket and starts receiving.
+func NewUDPInlet(clock *VirtualClock, bufCap int) (*UDPInlet, error) {
+	ua, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("stream: udp listen: %w", err)
+	}
+	in := &UDPInlet{conn: conn, clock: clock, Ring: NewRing(bufCap), arrivals: make(map[uint64]float64)}
+	go in.reader()
+	return in, nil
+}
+
+// Addr returns the bound address for the outlet to dial.
+func (in *UDPInlet) Addr() string { return in.conn.LocalAddr().String() }
+
+func (in *UDPInlet) reader() {
+	buf := make([]byte, 65536)
+	for {
+		n, err := in.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		var s Sample
+		if err := s.UnmarshalBinary(buf[:n]); err != nil {
+			continue
+		}
+		now := in.clock.Now()
+		in.mu.Lock()
+		in.arrivals[s.Seq] = now
+		in.bytesRecv += uint64(n)
+		in.mu.Unlock()
+		in.Ring.Push(s)
+	}
+}
+
+// ArrivalTime returns the inlet-clock arrival time recorded for seq.
+func (in *UDPInlet) ArrivalTime(seq uint64) (float64, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	t, ok := in.arrivals[seq]
+	return t, ok
+}
+
+// BytesReceived reports total payload bytes received.
+func (in *UDPInlet) BytesReceived() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.bytesRecv
+}
+
+// Close stops the receiver.
+func (in *UDPInlet) Close() error { return in.conn.Close() }

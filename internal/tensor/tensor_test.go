@@ -1,0 +1,329 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape %dx%d len=%d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d not zero: %v", i, v)
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At(1,2)=%v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7.5 {
+		t.Fatalf("Row shares storage: got %v", row[2])
+	}
+	row[0] = -1
+	if m.At(1, 0) != -1 {
+		t.Fatal("Row must alias the matrix storage")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched length")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(nil, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if !almostEqual(c.Data[i], w, 1e-12) {
+			t.Fatalf("c[%d]=%v want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulReuseDst(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	dst := New(2, 2)
+	dst.Fill(99) // MatMul must zero it first
+	MatMul(dst, a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if !almostEqual(dst.Data[i], w, 1e-12) {
+			t.Fatalf("dst[%d]=%v want %v", i, dst.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(nil, New(2, 3), New(2, 3))
+}
+
+// TestTransposedMatMulsAgree checks MatMulTransA/B against explicit Transpose.
+func TestTransposedMatMulsAgree(t *testing.T) {
+	rng := NewRNG(42)
+	a := New(4, 6)
+	b := New(5, 6)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	got := MatMulTransB(nil, a, b)
+	want := MatMul(nil, a, Transpose(b))
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+			t.Fatalf("MatMulTransB mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	c := New(4, 5)
+	for i := range c.Data {
+		c.Data[i] = rng.NormFloat64()
+	}
+	got2 := MatMulTransA(nil, a, c) // aᵀ(4x6)ᵀ·c(4x5) = 6x5
+	want2 := MatMul(nil, Transpose(a), c)
+	for i := range want2.Data {
+		if !almostEqual(got2.Data[i], want2.Data[i], 1e-9) {
+			t.Fatalf("MatMulTransA mismatch at %d", i)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := New(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		tt := Transpose(Transpose(m))
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	if got := Add(nil, a, b).Data; got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add got %v", got)
+	}
+	if got := Sub(nil, b, a).Data; got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub got %v", got)
+	}
+	if got := Mul(nil, a, b).Data; got[1] != 10 {
+		t.Fatalf("Mul got %v", got)
+	}
+	// In-place aliasing.
+	Add(a, a, b)
+	if a.Data[0] != 5 {
+		t.Fatalf("aliased Add got %v", a.Data)
+	}
+}
+
+func TestScaleAndFill(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, -2, 4})
+	Scale(m, 0.5)
+	if m.Data[1] != -1 || m.Data[2] != 2 {
+		t.Fatalf("Scale got %v", m.Data)
+	}
+	m.Fill(3)
+	for _, v := range m.Data {
+		if v != 3 {
+			t.Fatalf("Fill got %v", m.Data)
+		}
+	}
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	AddRowVector(m, []float64{10, 20, 30})
+	if m.At(0, 0) != 11 || m.At(1, 2) != 36 {
+		t.Fatalf("AddRowVector got %v", m.Data)
+	}
+	sums := make([]float64, 3)
+	ColSums(sums, m)
+	if sums[0] != 11+14 || sums[2] != 33+36 {
+		t.Fatalf("ColSums got %v", sums)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 1 + rng.Intn(10)
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64() * 10
+		}
+		dst := make([]float64, n)
+		Softmax(dst, src)
+		var sum float64
+		for _, v := range dst {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStableUnderLargeInputs(t *testing.T) {
+	src := []float64{1000, 1001, 1002}
+	dst := make([]float64, 3)
+	Softmax(dst, src)
+	for _, v := range dst {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax not stable: %v", dst)
+		}
+	}
+	if !(dst[2] > dst[1] && dst[1] > dst[0]) {
+		t.Fatalf("softmax ordering broken: %v", dst)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax(nil) != -1 {
+		t.Fatal("empty argmax should be -1")
+	}
+	if got := Argmax([]float64{1, 3, 3, 2}); got != 1 {
+		t.Fatalf("ties should pick first: got %d", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEqual(Mean(v), 5, 1e-12) {
+		t.Fatalf("mean=%v", Mean(v))
+	}
+	if !almostEqual(Std(v), 2, 1e-12) {
+		t.Fatalf("std=%v", Std(v))
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty mean/std should be 0")
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("dot")
+	}
+	if !almostEqual(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("norm")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	rng := NewRNG(123)
+	for i := 0; i < 10000; i++ {
+		v := rng.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	rng := NewRNG(5)
+	p := rng.Perm(50)
+	seen := make([]bool, 50)
+	for _, x := range p {
+		if x < 0 || x >= 50 || seen[x] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[x] = true
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	rng := NewRNG(99)
+	n := 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean too far from 0: %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance too far from 1: %v", variance)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(1)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked streams should differ")
+	}
+}
+
+func TestXavierHeInitRanges(t *testing.T) {
+	rng := NewRNG(11)
+	m := New(10, 10)
+	XavierInit(m, 10, 10, rng)
+	limit := math.Sqrt(6.0 / 20.0)
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("xavier out of range: %v (limit %v)", v, limit)
+		}
+	}
+	HeInit(m, 10, rng)
+	if Std(m.Data) < 0.2 {
+		t.Fatalf("he init degenerate: std=%v", Std(m.Data))
+	}
+}
