@@ -6,18 +6,22 @@
 package cognitivearm
 
 import (
+	"sync"
 	"testing"
 
 	"cognitivearm/internal/asr"
 	"cognitivearm/internal/audio"
+	"cognitivearm/internal/board"
 	"cognitivearm/internal/compress"
 	"cognitivearm/internal/control"
+	"cognitivearm/internal/core"
 	"cognitivearm/internal/dataset"
 	"cognitivearm/internal/edge"
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/evo"
 	"cognitivearm/internal/experiments"
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/serve"
 	"cognitivearm/internal/signal"
 	"cognitivearm/internal/tensor"
 )
@@ -378,6 +382,176 @@ func BenchmarkEdgeDeviceModel(b *testing.B) {
 	w := edge.Workload{MACs: 93_000_000}
 	for i := 0; i < b.N; i++ {
 		_ = device.Latency(w)
+	}
+}
+
+// --- Fleet serving (internal/serve) ----------------------------------------
+
+// fleetRegistry lazily trains the one shared decoder every serving bench
+// reuses (the registry's whole point), so repeated b.N calibration runs
+// don't retrain.
+var (
+	fleetOnce sync.Once
+	fleetReg  *serve.Registry
+	fleetPipe *core.Pipeline
+	fleetErr  error
+)
+
+func fleetState(b *testing.B) (*serve.Registry, *core.Pipeline) {
+	fleetOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		fleetPipe, fleetErr = core.New(cfg)
+		if fleetErr != nil {
+			return
+		}
+		fleetReg = serve.NewRegistry()
+		spec := models.Spec{Family: models.FamilyRF, WindowSize: cfg.WindowSize, Trees: 50, MaxDepth: 12}
+		_, _, fleetErr = fleetReg.GetOrBuild("rf-shared", func() (models.Classifier, int64, error) {
+			clf, _, err := fleetPipe.TrainModel(spec)
+			return clf, models.OpsPerInference(spec), err
+		})
+	})
+	if fleetErr != nil {
+		b.Fatal(fleetErr)
+	}
+	return fleetReg, fleetPipe
+}
+
+// benchHub stands up a hub with the shared decoder and admits the given
+// number of on-demand synthetic-board sessions.
+func benchHub(b *testing.B, sessions, shards int) *serve.Hub {
+	reg, pipe := fleetState(b)
+	hub, err := serve.NewHub(serve.Config{
+		Shards:              shards,
+		MaxSessionsPerShard: (sessions + shards - 1) / shards,
+		TickHz:              control.ClassifyRateHz,
+		LatencyWindow:       1024,
+	}, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subjects := pipe.Config.SubjectIDs
+	for i := 0; i < sessions; i++ {
+		subject := subjects[i%len(subjects)]
+		brd := board.NewSyntheticCyton(eeg.NewSubject(subject), uint64(i)*13+7, false)
+		if err := brd.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hub.Admit(serve.SessionConfig{
+			ModelKey: "rf-shared",
+			Source:   brd,
+			Norm:     pipe.NormFor(subject),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Fill every rolling window so the timed region measures steady-state
+	// serving, not warmup.
+	for i := 0; i < 20; i++ {
+		hub.TickAll()
+	}
+	return hub
+}
+
+// fleetSystems lazily builds the independent baseline: 100 QuickStart
+// deployments, i.e. one board, one freshly trained decoder and one loop per
+// subject — the seed's serving shape.
+var (
+	systemsOnce sync.Once
+	systems     []*System
+	systemsErr  error
+)
+
+func independentSystems(b *testing.B, n int) []*System {
+	systemsOnce.Do(func() {
+		for i := 0; i < n; i++ {
+			sys, err := QuickStart(uint64(i) + 1)
+			if err != nil {
+				systemsErr = err
+				return
+			}
+			systems = append(systems, sys)
+		}
+		// Same steady-state warmup as the hub.
+		for i := 0; i < 20; i++ {
+			for _, sys := range systems {
+				if _, err := sys.Controller.Tick(); err != nil {
+					systemsErr = err
+					return
+				}
+			}
+		}
+	})
+	if systemsErr != nil {
+		b.Fatal(systemsErr)
+	}
+	if len(systems) < n {
+		b.Fatalf("baseline built for %d sessions, need %d", len(systems), n)
+	}
+	return systems[:n]
+}
+
+// BenchmarkHubThroughput compares one fleet tick of 100 concurrent sessions
+// served by the hub (shared decoder, cross-session batching, 4 shards)
+// against 100 independent QuickStart loops (per-deploy decoder, sample-major
+// Predict per session). ns/op is directly comparable: both sub-benches
+// advance all 100 sessions by one classification period per op. The
+// independent baseline also pays 100 training runs in setup where the hub
+// pays one — the registry's amortisation, visible in setup wall time.
+func BenchmarkHubThroughput(b *testing.B) {
+	const sessions = 100
+	b.Run("hub-batched", func(b *testing.B) {
+		hub := benchHub(b, sessions, 4)
+		defer hub.Stop()
+		before := hub.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hub.TickAll()
+		}
+		b.StopTimer()
+		after := hub.Snapshot()
+		if inf := after.Inferences - before.Inferences; inf > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(inf), "ns/inference")
+		}
+		b.ReportMetric(after.TickP99Ms, "tick-p99-ms")
+	})
+	b.Run("independent-loops", func(b *testing.B) {
+		sys := independentSystems(b, sessions)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range sys {
+				if _, err := s.Controller.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		// Windows are full after warmup: every tick classifies once.
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sessions), "ns/inference")
+	})
+}
+
+// BenchmarkHubScaling sweeps the sessions × shards grid so the serving
+// path's scaling curve sits in the perf log next to the paper benches.
+func BenchmarkHubScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, sessions := range []int{64, 256} {
+			b.Run("s"+itoa(sessions)+"-sh"+itoa(shards), func(b *testing.B) {
+				hub := benchHub(b, sessions, shards)
+				defer hub.Stop()
+				before := hub.Snapshot()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					hub.TickAll()
+				}
+				b.StopTimer()
+				after := hub.Snapshot()
+				secs := b.Elapsed().Seconds()
+				if secs > 0 {
+					b.ReportMetric(float64(after.Inferences-before.Inferences)/secs, "inferences/s")
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,235 @@
+// cogarmd is the CognitiveArm serving daemon: one serve.Hub multiplexing
+// many concurrent closed-loop EEG sessions over a shared, train-once
+// decoder, fed by internal/stream network inlets.
+//
+// On startup it trains the shared Random-Forest decoder once (the registry
+// guarantees exactly one build no matter how many sessions arrive), then
+// admits two kinds of sessions:
+//
+//   - Demo subjects (-subjects N): N synthetic participants streamed
+//     in-process over real loopback sockets (-transport udp|lsl), each
+//     wandering between mental tasks, so a single binary demonstrates the
+//     full network-fed serving path.
+//
+//   - External inlets (-listen N): N UDP inlets whose addresses are printed
+//     on startup; point cmd/loadgen's -mode udp -targets at them to drive
+//     the daemon from another process. Sessions that go silent are evicted
+//     after -idle-evict ticks.
+//
+// The daemon prints a fleet snapshot (per-shard and fleet-wide p50/p99 tick
+// latency, throughput, batching factor, evictions) every -report interval
+// and a final one on shutdown (SIGINT/SIGTERM or -duration).
+//
+// Example:
+//
+//	cogarmd -shards 4 -subjects 32 -report 5s
+//	cogarmd -listen 8 -idle-evict 150   # then: loadgen -mode udp -targets ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cognitivearm/internal/core"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/serve"
+	"cognitivearm/internal/stream"
+	"cognitivearm/internal/tensor"
+)
+
+func main() {
+	var (
+		shards      = flag.Int("shards", 4, "worker shards (tick loops)")
+		maxSessions = flag.Int("max-sessions", 256, "admission cap per shard")
+		tickHz      = flag.Float64("tick", 15, "classification rate per session (Hz)")
+		subjects    = flag.Int("subjects", 8, "in-process demo subjects streamed over loopback")
+		listen      = flag.Int("listen", 0, "extra UDP inlets for external streamers (addresses printed)")
+		transport   = flag.String("transport", "udp", "demo-subject transport: udp | lsl")
+		idleEvict   = flag.Int("idle-evict", 300, "evict a session after this many silent ticks (0 = never)")
+		duration    = flag.Duration("duration", 0, "run time (0 = until SIGINT)")
+		report      = flag.Duration("report", 5*time.Second, "fleet snapshot interval")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	log.Printf("cogarmd: training shared decoder (once, for the whole fleet)")
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	pipeline, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	spec := models.Spec{Family: models.FamilyRF, WindowSize: cfg.WindowSize, Trees: 50, MaxDepth: 12}
+	// Sessions resolve the classifier from the registry by key at Admit.
+	if _, _, err := reg.GetOrBuild("rf-shared", func() (models.Classifier, int64, error) {
+		c, res, err := pipeline.TrainModel(spec)
+		if err == nil {
+			log.Printf("cogarmd: decoder %s ready (val acc %.3f)", c.Name(), res.ValAcc)
+		}
+		return c, models.OpsPerInference(spec), err
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	hub, err := serve.NewHub(serve.Config{
+		Shards:              *shards,
+		MaxSessionsPerShard: *maxSessions,
+		TickHz:              *tickHz,
+		MaxIdleTicks:        *idleEvict,
+		LatencyWindow:       1024,
+	}, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stopStreaming := make(chan struct{})
+	for i := 0; i < *subjects; i++ {
+		if err := admitDemoSubject(hub, pipeline, *transport, i, *seed, stopStreaming); err != nil {
+			log.Fatalf("cogarmd: demo subject %d: %v", i, err)
+		}
+	}
+	for i := 0; i < *listen; i++ {
+		inlet, err := stream.NewUDPInlet(stream.NewVirtualClock(0, 0), 4096)
+		if err != nil {
+			log.Fatalf("cogarmd: inlet %d: %v", i, err)
+		}
+		id, err := hub.Admit(serve.SessionConfig{
+			ModelKey: "rf-shared",
+			Source:   serve.RingSource{Ring: inlet.Ring, Closer: inlet},
+			Norm:     pipeline.GlobalStats(),
+		})
+		if err != nil {
+			log.Fatalf("cogarmd: admit inlet %d: %v", i, err)
+		}
+		fmt.Printf("session %d listening on %s\n", id, inlet.Addr())
+	}
+
+	hub.Start()
+	log.Printf("cogarmd: serving %d sessions on %d shards at %.0f Hz", hub.Sessions(), *shards, *tickHz)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if *duration > 0 {
+		timeout = time.After(*duration)
+	}
+	tick := time.NewTicker(*report)
+	defer tick.Stop()
+loop:
+	for {
+		select {
+		case <-tick.C:
+			log.Printf("%s", hub.Snapshot())
+		case <-sig:
+			log.Printf("cogarmd: signal received, draining")
+			break loop
+		case <-timeout:
+			break loop
+		}
+	}
+	close(stopStreaming)
+	// Snapshot before Stop so the final report shows the live fleet.
+	final := hub.Snapshot()
+	hub.Stop()
+	log.Printf("final %s", final)
+	for _, s := range final.Shards {
+		log.Printf("final %s", s)
+	}
+}
+
+// admitDemoSubject wires one in-process synthetic participant through a real
+// loopback transport into the hub: generator → outlet → socket → inlet ring
+// → session. The streaming goroutine paces samples at the EEG rate and
+// wanders between mental tasks every few seconds.
+func admitDemoSubject(hub *serve.Hub, p *core.Pipeline, transport string, idx int, seed uint64, stop <-chan struct{}) error {
+	clock := stream.NewVirtualClock(0, 0)
+	var push func(values []float64)
+	var cleanup func()
+	var ring *stream.Ring
+	var closer io.Closer
+	switch transport {
+	case "udp":
+		inlet, err := stream.NewUDPInlet(clock, 4096)
+		if err != nil {
+			return err
+		}
+		outlet, err := stream.NewUDPOutlet(inlet.Addr(), clock, stream.LinkConfig{Seed: seed + uint64(idx)})
+		if err != nil {
+			inlet.Close()
+			return err
+		}
+		push = func(v []float64) { outlet.Push(v) }
+		cleanup = func() { outlet.Close() }
+		ring, closer = inlet.Ring, inlet
+	case "lsl":
+		outlet, err := stream.NewLSLOutlet(clock, stream.LinkConfig{Seed: seed + uint64(idx)})
+		if err != nil {
+			return err
+		}
+		inlet, err := stream.NewLSLInlet(outlet.Addr(), clock, 4096, 100*time.Millisecond)
+		if err != nil {
+			outlet.Close()
+			return err
+		}
+		if err := outlet.WaitReady(2 * time.Second); err != nil {
+			outlet.Close()
+			inlet.Close()
+			return err
+		}
+		push = func(v []float64) { outlet.Push(v) }
+		cleanup = func() { outlet.Close() }
+		ring, closer = inlet.Ring, inlet
+	default:
+		return fmt.Errorf("unknown transport %q (udp|lsl)", transport)
+	}
+
+	subject := idx % 5 // reuse the synthetic participant pool
+	if _, err := hub.Admit(serve.SessionConfig{
+		ModelKey: "rf-shared",
+		Source:   serve.RingSource{Ring: ring, Closer: closer},
+		Norm:     p.NormFor(subject),
+	}); err != nil {
+		cleanup()
+		return err
+	}
+
+	go func() {
+		defer cleanup()
+		gen := eeg.NewGenerator(eeg.NewSubject(subject), seed+uint64(idx)*31)
+		rng := tensor.NewRNG(seed + uint64(idx)*97)
+		state := eeg.Idle
+		// Push in 40 ms chunks (5 samples at 125 Hz) to limit timer churn.
+		const chunk = 5
+		interval := time.Duration(float64(chunk) / eeg.SampleRate * float64(time.Second))
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		sinceSwitch := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				for i := 0; i < chunk; i++ {
+					raw := gen.Next(state)
+					push(raw[:])
+				}
+				sinceSwitch += chunk
+				// Hold each intent ~3 s, then wander.
+				if sinceSwitch > int(3*eeg.SampleRate) {
+					state = eeg.Action(rng.Intn(3))
+					sinceSwitch = 0
+				}
+			}
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,194 @@
+// loadgen benchmarks the CognitiveArm serving hub with M synthetic
+// subjects. It answers the capacity question directly: how many concurrent
+// closed-loop sessions does one machine sustain, and at what per-inference
+// cost?
+//
+// Two modes:
+//
+//   - -mode inproc (default): builds its own hub, trains the shared decoder
+//     once, admits -sessions board-backed synthetic subjects, and drives
+//     shards caller-paced (TickAll) as fast as they will go for -duration —
+//     maximum-throughput numbers. With -paced it instead runs the real
+//     15 Hz shard loops, which measures headroom rather than ceiling.
+//
+//   - -mode udp: streams -sessions synthetic subjects at -rate Hz to a
+//     running cogarmd (-targets is the comma-separated inlet address list
+//     cogarmd printed at startup with -listen).
+//
+// The report includes fleet and per-shard snapshots: sessions, ticks,
+// inference throughput, realised batch size, and p50/p99 tick latency.
+//
+// Example:
+//
+//	loadgen -sessions 100 -shards 4 -duration 10s
+//	loadgen -mode udp -targets 127.0.0.1:40001,127.0.0.1:40002 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"cognitivearm/internal/board"
+	"cognitivearm/internal/core"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/serve"
+	"cognitivearm/internal/stream"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "inproc", "inproc | udp")
+		sessions = flag.Int("sessions", 100, "concurrent synthetic subjects")
+		shards   = flag.Int("shards", 4, "worker shards (inproc)")
+		tickHz   = flag.Float64("tick", 15, "session classification rate (Hz)")
+		duration = flag.Duration("duration", 10*time.Second, "drive time")
+		paced    = flag.Bool("paced", false, "inproc: run real paced shard loops instead of max-rate TickAll")
+		targets  = flag.String("targets", "", "udp: comma-separated inlet addresses from cogarmd -listen")
+		rate     = flag.Float64("rate", eeg.SampleRate, "udp: per-subject sample rate (Hz)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	log.SetFlags(log.Ltime)
+
+	switch *mode {
+	case "inproc":
+		runInproc(*sessions, *shards, *tickHz, *duration, *paced, *seed)
+	case "udp":
+		runUDP(strings.Split(*targets, ","), *sessions, *rate, *duration, *seed)
+	default:
+		log.Fatalf("loadgen: unknown mode %q", *mode)
+	}
+}
+
+func runInproc(sessions, shards int, tickHz float64, duration time.Duration, paced bool, seed uint64) {
+	log.Printf("loadgen: training shared decoder")
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	pipeline, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	spec := models.Spec{Family: models.FamilyRF, WindowSize: cfg.WindowSize, Trees: 50, MaxDepth: 12}
+	if _, _, err := reg.GetOrBuild("rf-shared", func() (models.Classifier, int64, error) {
+		c, _, err := pipeline.TrainModel(spec)
+		return c, models.OpsPerInference(spec), err
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	perShard := (sessions + shards - 1) / shards
+	hub, err := serve.NewHub(serve.Config{
+		Shards:              shards,
+		MaxSessionsPerShard: perShard,
+		TickHz:              tickHz,
+		LatencyWindow:       2048,
+	}, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < sessions; i++ {
+		subject := i % len(cfg.SubjectIDs)
+		b := board.NewSyntheticCyton(eeg.NewSubject(subject), seed+uint64(i)*13+7, false)
+		if err := b.Start(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := hub.Admit(serve.SessionConfig{
+			ModelKey: "rf-shared",
+			Source:   b,
+			Norm:     pipeline.NormFor(subject),
+		}); err != nil {
+			log.Fatalf("loadgen: admit session %d: %v", i, err)
+		}
+	}
+	log.Printf("loadgen: %d sessions on %d shards, driving for %v (paced=%v)", sessions, shards, duration, paced)
+
+	start := time.Now()
+	if paced {
+		hub.Start()
+		time.Sleep(duration)
+	} else {
+		deadline := start.Add(duration)
+		for time.Now().Before(deadline) {
+			hub.TickAll()
+		}
+	}
+	elapsed := time.Since(start)
+	// Snapshot before Stop so the report shows the live fleet, not the
+	// drained one.
+	snap := hub.Snapshot()
+	hub.Stop()
+
+	fmt.Printf("\n%s\n", snap)
+	for _, s := range snap.Shards {
+		fmt.Printf("%s\n", s)
+	}
+	secs := elapsed.Seconds()
+	fmt.Printf("\nwall %.2fs  ticks/s %.0f  inferences/s %.0f  samples/s %.0f\n",
+		secs, float64(snap.Ticks)/secs, float64(snap.Inferences)/secs, float64(snap.SamplesIn)/secs)
+	if snap.Inferences > 0 {
+		fmt.Printf("per-inference wall %.2fµs (fleet-wide, incl. ingest+filtering)\n",
+			1e6*secs/float64(snap.Inferences))
+	}
+}
+
+// runUDP streams synthetic EEG to a running cogarmd. Subjects are assigned
+// to targets round-robin, so more sessions than targets multiplexes several
+// subjects onto one inlet (a stress shape), while sessions == targets is the
+// clean one-subject-per-inlet drive.
+func runUDP(targets []string, sessions int, rateHz float64, duration time.Duration, seed uint64) {
+	var addrs []string
+	for _, t := range targets {
+		if t = strings.TrimSpace(t); t != "" {
+			addrs = append(addrs, t)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("loadgen: -mode udp needs -targets (see cogarmd -listen output)")
+	}
+	if sessions < len(addrs) {
+		sessions = len(addrs)
+	}
+	clock := stream.NewVirtualClock(0, 0)
+	var wg sync.WaitGroup
+	var totalSent uint64
+	var mu sync.Mutex
+	for i := 0; i < sessions; i++ {
+		addr := addrs[i%len(addrs)]
+		outlet, err := stream.NewUDPOutlet(addr, clock, stream.LinkConfig{Seed: seed + uint64(i)})
+		if err != nil {
+			log.Fatalf("loadgen: dial %s: %v", addr, err)
+		}
+		wg.Add(1)
+		go func(i int, outlet *stream.UDPOutlet) {
+			defer wg.Done()
+			defer func() {
+				outlet.Close()
+				mu.Lock()
+				totalSent += outlet.BytesSent
+				mu.Unlock()
+			}()
+			gen := eeg.NewGenerator(eeg.NewSubject(i%5), seed+uint64(i)*31)
+			const chunk = 5
+			interval := time.Duration(float64(chunk) / rateHz * float64(time.Second))
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			deadline := time.Now().Add(duration)
+			for time.Now().Before(deadline) {
+				<-tick.C
+				for j := 0; j < chunk; j++ {
+					raw := gen.Next(eeg.Action((i + j) % 3))
+					outlet.Push(raw[:])
+				}
+			}
+		}(i, outlet)
+	}
+	log.Printf("loadgen: streaming %d subjects to %d inlets at %.0f Hz for %v", sessions, len(addrs), rateHz, duration)
+	wg.Wait()
+	log.Printf("loadgen: done, %d payload bytes sent", totalSent)
+}

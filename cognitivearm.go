@@ -14,6 +14,7 @@ import (
 	"cognitivearm/internal/core"
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/serve"
 )
 
 // Re-exported core types: the façade intentionally stays thin so godoc for
@@ -31,6 +32,21 @@ type (
 	Spec = models.Spec
 	// Classifier is the uniform inference interface.
 	Classifier = models.Classifier
+
+	// Hub is the concurrent multi-session serving layer: many closed-loop
+	// sessions multiplexed over shared models on a few worker shards.
+	Hub = serve.Hub
+	// HubConfig sizes a serving hub (shards × sessions, tick rate).
+	HubConfig = serve.Config
+	// ModelRegistry trains or deserialises each classifier once and shares
+	// it read-only across the fleet.
+	ModelRegistry = serve.Registry
+	// SessionConfig describes one session joining the fleet.
+	SessionConfig = serve.SessionConfig
+	// SessionID identifies an admitted session.
+	SessionID = serve.SessionID
+	// FleetSnapshot is the aggregated serving-metrics report.
+	FleetSnapshot = serve.FleetSnapshot
 )
 
 // Action values.
@@ -55,6 +71,17 @@ func PaperSpecs() []Spec { return models.PaperSpecs() }
 
 // ScaledPaperSpecs returns their CPU-trainable equivalents.
 func ScaledPaperSpecs() []Spec { return models.ScaledPaperSpecs() }
+
+// DefaultHubConfig returns the laptop-scale serving configuration.
+func DefaultHubConfig() HubConfig { return serve.DefaultConfig() }
+
+// NewModelRegistry creates an empty shared-model registry.
+func NewModelRegistry() *ModelRegistry { return serve.NewRegistry() }
+
+// NewHub builds a serving hub over a shared-model registry (nil creates a
+// fresh one). See cmd/cogarmd for the daemon around it and cmd/loadgen for
+// the benchmark driver.
+func NewHub(cfg HubConfig, reg *ModelRegistry) (*Hub, error) { return serve.NewHub(cfg, reg) }
 
 // QuickStart trains a fast Random-Forest decoder for one synthetic subject
 // and deploys the full closed loop (EEG board → filters → classifier →

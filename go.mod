@@ -1,0 +1,3 @@
+module cognitivearm
+
+go 1.24

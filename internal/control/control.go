@@ -18,8 +18,6 @@ import (
 	"cognitivearm/internal/edge"
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
-	"cognitivearm/internal/signal"
-	"cognitivearm/internal/tensor"
 )
 
 // Mode is the voice-selected degree of freedom (§III-F1).
@@ -96,14 +94,11 @@ func (l LatencyBreakdown) PerTick() float64 {
 type Controller struct {
 	cfg     Config
 	arduino *arm.Arduino
-	pre     []*signal.EEGPreprocessor
-	window  *tensor.Matrix // rolling WindowSize×Channels buffer
-	filled  int
+	win     *Windower // filter + normalise + rolling window ingest stage
 	mode    Mode
 	// sampleAcc implements the 125/15 fractional samples-per-tick schedule.
 	sampleAcc float64
-	// recent holds the last SmoothingWindow labels for the actuation debounce.
-	recent []eeg.Action
+	debounce  Debouncer
 
 	// Predictions counts labels emitted per action.
 	Predictions map[eeg.Action]int
@@ -116,20 +111,14 @@ func New(cfg Config) (*Controller, error) {
 		return nil, fmt.Errorf("control: board and classifier are required")
 	}
 	info := cfg.Board.Info()
-	pre := make([]*signal.EEGPreprocessor, info.Channels)
-	for i := range pre {
-		p, err := signal.NewEEGPreprocessor(info.SampleRateHz)
-		if err != nil {
-			return nil, fmt.Errorf("control: %w", err)
-		}
-		pre[i] = p
+	win, err := NewWindower(info.SampleRateHz, info.Channels, cfg.Classifier.WindowSize(), cfg.Norm)
+	if err != nil {
+		return nil, err
 	}
-	w := cfg.Classifier.WindowSize()
 	return &Controller{
 		cfg:         cfg,
 		arduino:     arm.NewArduino(),
-		pre:         pre,
-		window:      tensor.New(w, info.Channels),
+		win:         win,
 		Predictions: map[eeg.Action]int{},
 	}, nil
 }
@@ -152,27 +141,8 @@ func (c *Controller) HandleVoice(w audio.Word) {
 	}
 }
 
-// pushSample filters one raw sample and appends it to the rolling window.
-func (c *Controller) pushSample(values []float64) {
-	// Shift up (cheap for the window sizes in play; avoids reindexing).
-	if c.filled == c.window.Rows {
-		copy(c.window.Data, c.window.Data[c.window.Cols:])
-		c.filled--
-	}
-	row := c.window.Row(c.filled)
-	for ch := range row {
-		v := values[ch]
-		v = c.pre[ch].Process(v)
-		if ch < len(c.cfg.Norm.Mean) {
-			v = (v - c.cfg.Norm.Mean[ch]) / c.cfg.Norm.Std[ch]
-		}
-		row[ch] = v
-	}
-	c.filled++
-}
-
 // WindowReady reports whether enough samples have accumulated to classify.
-func (c *Controller) WindowReady() bool { return c.filled == c.window.Rows }
+func (c *Controller) WindowReady() bool { return c.win.Ready() }
 
 // Tick advances one classification period: pull samples, filter, classify if
 // ready, actuate, and advance servo time. It returns the emitted action (or
@@ -186,14 +156,14 @@ func (c *Controller) Tick() (eeg.Action, error) {
 	samples := c.cfg.Board.Read(n)
 	t0 := time.Now()
 	for _, s := range samples {
-		c.pushSample(s.Values)
+		c.win.Push(s.Values)
 	}
 	c.Latency.FilterWallSec += time.Since(t0).Seconds()
 
 	action := eeg.Idle
 	if c.WindowReady() {
 		t1 := time.Now()
-		action = eeg.Action(c.cfg.Classifier.Predict(c.window))
+		action = eeg.Action(c.cfg.Classifier.Predict(c.win.Window()))
 		c.Latency.InferenceWallSec += time.Since(t1).Seconds()
 		if c.cfg.InferenceMACs > 0 {
 			c.Latency.EdgeInferenceSec += c.cfg.Device.Latency(edge.Workload{
@@ -201,11 +171,7 @@ func (c *Controller) Tick() (eeg.Action, error) {
 			}).Seconds()
 		}
 		c.Predictions[action]++
-		c.recent = append(c.recent, action)
-		if len(c.recent) > SmoothingWindow {
-			c.recent = c.recent[1:]
-		}
-		if c.agreed() {
+		if c.debounce.Observe(action) {
 			c.actuate(action)
 		}
 	}
@@ -214,23 +180,6 @@ func (c *Controller) Tick() (eeg.Action, error) {
 	c.Latency.ActuationSec += 5.0*10/115200 + 1.0/ClassifyRateHz/2
 	c.Latency.Ticks++
 	return action, nil
-}
-
-// agreed reports whether the debounce buffer is full and the latest label
-// has a 4-of-5 supermajority — strict enough to ignore transition strays,
-// loose enough that an intermittent classifier still drives the arm.
-func (c *Controller) agreed() bool {
-	if len(c.recent) < SmoothingWindow {
-		return false
-	}
-	latest := c.recent[len(c.recent)-1]
-	votes := 0
-	for _, a := range c.recent {
-		if a == latest {
-			votes++
-		}
-	}
-	return votes >= SmoothingWindow-1
 }
 
 // actuate maps (mode, action) to servo deltas per Fig. 6.
@@ -285,7 +234,7 @@ func RunValidationSession(c *Controller, intents []eeg.Action, ticksPerIntent in
 		// Transition period (§III-B2): let the rolling window flush the
 		// previous intent before scoring, as the live protocol's cue-to-task
 		// margin does. One window plus the debounce depth suffices.
-		warmup := c.window.Rows/8 + SmoothingWindow
+		warmup := c.win.Size()/8 + SmoothingWindow
 		for t := 0; t < warmup; t++ {
 			if _, err := c.Tick(); err != nil {
 				return res, err

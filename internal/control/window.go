@@ -1,0 +1,107 @@
+package control
+
+import (
+	"fmt"
+
+	"cognitivearm/internal/dataset"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/signal"
+	"cognitivearm/internal/tensor"
+)
+
+// Windower is the ingest stage of a closed loop: per-channel causal
+// filtering, training-stats normalisation, and a WindowSize×Channels rolling
+// buffer of the most recent samples. It was extracted from Controller so the
+// fleet sessions of internal/serve can run the identical signal path without
+// carrying a Controller's actuator and latency accounting. A Windower is
+// single-session state and must not be shared across goroutines.
+type Windower struct {
+	pre    []*signal.EEGPreprocessor
+	norm   dataset.Stats
+	window *tensor.Matrix
+	filled int
+}
+
+// NewWindower builds the ingest stage for one session. norm holds the
+// subject's training normalisation constants, applied to live samples
+// exactly as during training (§V-A); a zero-value Stats disables
+// normalisation.
+func NewWindower(sampleRateHz float64, channels, windowSize int, norm dataset.Stats) (*Windower, error) {
+	if channels < 1 || windowSize < 1 {
+		return nil, fmt.Errorf("control: windower needs positive channels (%d) and window (%d)", channels, windowSize)
+	}
+	pre := make([]*signal.EEGPreprocessor, channels)
+	for i := range pre {
+		p, err := signal.NewEEGPreprocessor(sampleRateHz)
+		if err != nil {
+			return nil, fmt.Errorf("control: %w", err)
+		}
+		pre[i] = p
+	}
+	return &Windower{pre: pre, norm: norm, window: tensor.New(windowSize, channels)}, nil
+}
+
+// Push filters one raw sample and appends it to the rolling window. Samples
+// with fewer values than the window's channel count are dropped (reported
+// false): network-fed sessions receive attacker-controlled channel counts on
+// the wire, and a short sample must not panic the serving shard.
+func (w *Windower) Push(values []float64) bool {
+	if len(values) < w.window.Cols {
+		return false
+	}
+	// Shift up (cheap for the window sizes in play; avoids reindexing).
+	if w.filled == w.window.Rows {
+		copy(w.window.Data, w.window.Data[w.window.Cols:])
+		w.filled--
+	}
+	row := w.window.Row(w.filled)
+	for ch := range row {
+		v := values[ch]
+		v = w.pre[ch].Process(v)
+		if ch < len(w.norm.Mean) {
+			v = (v - w.norm.Mean[ch]) / w.norm.Std[ch]
+		}
+		row[ch] = v
+	}
+	w.filled++
+	return true
+}
+
+// Ready reports whether enough samples have accumulated to classify.
+func (w *Windower) Ready() bool { return w.filled == w.window.Rows }
+
+// Window exposes the rolling buffer for classification. The matrix is owned
+// by the Windower and overwritten by subsequent Push calls; classify before
+// pushing more samples, or clone.
+func (w *Windower) Window() *tensor.Matrix { return w.window }
+
+// Size returns the window length in samples.
+func (w *Windower) Size() int { return w.window.Rows }
+
+// Debouncer is the actuation debounce shared by the single-subject
+// Controller and the serving fleet's sessions: a label only counts as agreed
+// when it holds a SmoothingWindow−1 supermajority over the last
+// SmoothingWindow labels, absorbing the strays produced while the rolling
+// window straddles an intent transition.
+type Debouncer struct {
+	recent []eeg.Action
+}
+
+// Observe records one decoded label and reports whether the debounce agrees
+// on it.
+func (d *Debouncer) Observe(a eeg.Action) bool {
+	d.recent = append(d.recent, a)
+	if len(d.recent) > SmoothingWindow {
+		d.recent = d.recent[1:]
+	}
+	if len(d.recent) < SmoothingWindow {
+		return false
+	}
+	votes := 0
+	for _, r := range d.recent {
+		if r == a {
+			votes++
+		}
+	}
+	return votes >= SmoothingWindow-1
+}

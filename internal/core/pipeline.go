@@ -107,6 +107,48 @@ func New(cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
+// GlobalStats returns normalisation constants averaged across every trained
+// subject — the serving-time fallback for subjects outside the pool, where
+// no per-subject calibration exists yet. Averaging per-subject means and
+// stds is an approximation of pooled statistics, but the per-channel scales
+// it preserves are what the live filter chain needs.
+func (p *Pipeline) GlobalStats() dataset.Stats {
+	var out dataset.Stats
+	n := 0.0
+	for _, id := range p.Config.SubjectIDs {
+		st, ok := p.Stats[id]
+		if !ok || len(st.Mean) == 0 {
+			continue
+		}
+		if out.Mean == nil {
+			out.Mean = make([]float64, len(st.Mean))
+			out.Std = make([]float64, len(st.Std))
+		}
+		for ch := range st.Mean {
+			out.Mean[ch] += st.Mean[ch]
+			out.Std[ch] += st.Std[ch]
+		}
+		n++
+	}
+	if n > 0 {
+		for ch := range out.Mean {
+			out.Mean[ch] /= n
+			out.Std[ch] /= n
+		}
+	}
+	return out
+}
+
+// NormFor returns subject id's normalisation stats, falling back to
+// GlobalStats for subjects the pipeline never trained on — the admission
+// path of the serving hub, which must accept arbitrary subject IDs.
+func (p *Pipeline) NormFor(id int) dataset.Stats {
+	if st, ok := p.Stats[id]; ok {
+		return st
+	}
+	return p.GlobalStats()
+}
+
 // Pooled returns all subjects' windows shuffled together with an 80:20
 // train/val split (the within-distribution evaluation).
 func (p *Pipeline) Pooled() (train, val []dataset.Window) {

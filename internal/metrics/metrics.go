@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // ConfusionMatrix counts predictions: M[actual][predicted].
@@ -103,6 +104,45 @@ func SampleStd(v []float64) float64 {
 		s += d * d
 	}
 	return math.Sqrt(s / float64(len(v)-1))
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of v with linear
+// interpolation between order statistics — the estimator behind the serving
+// fleet's p50/p99 tick-latency snapshots. The input is not modified.
+func Percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile for inputs already in ascending order,
+// avoiding the copy+sort when the caller computes several quantiles from one
+// sample set.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // PairedTTest computes the paired t statistic and two-sided p-value for two

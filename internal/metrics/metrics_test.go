@@ -166,3 +166,32 @@ func TestVarianceReduction(t *testing.T) {
 		t.Fatal("degenerate case should be 0")
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	v := []float64{5, 1, 3, 2, 4} // unsorted on purpose; input must not be mutated
+	if got := Percentile(v, 0.5); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := Percentile(v, 0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := Percentile(v, 1); got != 5 {
+		t.Fatalf("p100 = %v, want 5", got)
+	}
+	// Linear interpolation: p25 of 1..5 sits at index 1 exactly.
+	if got := Percentile(v, 0.25); got != 2 {
+		t.Fatalf("p25 = %v, want 2", got)
+	}
+	if got := Percentile([]float64{10, 20}, 0.75); got != 17.5 {
+		t.Fatalf("p75 of {10,20} = %v, want 17.5", got)
+	}
+	if v[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+	if got := PercentileSorted([]float64{1, 2, 3, 4, 5}, 0.99); got != 4.96 {
+		t.Fatalf("p99 = %v, want 4.96", got)
+	}
+}

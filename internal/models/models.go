@@ -155,7 +155,10 @@ func ScaledPaperSpecs() []Spec {
 }
 
 // Classifier is the uniform inference interface consumed by ensembles,
-// compression, evaluation and the real-time control loop.
+// compression, evaluation and the real-time control loop. Trained
+// classifiers are read-only at inference time and safe for concurrent
+// Predict/Probs calls from many goroutines — the contract the serving hub
+// (internal/serve) relies on to share one model across sessions.
 type Classifier interface {
 	// Predict returns the action class for one window (rows=time,
 	// cols=channels).
@@ -168,6 +171,30 @@ type Classifier interface {
 	WindowSize() int
 	// Name is a short human-readable identifier.
 	Name() string
+}
+
+// BatchPredictor is the optional batched-inference extension of Classifier.
+// The serving hub coalesces ready windows from many concurrent sessions into
+// one call per shard tick; implementations exploit the batch for cache
+// locality (the forest walks tree-major) or simply amortise dispatch.
+type BatchPredictor interface {
+	// PredictBatch classifies many windows in one call, returning one class
+	// index per window in order.
+	PredictBatch(xs []*tensor.Matrix) []int
+}
+
+// PredictBatch classifies a batch of windows through c's batched path when
+// it implements BatchPredictor, falling back to per-window Predict calls
+// otherwise. It is safe for concurrent use with other inference calls.
+func PredictBatch(c Classifier, xs []*tensor.Matrix) []int {
+	if bp, ok := c.(BatchPredictor); ok {
+		return bp.PredictBatch(xs)
+	}
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = c.Predict(x)
+	}
+	return out
 }
 
 // NNClassifier wraps an nn.Network with its spec.
@@ -190,6 +217,18 @@ func (c *NNClassifier) WindowSize() int { return c.Spec.WindowSize }
 
 // Name implements Classifier.
 func (c *NNClassifier) Name() string { return c.Spec.ID() }
+
+// PredictBatch implements BatchPredictor. Forward passes stay per-window
+// (the nn layers are two-dimensional by design), so the batch win here is
+// amortised dispatch; inference-mode forwards write no layer state, so the
+// calls are safe alongside concurrent Predict traffic.
+func (c *NNClassifier) PredictBatch(xs []*tensor.Matrix) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = c.Net.Predict(x)
+	}
+	return out
+}
 
 // RFClassifier wraps a trained forest plus the feature extraction step.
 type RFClassifier struct {
@@ -216,6 +255,17 @@ func (c *RFClassifier) WindowSize() int { return c.Spec.WindowSize }
 
 // Name implements Classifier.
 func (c *RFClassifier) Name() string { return c.Spec.ID() }
+
+// PredictBatch implements BatchPredictor: features are extracted per window,
+// then the forest routes the whole batch tree-major (see rf.ProbsBatch) so
+// each tree's nodes are walked while still cache-hot.
+func (c *RFClassifier) PredictBatch(xs []*tensor.Matrix) []int {
+	X := make([][]float64, len(xs))
+	for i, x := range xs {
+		X[i] = dataset.FeatureVector(dataset.Window{Data: x})
+	}
+	return c.Forest.PredictBatch(X)
+}
 
 // BuildNet constructs the (untrained) network for an NN-family spec.
 func BuildNet(s Spec, seed uint64) (*nn.Network, error) {

@@ -32,11 +32,15 @@ func (ln *LayerNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: LayerNorm expects dim %d, got %d", ln.Dim, x.Cols))
 	}
 	y := tensor.New(x.Rows, x.Cols)
-	ln.lastNorm = tensor.New(x.Rows, x.Cols)
-	if cap(ln.invStd) < x.Rows {
-		ln.invStd = make([]float64, x.Rows)
+	// x̂ and 1/σ are backward-pass caches; skip them on the inference hot
+	// path, where every serving-hub session would otherwise allocate and
+	// fill a full matrix per LayerNorm per window.
+	var norm *tensor.Matrix
+	var invStd []float64
+	if train {
+		norm = tensor.New(x.Rows, x.Cols)
+		invStd = make([]float64, x.Rows)
 	}
-	ln.invStd = ln.invStd[:x.Rows]
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		mu := tensor.Mean(row)
@@ -47,13 +51,23 @@ func (ln *LayerNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		}
 		v /= float64(len(row))
 		inv := 1 / math.Sqrt(v+ln.Eps)
-		ln.invStd[i] = inv
-		nrow := ln.lastNorm.Row(i)
 		yrow := y.Row(i)
-		for j, xv := range row {
-			nrow[j] = (xv - mu) * inv
-			yrow[j] = nrow[j]*ln.Gamma.W.Data[j] + ln.Beta.W.Data[j]
+		if train {
+			invStd[i] = inv
+			nrow := norm.Row(i)
+			for j, xv := range row {
+				nrow[j] = (xv - mu) * inv
+				yrow[j] = nrow[j]*ln.Gamma.W.Data[j] + ln.Beta.W.Data[j]
+			}
+		} else {
+			for j, xv := range row {
+				yrow[j] = (xv-mu)*inv*ln.Gamma.W.Data[j] + ln.Beta.W.Data[j]
+			}
 		}
+	}
+	if train {
+		ln.lastNorm = norm
+		ln.invStd = invStd
 	}
 	return y
 }
@@ -181,28 +195,33 @@ func (m *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matri
 	if x.Cols != m.Dim {
 		panic(fmt.Sprintf("nn: attention expects dim %d, got %d", m.Dim, x.Cols))
 	}
-	m.lastX = x
-	m.q = tensor.MatMul(nil, x, m.Wq.W)
-	m.k = tensor.MatMul(nil, x, m.Wk.W)
-	m.v = tensor.MatMul(nil, x, m.Wv.W)
+	q := tensor.MatMul(nil, x, m.Wq.W)
+	k := tensor.MatMul(nil, x, m.Wk.W)
+	v := tensor.MatMul(nil, x, m.Wv.W)
 	dk := m.Dim / m.Heads
 	scale := 1 / math.Sqrt(float64(dk))
-	m.attn = make([]*tensor.Matrix, m.Heads)
-	m.concat = tensor.New(x.Rows, m.Dim)
+	attn := make([]*tensor.Matrix, m.Heads)
+	concat := tensor.New(x.Rows, m.Dim)
 	for h := 0; h < m.Heads; h++ {
-		qh := headView(m.q, h, dk)
-		kh := headView(m.k, h, dk)
-		vh := headView(m.v, h, dk)
+		qh := headView(q, h, dk)
+		kh := headView(k, h, dk)
+		vh := headView(v, h, dk)
 		scores := tensor.MatMulTransB(nil, qh, kh)
 		tensor.Scale(scores, scale)
 		tensor.SoftmaxRows(scores)
-		m.attn[h] = scores
+		attn[h] = scores
 		oh := tensor.MatMul(nil, scores, vh)
 		for t := 0; t < x.Rows; t++ {
-			copy(m.concat.Row(t)[h*dk:(h+1)*dk], oh.Row(t))
+			copy(concat.Row(t)[h*dk:(h+1)*dk], oh.Row(t))
 		}
 	}
-	return tensor.MatMul(nil, m.concat, m.Wo.W)
+	if train {
+		m.lastX = x
+		m.q, m.k, m.v = q, k, v
+		m.attn = attn
+		m.concat = concat
+	}
+	return tensor.MatMul(nil, concat, m.Wo.W)
 }
 
 // Backward implements Layer.

@@ -53,8 +53,6 @@ func (c *Conv1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if outT <= 0 {
 		panic(fmt.Sprintf("nn: Conv1D input length %d shorter than kernel %d", x.Rows, c.Kernel))
 	}
-	c.lastX = x
-	c.outT = outT
 	// im2col: each output step's receptive field becomes one row.
 	col := tensor.New(outT, c.Kernel*c.InChannels)
 	for t := 0; t < outT; t++ {
@@ -64,7 +62,11 @@ func (c *Conv1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 			copy(dst[k*c.InChannels:(k+1)*c.InChannels], x.Row(src+k))
 		}
 	}
-	c.lastCol = col
+	if train {
+		c.lastX = x
+		c.outT = outT
+		c.lastCol = col
+	}
 	y := tensor.MatMul(nil, col, c.Weight.W)
 	tensor.AddRowVector(y, c.Bias.W.Data)
 	return y
@@ -138,15 +140,11 @@ func (p *Pool1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if outT == 0 {
 		outT = 1 // degenerate input shorter than window: pool everything
 	}
-	p.lastX = x
-	p.outT = outT
-	y := tensor.New(outT, x.Cols)
-	if p.Kind == MaxPoolKind {
-		if cap(p.argmax) < outT*x.Cols {
-			p.argmax = make([]int, outT*x.Cols)
-		}
-		p.argmax = p.argmax[:outT*x.Cols]
+	var argmax []int
+	if train && p.Kind == MaxPoolKind {
+		argmax = make([]int, outT*x.Cols)
 	}
+	y := tensor.New(outT, x.Cols)
 	for t := 0; t < outT; t++ {
 		start := t * p.Window
 		end := start + p.Window
@@ -164,7 +162,9 @@ func (p *Pool1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 					}
 				}
 				y.Set(t, j, best)
-				p.argmax[t*x.Cols+j] = bi
+				if argmax != nil {
+					argmax[t*x.Cols+j] = bi
+				}
 			case AvgPoolKind:
 				var s float64
 				for r := start; r < end; r++ {
@@ -173,6 +173,11 @@ func (p *Pool1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 				y.Set(t, j, s/float64(end-start))
 			}
 		}
+	}
+	if train {
+		p.lastX = x
+		p.outT = outT
+		p.argmax = argmax
 	}
 	return y
 }

@@ -27,7 +27,9 @@ func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: Dense expects %d inputs, got %d", d.In, x.Cols))
 	}
-	d.lastX = x
+	if train {
+		d.lastX = x
+	}
 	y := tensor.MatMul(nil, x, d.Weight.W)
 	tensor.AddRowVector(y, d.Bias.W.Data)
 	return y
@@ -61,6 +63,14 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	y := x.Clone()
+	if !train {
+		for i, v := range y.Data {
+			if v <= 0 {
+				y.Data[i] = 0
+			}
+		}
+		return y
+	}
 	if cap(r.mask) < len(y.Data) {
 		r.mask = make([]bool, len(y.Data))
 	}
@@ -112,7 +122,8 @@ func NewDropout(p float64, rng *tensor.RNG) *Dropout {
 // Forward implements Layer.
 func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if !train || d.P == 0 {
-		d.mask = nil
+		// No receiver writes on the inference path: a trained network must be
+		// shareable read-only across goroutines.
 		return x
 	}
 	y := x.Clone()
@@ -161,7 +172,9 @@ func NewFlatten() *Flatten { return &Flatten{} }
 
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	f.rows, f.cols = x.Rows, x.Cols
+	if train {
+		f.rows, f.cols = x.Rows, x.Cols
+	}
 	return tensor.FromSlice(1, x.Rows*x.Cols, append([]float64(nil), x.Data...))
 }
 
@@ -185,7 +198,9 @@ func NewMeanPool() *MeanPool { return &MeanPool{} }
 
 // Forward implements Layer.
 func (m *MeanPool) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	m.rows = x.Rows
+	if train {
+		m.rows = x.Rows
+	}
 	out := tensor.New(1, x.Cols)
 	tensor.ColSums(out.Data, x)
 	tensor.Scale(out, 1/float64(x.Rows))

@@ -51,21 +51,19 @@ func (l *LSTM) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: LSTM expects %d inputs, got %d", l.In, x.Cols))
 	}
 	T, H := x.Rows, l.Hidden
-	l.steps = T
-	l.xs = x
-	l.hs = tensor.New(T+1, H)
-	l.cs = tensor.New(T+1, H)
-	l.gateI = tensor.New(T, H)
-	l.gateF = tensor.New(T, H)
-	l.gateG = tensor.New(T, H)
-	l.gateO = tensor.New(T, H)
-	l.tc = tensor.New(T, H)
+	hs := tensor.New(T+1, H)
+	cs := tensor.New(T+1, H)
+	gateI := tensor.New(T, H)
+	gateF := tensor.New(T, H)
+	gateG := tensor.New(T, H)
+	gateO := tensor.New(T, H)
+	tcM := tensor.New(T, H)
 
 	z := make([]float64, l.In+H)
 	gates := make([]float64, 4*H)
 	for t := 0; t < T; t++ {
 		copy(z[:l.In], x.Row(t))
-		copy(z[l.In:], l.hs.Row(t))
+		copy(z[l.In:], hs.Row(t))
 		// gates = z·W + b
 		for j := range gates {
 			gates[j] = l.Bias.W.Data[j]
@@ -79,11 +77,11 @@ func (l *LSTM) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 				gates[j] += zk * wrow[j]
 			}
 		}
-		hi, hf, hg, ho := l.gateI.Row(t), l.gateF.Row(t), l.gateG.Row(t), l.gateO.Row(t)
-		cPrev := l.cs.Row(t)
-		cNext := l.cs.Row(t + 1)
-		hNext := l.hs.Row(t + 1)
-		tc := l.tc.Row(t)
+		hi, hf, hg, ho := gateI.Row(t), gateF.Row(t), gateG.Row(t), gateO.Row(t)
+		cPrev := cs.Row(t)
+		cNext := cs.Row(t + 1)
+		hNext := hs.Row(t + 1)
+		tc := tcM.Row(t)
 		for j := 0; j < H; j++ {
 			hi[j] = sigmoid(gates[j])
 			hf[j] = sigmoid(gates[H+j])
@@ -94,8 +92,15 @@ func (l *LSTM) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 			hNext[j] = ho[j] * tc[j]
 		}
 	}
+	if train {
+		l.steps = T
+		l.xs = x
+		l.hs, l.cs = hs, cs
+		l.gateI, l.gateF, l.gateG, l.gateO = gateI, gateF, gateG, gateO
+		l.tc = tcM
+	}
 	out := tensor.New(T, H)
-	copy(out.Data, l.hs.Data[H:]) // rows 1..T
+	copy(out.Data, hs.Data[H:]) // rows 1..T
 	return out
 }
 
@@ -175,7 +180,9 @@ func NewLastStep() *LastStep { return &LastStep{} }
 
 // Forward implements Layer.
 func (s *LastStep) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	s.rows, s.cols = x.Rows, x.Cols
+	if train {
+		s.rows, s.cols = x.Rows, x.Cols
+	}
 	return tensor.FromSlice(1, x.Cols, append([]float64(nil), x.Row(x.Rows-1)...))
 }
 

@@ -35,8 +35,11 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 // Layer is one differentiable stage. Forward consumes the previous
 // activation; Backward consumes dL/d(output) and returns dL/d(input),
 // accumulating parameter gradients internally. Layers are stateful between
-// Forward and Backward (they cache what they need), so a Network must not be
-// shared across goroutines during training.
+// Forward(train=true) and Backward (they cache what they need), so a Network
+// must not be shared across goroutines during training. Forward with
+// train=false never writes layer state: a trained Network may serve
+// concurrent Predict/Probs calls from many goroutines, which the serving hub
+// (internal/serve) relies on to share one model across sessions.
 type Layer interface {
 	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
 	Backward(gradOut *tensor.Matrix) *tensor.Matrix

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cognitivearm/internal/metrics"
+)
+
+// shardMetrics accumulates one shard's serving counters plus a bounded ring
+// of recent tick latencies for the percentile snapshot.
+type shardMetrics struct {
+	mu         sync.Mutex
+	ticks      uint64
+	inferences uint64
+	batches    uint64
+	evictions  uint64
+	samplesIn  uint64
+
+	lat     []float64 // ring of recent tick latencies (seconds)
+	latIdx  int
+	latFull bool
+}
+
+func newShardMetrics(window int) shardMetrics {
+	return shardMetrics{lat: make([]float64, window)}
+}
+
+func (m *shardMetrics) tick(latencySec float64, samplesIn uint64) {
+	m.mu.Lock()
+	m.ticks++
+	m.samplesIn += samplesIn
+	m.lat[m.latIdx] = latencySec
+	m.latIdx++
+	if m.latIdx == len(m.lat) {
+		m.latIdx = 0
+		m.latFull = true
+	}
+	m.mu.Unlock()
+}
+
+func (m *shardMetrics) batch(size int) {
+	m.mu.Lock()
+	m.batches++
+	m.inferences += uint64(size)
+	m.mu.Unlock()
+}
+
+func (m *shardMetrics) evict() {
+	m.mu.Lock()
+	m.evictions++
+	m.mu.Unlock()
+}
+
+// snapshot returns the counters plus a sorted copy of the retained
+// latencies so the fleet aggregation can pool them.
+func (m *shardMetrics) snapshot() (ShardSnapshot, []float64) {
+	m.mu.Lock()
+	n := m.latIdx
+	if m.latFull {
+		n = len(m.lat)
+	}
+	lat := append([]float64(nil), m.lat[:n]...)
+	snap := ShardSnapshot{
+		Ticks:      m.ticks,
+		Inferences: m.inferences,
+		Batches:    m.batches,
+		Evictions:  m.evictions,
+		SamplesIn:  m.samplesIn,
+	}
+	m.mu.Unlock()
+	if snap.Batches > 0 {
+		snap.MeanBatch = float64(snap.Inferences) / float64(snap.Batches)
+	}
+	sort.Float64s(lat)
+	snap.TickP50Ms = 1e3 * metrics.PercentileSorted(lat, 0.50)
+	snap.TickP99Ms = 1e3 * metrics.PercentileSorted(lat, 0.99)
+	return snap, lat
+}
+
+// ShardSnapshot is one shard's point-in-time serving report.
+type ShardSnapshot struct {
+	Shard    int
+	Sessions int
+	// Ticks counts completed tick loops; SamplesIn counts raw samples
+	// ingested across all sessions.
+	Ticks     uint64
+	SamplesIn uint64
+	// Inferences counts classified windows; Batches counts batched
+	// classifier calls, so MeanBatch = Inferences/Batches is the realised
+	// cross-session coalescing factor.
+	Inferences uint64
+	Batches    uint64
+	MeanBatch  float64
+	Evictions  uint64
+	// TickP50Ms / TickP99Ms are percentiles of recent tick wall latencies.
+	TickP50Ms float64
+	TickP99Ms float64
+}
+
+// String renders one shard's report as a log line.
+func (s ShardSnapshot) String() string {
+	return fmt.Sprintf("shard %d: %d sessions, %d ticks, %d inf in %d batches (mean %.1f), p50 %.3fms p99 %.3fms, %d evicted",
+		s.Shard, s.Sessions, s.Ticks, s.Inferences, s.Batches, s.MeanBatch, s.TickP50Ms, s.TickP99Ms, s.Evictions)
+}
+
+// FleetSnapshot aggregates every shard: totals plus fleet-wide percentiles
+// over the pooled recent tick latencies.
+type FleetSnapshot struct {
+	Sessions   int
+	Ticks      uint64
+	SamplesIn  uint64
+	Inferences uint64
+	Batches    uint64
+	Evictions  uint64
+	TickP50Ms  float64
+	TickP99Ms  float64
+	Shards     []ShardSnapshot
+}
+
+// String renders the fleet-wide headline as a log line.
+func (f FleetSnapshot) String() string {
+	mean := 0.0
+	if f.Batches > 0 {
+		mean = float64(f.Inferences) / float64(f.Batches)
+	}
+	return fmt.Sprintf("fleet: %d sessions on %d shards, %d ticks, %d inferences (mean batch %.1f), tick p50 %.3fms p99 %.3fms",
+		f.Sessions, len(f.Shards), f.Ticks, f.Inferences, mean, f.TickP50Ms, f.TickP99Ms)
+}

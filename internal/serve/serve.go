@@ -1,0 +1,294 @@
+// Package serve is CognitiveArm's concurrent multi-session serving layer:
+// one Hub owns a fleet of closed-loop EEG sessions and runs them on a small,
+// fixed set of worker shards instead of a goroutine (or a whole process) per
+// subject.
+//
+// # Architecture
+//
+// The seed system deploys one core.System per subject: its own board, its
+// own freshly trained classifier, its own tick loop. That shape cannot reach
+// the ROADMAP's production scale — training is repeated per deploy, models
+// are duplicated per user, and loop goroutines multiply with the fleet. The
+// hub inverts all three axes:
+//
+//   - Registry (registry.go) trains or deserialises each model exactly once
+//     and shares it read-only across every session. Inference-mode forward
+//     passes write no layer state (internal/nn) and forest traversal is
+//     pure (internal/rf), so no lock sits on the hot path.
+//
+//   - Shards (shard.go) partition the fleet across N workers, each with one
+//     tick-loop goroutine at TickHz. A tick pulls each session's due samples
+//     through its Windower (filter → normalise → rolling window), then
+//     coalesces every ready window into one batched classifier call per
+//     model — cross-session batching, which turns S per-session Predict
+//     dispatches into one PredictBatch whose tree-major forest traversal
+//     amortises cache misses over the whole batch. Admission control caps
+//     sessions per shard; sessions whose sources go silent are evicted
+//     gracefully after MaxIdleTicks.
+//
+//   - Metrics (metrics.go) aggregate per-shard and fleet-wide p50/p99 tick
+//     latency, throughput counters and drop/eviction counts, built on
+//     internal/metrics percentiles, so capacity planning reads off one
+//     snapshot.
+//
+// Sessions ingest from any Source: a board.Board (synthetic subjects, used
+// by cmd/loadgen), or a RingSource over an internal/stream UDP/LSL inlet
+// ring (networked subjects, used by cmd/cogarmd).
+//
+// Hubs run in two modes: Start launches paced shard loops for daemons, and
+// TickAll advances every shard once for caller-paced benchmarks and tests.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cognitivearm/internal/control"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/metrics"
+)
+
+// Config sizes a Hub. The zero value is unusable; start from DefaultConfig.
+type Config struct {
+	// Shards is the number of worker shards (and tick-loop goroutines).
+	Shards int
+	// MaxSessionsPerShard bounds admission; the fleet capacity is
+	// Shards × MaxSessionsPerShard.
+	MaxSessionsPerShard int
+	// TickHz is the classification rate of every shard loop (the paper's
+	// 15 Hz action-label rate by default).
+	TickHz float64
+	// MaxIdleTicks evicts a session after this many consecutive ticks with
+	// no samples from its source. 0 disables idle eviction.
+	MaxIdleTicks int
+	// LatencyWindow is how many recent tick latencies each shard retains for
+	// the percentile snapshot.
+	LatencyWindow int
+}
+
+// DefaultConfig returns a laptop-scale hub: 4 shards × 256 sessions at the
+// paper's 15 Hz label rate.
+func DefaultConfig() Config {
+	return Config{
+		Shards:              4,
+		MaxSessionsPerShard: 256,
+		TickHz:              control.ClassifyRateHz,
+		MaxIdleTicks:        0,
+		LatencyWindow:       512,
+	}
+}
+
+// ErrFleetFull is returned by Admit when every shard is at capacity.
+var ErrFleetFull = fmt.Errorf("serve: fleet at capacity")
+
+// SessionID identifies an admitted session for eviction and stats lookups.
+type SessionID uint64
+
+// Hub owns the fleet: a model registry, N shards, and the admission index.
+type Hub struct {
+	cfg Config
+	reg *Registry
+
+	mu      sync.Mutex
+	shards  []*shard
+	nextID  SessionID
+	running bool
+
+	// idxMu guards index alone. It is a leaf lock (never held while taking
+	// another), so shards can remove idle-evicted sessions from the index
+	// while holding their own lock without an ABBA deadlock against Admit's
+	// hub-then-shard ordering.
+	idxMu sync.Mutex
+	index map[SessionID]*shard
+}
+
+// NewHub builds a hub around an existing registry (so several hubs — or a
+// hub and offline evaluation — can share one trained model set).
+func NewHub(cfg Config, reg *Registry) (*Hub, error) {
+	if cfg.Shards < 1 || cfg.MaxSessionsPerShard < 1 {
+		return nil, fmt.Errorf("serve: need >= 1 shard (%d) and >= 1 session per shard (%d)",
+			cfg.Shards, cfg.MaxSessionsPerShard)
+	}
+	if cfg.TickHz <= 0 {
+		return nil, fmt.Errorf("serve: tick rate must be positive (%g)", cfg.TickHz)
+	}
+	if cfg.LatencyWindow < 1 {
+		cfg.LatencyWindow = DefaultConfig().LatencyWindow
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	h := &Hub{cfg: cfg, reg: reg, index: map[SessionID]*shard{}}
+	for i := 0; i < cfg.Shards; i++ {
+		s := newShard(i, cfg)
+		// Shard-initiated evictions (idle timeout) must also leave the
+		// admission index, or churning clients leak an entry each.
+		s.onEvict = h.dropIndex
+		h.shards = append(h.shards, s)
+	}
+	return h, nil
+}
+
+// dropIndex removes an evicted session from the admission index.
+func (h *Hub) dropIndex(id SessionID) {
+	h.idxMu.Lock()
+	delete(h.index, id)
+	h.idxMu.Unlock()
+}
+
+// Registry exposes the hub's shared model registry.
+func (h *Hub) Registry() *Registry { return h.reg }
+
+// Admit validates the session config, resolves its shared classifier from
+// the registry, and places the session on the least-loaded shard. It returns
+// ErrFleetFull when every shard is at capacity.
+func (h *Hub) Admit(sc SessionConfig) (SessionID, error) {
+	clf, _, ok := h.reg.Get(sc.ModelKey)
+	if !ok {
+		return 0, fmt.Errorf("serve: model %q not in registry (have %v)", sc.ModelKey, h.reg.Keys())
+	}
+	if sc.Source == nil {
+		return 0, fmt.Errorf("serve: session needs a sample source")
+	}
+	if sc.Channels <= 0 {
+		sc.Channels = eeg.NumChannels
+	}
+	if sc.SampleRateHz <= 0 {
+		sc.SampleRateHz = eeg.SampleRate
+	}
+	win, err := control.NewWindower(sc.SampleRateHz, sc.Channels, clf.WindowSize(), sc.Norm)
+	if err != nil {
+		return 0, err
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var best *shard
+	for _, s := range h.shards {
+		if s.len() >= h.cfg.MaxSessionsPerShard {
+			continue
+		}
+		if best == nil || s.len() < best.len() {
+			best = s
+		}
+	}
+	if best == nil {
+		return 0, ErrFleetFull
+	}
+	h.nextID++
+	id := h.nextID
+	best.add(&session{id: id, cfg: sc, clf: clf, win: win})
+	h.idxMu.Lock()
+	h.index[id] = best
+	h.idxMu.Unlock()
+	return id, nil
+}
+
+// Evict removes a session gracefully: the shard drops it at the next tick
+// boundary and closes its source if it implements io.Closer.
+func (h *Hub) Evict(id SessionID) error {
+	h.idxMu.Lock()
+	s, ok := h.index[id]
+	if ok {
+		delete(h.index, id)
+	}
+	h.idxMu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: session %d not found", id)
+	}
+	s.requestEvict(id)
+	return nil
+}
+
+// Sessions returns the fleet-wide live session count.
+func (h *Hub) Sessions() int {
+	n := 0
+	for _, s := range h.shards {
+		n += s.len()
+	}
+	return n
+}
+
+// Session returns a point-in-time view of one session's decode counters.
+func (h *Hub) Session(id SessionID) (SessionStats, bool) {
+	h.idxMu.Lock()
+	s, ok := h.index[id]
+	h.idxMu.Unlock()
+	if !ok {
+		return SessionStats{}, false
+	}
+	return s.sessionStats(id)
+}
+
+// Start launches every shard's paced tick loop. It is idempotent.
+func (h *Hub) Start() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.running {
+		return
+	}
+	h.running = true
+	for _, s := range h.shards {
+		s.start()
+	}
+}
+
+// Stop halts the shard loops and closes every remaining session. The hub
+// may be restarted.
+func (h *Hub) Stop() {
+	h.mu.Lock()
+	if !h.running {
+		h.mu.Unlock()
+		// Still close admitted sessions for symmetry with Start-less use.
+		for _, s := range h.shards {
+			s.closeAll()
+		}
+		return
+	}
+	h.running = false
+	h.mu.Unlock()
+	for _, s := range h.shards {
+		s.stopLoop()
+		s.closeAll()
+	}
+}
+
+// TickAll advances every shard by exactly one tick and waits for all of
+// them, running shards concurrently as the paced loops would. It is the
+// caller-paced mode used by benchmarks and deterministic tests; do not mix
+// with Start.
+func (h *Hub) TickAll() {
+	var wg sync.WaitGroup
+	for _, s := range h.shards {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			s.tick()
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Snapshot aggregates per-shard and fleet-wide serving metrics.
+func (h *Hub) Snapshot() FleetSnapshot {
+	shardSnaps := make([]ShardSnapshot, 0, len(h.shards))
+	var pooled []float64
+	var fleet FleetSnapshot
+	for _, s := range h.shards {
+		snap, lat := s.snapshot()
+		shardSnaps = append(shardSnaps, snap)
+		pooled = append(pooled, lat...)
+		fleet.Sessions += snap.Sessions
+		fleet.Ticks += snap.Ticks
+		fleet.Inferences += snap.Inferences
+		fleet.Batches += snap.Batches
+		fleet.Evictions += snap.Evictions
+		fleet.SamplesIn += snap.SamplesIn
+	}
+	fleet.Shards = shardSnaps
+	sort.Float64s(pooled)
+	fleet.TickP50Ms = 1e3 * metrics.PercentileSorted(pooled, 0.50)
+	fleet.TickP99Ms = 1e3 * metrics.PercentileSorted(pooled, 0.99)
+	return fleet
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"io"
+
+	"cognitivearm/internal/control"
+	"cognitivearm/internal/dataset"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/stream"
+)
+
+// Source provides raw samples for one session. board.Board satisfies it
+// directly; network-fed sessions use RingSource over an inlet's ring.
+type Source interface {
+	// Read drains up to max buffered samples (oldest first).
+	Read(max int) []stream.Sample
+}
+
+// RingSource adapts a *stream.Ring — e.g. the receive buffer of a
+// stream.UDPInlet or stream.LSLInlet — to the Source interface.
+type RingSource struct {
+	Ring *stream.Ring
+	// Closer, when set, is released on session eviction — pass the inlet
+	// here so evicting a network-fed session also closes its socket.
+	Closer io.Closer
+}
+
+// Read implements Source.
+func (r RingSource) Read(max int) []stream.Sample { return r.Ring.PopN(max) }
+
+// Close implements io.Closer.
+func (r RingSource) Close() error {
+	if r.Closer != nil {
+		return r.Closer.Close()
+	}
+	return nil
+}
+
+// SessionConfig describes one closed-loop session joining the fleet.
+type SessionConfig struct {
+	// ModelKey selects the shared classifier from the hub's registry. The
+	// model must already be resolved (GetOrBuild/LoadNNFile) at Admit time.
+	ModelKey string
+	// Source feeds raw samples; ownership passes to the hub, which closes
+	// it on eviction if it implements io.Closer.
+	Source Source
+	// Norm holds the subject's normalisation constants (core.Pipeline.NormFor).
+	Norm dataset.Stats
+	// Channels and SampleRateHz describe the source stream; zero values
+	// default to the synthetic Cyton's 16 channels at 125 Hz.
+	Channels     int
+	SampleRateHz float64
+}
+
+// SessionStats is a point-in-time view of one session's decode counters.
+type SessionStats struct {
+	ID SessionID
+	// Decoded counts emitted labels (one per tick once the window fills).
+	Decoded uint64
+	// Actions counts labels per action class.
+	Actions map[eeg.Action]uint64
+	// Agreed counts ticks whose debounce supermajority fired — the labels
+	// that would have moved an arm.
+	Agreed uint64
+	// IdleTicks is the current consecutive-silent-tick streak.
+	IdleTicks int
+}
+
+// session is the per-subject state a shard ticks: ingest stage, shared
+// classifier handle, and the actuation debounce of the single-subject
+// Controller, minus the arm itself (fleet serving emits labels; actuation is
+// the subscriber's concern).
+type session struct {
+	id  SessionID
+	cfg SessionConfig
+	clf models.Classifier
+	win *control.Windower
+
+	// sampleAcc implements the fractional samples-per-tick schedule
+	// (e.g. 125 Hz / 15 Hz).
+	sampleAcc float64
+	debounce  control.Debouncer
+	// fed flips once the source delivers its first sample; idle eviction
+	// only applies afterwards, so a freshly admitted network session gets
+	// an unbounded grace period to connect.
+	fed       bool
+	idleTicks int
+
+	decoded uint64
+	agreed  uint64
+	actions [eeg.NumActions]uint64
+}
+
+// due returns how many samples this tick should consume from the source.
+func (s *session) due(tickHz float64) int {
+	s.sampleAcc += s.cfg.SampleRateHz / tickHz
+	n := int(s.sampleAcc)
+	s.sampleAcc -= float64(n)
+	return n
+}
+
+// observe feeds one decoded label through the counters and the debounce.
+func (s *session) observe(a eeg.Action) {
+	s.decoded++
+	if int(a) >= 0 && int(a) < len(s.actions) {
+		s.actions[a]++
+	}
+	if s.debounce.Observe(a) {
+		s.agreed++
+	}
+}
+
+// stats snapshots the counters. Callers must hold the owning shard's lock.
+func (s *session) stats() SessionStats {
+	st := SessionStats{ID: s.id, Decoded: s.decoded, Agreed: s.agreed, IdleTicks: s.idleTicks,
+		Actions: map[eeg.Action]uint64{}}
+	for i, n := range s.actions {
+		if n > 0 {
+			st.Actions[eeg.Action(i)] = n
+		}
+	}
+	return st
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/tensor"
+)
+
+// shard owns a partition of the fleet and ticks it on one goroutine. All
+// session state is confined to the shard lock; the only shared hot-path
+// object is the read-only classifier.
+type shard struct {
+	id  int
+	cfg Config
+	// onEvict notifies the hub that a session left this shard (idle timeout
+	// or close), so the admission index stays in sync. It must only take
+	// leaf locks: it is invoked while the shard lock is held.
+	onEvict func(SessionID)
+
+	mu       sync.Mutex
+	sessions map[SessionID]*session
+	evictq   []SessionID
+
+	loopMu  sync.Mutex
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	running bool
+
+	met shardMetrics
+}
+
+// closeSource releases an evicted session's source: io.Closer for network
+// inlets, Stop for boards.
+func closeSource(src Source) {
+	switch v := src.(type) {
+	case io.Closer:
+		v.Close()
+	case interface{ Stop() error }:
+		v.Stop()
+	}
+}
+
+func newShard(id int, cfg Config) *shard {
+	return &shard{
+		id:       id,
+		cfg:      cfg,
+		sessions: map[SessionID]*session{},
+		met:      newShardMetrics(cfg.LatencyWindow),
+	}
+}
+
+func (s *shard) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *shard) add(sess *session) {
+	s.mu.Lock()
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+}
+
+// requestEvict queues a graceful removal; the session leaves at the next
+// tick boundary (or immediately when no loop is running).
+func (s *shard) requestEvict(id SessionID) {
+	s.mu.Lock()
+	s.evictq = append(s.evictq, id)
+	running := s.isRunning()
+	s.mu.Unlock()
+	if !running {
+		s.mu.Lock()
+		s.processEvictionsLocked()
+		s.mu.Unlock()
+	}
+}
+
+func (s *shard) isRunning() bool {
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	return s.running
+}
+
+// processEvictionsLocked removes queued sessions and closes their sources.
+// Callers hold s.mu.
+func (s *shard) processEvictionsLocked() {
+	for _, id := range s.evictq {
+		sess, ok := s.sessions[id]
+		if !ok {
+			continue
+		}
+		delete(s.sessions, id)
+		closeSource(sess.cfg.Source)
+		if s.onEvict != nil {
+			s.onEvict(id)
+		}
+		s.met.evict()
+	}
+	s.evictq = s.evictq[:0]
+}
+
+func (s *shard) sessionStats(id SessionID) (SessionStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return SessionStats{}, false
+	}
+	return sess.stats(), true
+}
+
+func (s *shard) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, sess := range s.sessions {
+		closeSource(sess.cfg.Source)
+		delete(s.sessions, id)
+		if s.onEvict != nil {
+			s.onEvict(id)
+		}
+	}
+	s.evictq = s.evictq[:0]
+}
+
+func (s *shard) start() {
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	if s.running {
+		return
+	}
+	s.running = true
+	s.stop = make(chan struct{})
+	s.wg.Add(1)
+	go s.run()
+}
+
+func (s *shard) stopLoop() {
+	s.loopMu.Lock()
+	if !s.running {
+		s.loopMu.Unlock()
+		return
+	}
+	s.running = false
+	close(s.stop)
+	s.loopMu.Unlock()
+	s.wg.Wait()
+}
+
+// run paces ticks at TickHz. A tick that overruns its period simply delays
+// the next one (ticker backpressure) — the p99 latency snapshot is where
+// overload becomes visible.
+func (s *shard) run() {
+	defer s.wg.Done()
+	interval := time.Duration(float64(time.Second) / s.cfg.TickHz)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.tick()
+		}
+	}
+}
+
+// tick advances every session one classification period: drain due samples
+// into each rolling window, coalesce all ready windows into one batched
+// inference per shared model, then feed labels back through each session's
+// debounce. Sessions silent for MaxIdleTicks are queued for eviction.
+func (s *shard) tick() {
+	start := time.Now()
+	s.mu.Lock()
+	s.processEvictionsLocked()
+
+	// Ingest phase: windows become ready independently per session.
+	var readySess []*session
+	var readyWin []*tensor.Matrix
+	var samplesIn uint64
+	for id, sess := range s.sessions {
+		n := sess.due(s.cfg.TickHz)
+		samples := sess.cfg.Source.Read(n)
+		if len(samples) == 0 {
+			sess.idleTicks++
+			// Idle eviction only applies to sessions that have streamed
+			// before: a session admitted ahead of its client connecting
+			// (cogarmd -listen) waits indefinitely.
+			if sess.fed && s.cfg.MaxIdleTicks > 0 && sess.idleTicks >= s.cfg.MaxIdleTicks {
+				s.evictq = append(s.evictq, id)
+			}
+			continue
+		}
+		sess.fed = true
+		sess.idleTicks = 0
+		samplesIn += uint64(len(samples))
+		for _, smp := range samples {
+			sess.win.Push(smp.Values)
+		}
+		if sess.win.Ready() {
+			readySess = append(readySess, sess)
+			readyWin = append(readyWin, sess.win.Window())
+		}
+	}
+
+	// Batch phase: one PredictBatch per distinct model. Fleets normally
+	// share one classifier, so this is a single call for the whole shard;
+	// mixed fleets degrade to one call per model, never one per session.
+	if len(readySess) > 0 {
+		type group struct {
+			idx  []int
+			wins []*tensor.Matrix
+		}
+		groups := map[models.Classifier]*group{}
+		for i, sess := range readySess {
+			g := groups[sess.clf]
+			if g == nil {
+				g = &group{}
+				groups[sess.clf] = g
+			}
+			g.idx = append(g.idx, i)
+			g.wins = append(g.wins, readyWin[i])
+		}
+		for clf, g := range groups {
+			labels := models.PredictBatch(clf, g.wins)
+			for j, i := range g.idx {
+				readySess[i].observe(eeg.Action(labels[j]))
+			}
+			s.met.batch(len(g.wins))
+		}
+	}
+	s.processEvictionsLocked()
+	s.mu.Unlock()
+
+	s.met.tick(time.Since(start).Seconds(), samplesIn)
+}
+
+func (s *shard) snapshot() (ShardSnapshot, []float64) {
+	snap, lat := s.met.snapshot()
+	snap.Shard = s.id
+	snap.Sessions = s.len()
+	return snap, lat
+}

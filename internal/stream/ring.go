@@ -57,6 +57,25 @@ func (r *Ring) Pop() (s Sample, ok bool) {
 	return s, true
 }
 
+// PopN removes and returns up to max buffered samples, oldest first. max <= 0
+// drains everything (like Drain). It is the bulk-read used by serving
+// sessions fed from network inlets.
+func (r *Ring) PopN(max int) []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.size
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[r.head])
+		r.head = (r.head + 1) % len(r.buf)
+		r.size--
+	}
+	return out
+}
+
 // Len returns the number of buffered samples.
 func (r *Ring) Len() int {
 	r.mu.Lock()
