@@ -410,6 +410,21 @@ func fleetState(b *testing.B) (*serve.Registry, *core.Pipeline) {
 			clf, _, err := fleetPipe.TrainModel(spec)
 			return clf, models.OpsPerInference(spec), err
 		})
+		if fleetErr != nil {
+			return
+		}
+		// NN fleet decoder: untrained weights (inference cost is identical and
+		// the serving path never looks at accuracy), built once like the RF.
+		cnn := models.Spec{Family: models.FamilyCNN, WindowSize: cfg.WindowSize,
+			Optimizer: "adam", LR: 1e-3, Dropout: 0.2,
+			ConvLayers: 1, Filters: 32, Kernel: 5, Stride: 2, Pool: "none"}
+		_, _, fleetErr = fleetReg.GetOrBuild("cnn-shared", func() (models.Classifier, int64, error) {
+			net, err := models.BuildNet(cnn, 1)
+			if err != nil {
+				return nil, 0, err
+			}
+			return &models.NNClassifier{Net: net, Spec: cnn}, models.OpsPerInference(cnn), nil
+		})
 	})
 	if fleetErr != nil {
 		b.Fatal(fleetErr)
@@ -417,9 +432,9 @@ func fleetState(b *testing.B) (*serve.Registry, *core.Pipeline) {
 	return fleetReg, fleetPipe
 }
 
-// benchHub stands up a hub with the shared decoder and admits the given
-// number of on-demand synthetic-board sessions.
-func benchHub(b *testing.B, sessions, shards int) *serve.Hub {
+// benchHub stands up a hub with the shared decoder under modelKey and admits
+// the given number of on-demand synthetic-board sessions.
+func benchHub(b *testing.B, sessions, shards int, modelKey string) *serve.Hub {
 	reg, pipe := fleetState(b)
 	hub, err := serve.NewHub(serve.Config{
 		Shards:              shards,
@@ -438,7 +453,7 @@ func benchHub(b *testing.B, sessions, shards int) *serve.Hub {
 			b.Fatal(err)
 		}
 		if _, err := hub.Admit(serve.SessionConfig{
-			ModelKey: "rf-shared",
+			ModelKey: modelKey,
 			Source:   brd,
 			Norm:     pipe.NormFor(subject),
 		}); err != nil {
@@ -501,7 +516,7 @@ func independentSystems(b *testing.B, n int) []*System {
 func BenchmarkHubThroughput(b *testing.B) {
 	const sessions = 100
 	b.Run("hub-batched", func(b *testing.B) {
-		hub := benchHub(b, sessions, 4)
+		hub := benchHub(b, sessions, 4, "rf-shared")
 		defer hub.Stop()
 		before := hub.Snapshot()
 		b.ResetTimer()
@@ -537,7 +552,7 @@ func BenchmarkHubScaling(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		for _, sessions := range []int{64, 256} {
 			b.Run("s"+itoa(sessions)+"-sh"+itoa(shards), func(b *testing.B) {
-				hub := benchHub(b, sessions, shards)
+				hub := benchHub(b, sessions, shards, "rf-shared")
 				defer hub.Stop()
 				before := hub.Snapshot()
 				b.ResetTimer()
@@ -553,6 +568,70 @@ func BenchmarkHubScaling(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkNNForwardBatch compares nn's fused batched inference against the
+// sequential per-window loop for each NN family of the scaled paper pool, at
+// the batch sizes a serving shard actually coalesces. ns/window is directly
+// comparable between the -batched and -sequential variants of each pair;
+// batched must win from batch ≥ 8 (the acceptance gate for PR 2's tentpole).
+func BenchmarkNNForwardBatch(b *testing.B) {
+	rng := tensor.NewRNG(7)
+	for _, spec := range models.ScaledPaperSpecs() {
+		if spec.Family == models.FamilyRF {
+			continue
+		}
+		net, err := models.BuildNet(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clf := &models.NNClassifier{Net: net, Spec: spec}
+		for _, batch := range []int{8, 32} {
+			xs := make([]*tensor.Matrix, batch)
+			for i := range xs {
+				x := tensor.New(spec.WindowSize, eeg.NumChannels)
+				for j := range x.Data {
+					x.Data[j] = rng.NormFloat64()
+				}
+				xs[i] = x
+			}
+			b.Run(spec.Family.String()+"-b"+itoa(batch)+"-batched", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					clf.PredictBatch(xs)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/window")
+			})
+			b.Run(spec.Family.String()+"-b"+itoa(batch)+"-sequential", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, x := range xs {
+						clf.Predict(x)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/window")
+			})
+		}
+	}
+}
+
+// BenchmarkHubNNFleet is the CNN twin of BenchmarkHubThroughput's hub arm:
+// 100 sessions sharing one CNN decoder, so each shard tick coalesces its
+// ready windows into fused batch×feature GEMMs instead of per-window
+// forwards. ns/inference is comparable with the RF hub numbers.
+func BenchmarkHubNNFleet(b *testing.B) {
+	const sessions = 100
+	hub := benchHub(b, sessions, 4, "cnn-shared")
+	defer hub.Stop()
+	before := hub.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.TickAll()
+	}
+	b.StopTimer()
+	after := hub.Snapshot()
+	if inf := after.Inferences - before.Inferences; inf > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(inf), "ns/inference")
+	}
+	b.ReportMetric(after.TickP99Ms, "tick-p99-ms")
 }
 
 // --- helpers ---------------------------------------------------------------

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"math"
 	"testing"
 
 	"cognitivearm/internal/arm"
@@ -204,5 +205,64 @@ func TestModeString(t *testing.T) {
 	}
 	if Mode(9).String() == "" {
 		t.Fatal("unknown mode should format")
+	}
+}
+
+// TestWindowerMalformedStats feeds a Windower Stats with a flat channel
+// (zero std) and a Std slice shorter than Mean — the shapes a truncated gob
+// or degenerate training set produces. Push must neither panic nor write
+// non-finite values into the rolling window.
+func TestWindowerMalformedStats(t *testing.T) {
+	norm := dataset.Stats{
+		Mean: []float64{0.5, -1.0, 2.0},
+		Std:  []float64{0, 2}, // channel 0 flat, channel 2 missing entirely
+	}
+	w, err := NewWindower(eeg.SampleRate, 3, 4, norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if !w.Push([]float64{1.5, -0.25, 3.0}) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if !w.Ready() {
+		t.Fatal("window should be full")
+	}
+	for i, v := range w.Window().Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("window element %d is %v; malformed Stats must clamp, not poison", i, v)
+		}
+	}
+}
+
+// TestDebouncerRingMatchesReference drives the fixed-size ring and the
+// original append+reslice formulation through the same random label stream
+// and demands identical agreement decisions at every step.
+func TestDebouncerRingMatchesReference(t *testing.T) {
+	var d Debouncer
+	var recent []eeg.Action
+	ref := func(a eeg.Action) bool {
+		recent = append(recent, a)
+		if len(recent) > SmoothingWindow {
+			recent = recent[1:]
+		}
+		if len(recent) < SmoothingWindow {
+			return false
+		}
+		votes := 0
+		for _, r := range recent {
+			if r == a {
+				votes++
+			}
+		}
+		return votes >= SmoothingWindow-1
+	}
+	rng := tensor.NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		a := eeg.Action(rng.Intn(eeg.NumActions))
+		if got, want := d.Observe(a), ref(a); got != want {
+			t.Fatalf("step %d: ring says %v, reference says %v", i, got, want)
+		}
 	}
 }

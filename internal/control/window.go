@@ -59,7 +59,10 @@ func (w *Windower) Push(values []float64) bool {
 		v := values[ch]
 		v = w.pre[ch].Process(v)
 		if ch < len(w.norm.Mean) {
-			v = (v - w.norm.Mean[ch]) / w.norm.Std[ch]
+			// StdFor guards the divisor: a Stats with len(Std) < len(Mean)
+			// or a flat training channel (zero std) must neither panic the
+			// serving shard nor feed ±Inf/NaN to every classifier downstream.
+			v = (v - w.norm.Mean[ch]) / w.norm.StdFor(ch)
 		}
 		row[ch] = v
 	}
@@ -82,20 +85,29 @@ func (w *Windower) Size() int { return w.window.Rows }
 // Controller and the serving fleet's sessions: a label only counts as agreed
 // when it holds a SmoothingWindow−1 supermajority over the last
 // SmoothingWindow labels, absorbing the strays produced while the rolling
-// window straddles an intent transition.
+// window straddles an intent transition. The history lives in a fixed-size
+// ring: the previous append+reslice pattern shifted the backing array on
+// every decoded label, churning memory for the lifetime of a serving
+// session. The zero value is ready to use.
 type Debouncer struct {
-	recent []eeg.Action
+	recent [SmoothingWindow]eeg.Action
+	head   int // next write slot
+	n      int // labels observed, saturating at SmoothingWindow
 }
 
 // Observe records one decoded label and reports whether the debounce agrees
 // on it.
 func (d *Debouncer) Observe(a eeg.Action) bool {
-	d.recent = append(d.recent, a)
-	if len(d.recent) > SmoothingWindow {
-		d.recent = d.recent[1:]
+	d.recent[d.head] = a
+	d.head++
+	if d.head == SmoothingWindow {
+		d.head = 0
 	}
-	if len(d.recent) < SmoothingWindow {
-		return false
+	if d.n < SmoothingWindow {
+		d.n++
+		if d.n < SmoothingWindow {
+			return false
+		}
 	}
 	votes := 0
 	for _, r := range d.recent {

@@ -238,14 +238,36 @@ func ComputeStats(windows []Window) Stats {
 	return Stats{Mean: mean, Std: std}
 }
 
+// StdFor returns the z-score divisor for channel ch, guarded against
+// malformed Stats: a missing entry (len(Std) < len(Mean), e.g. a truncated
+// gob or a hand-built Stats) or a zero/near-zero deviation (flat training
+// channel) clamps to 1 so the divide can neither panic nor emit ±Inf/NaN.
+// Both the training-side Normalize and the live ingest path
+// (control.Windower.Push) divide through this helper, keeping train and
+// serve numerically identical.
+func (s Stats) StdFor(ch int) float64 {
+	if ch >= len(s.Std) {
+		return 1
+	}
+	if sd := s.Std[ch]; math.Abs(sd) > 1e-12 {
+		return sd
+	}
+	return 1
+}
+
 // Normalize z-scores every window in place using the given stats and returns
-// the same slice for chaining.
+// the same slice for chaining. Channels beyond len(st.Mean) pass through
+// unchanged, and degenerate Std entries clamp to 1 (see Stats.StdFor) —
+// the same guards the serving ingest path applies.
 func Normalize(windows []Window, st Stats) []Window {
 	for _, w := range windows {
 		for t := 0; t < w.Data.Rows; t++ {
 			row := w.Data.Row(t)
 			for c := range row {
-				row[c] = (row[c] - st.Mean[c]) / st.Std[c]
+				if c >= len(st.Mean) {
+					continue
+				}
+				row[c] = (row[c] - st.Mean[c]) / st.StdFor(c)
 			}
 		}
 	}

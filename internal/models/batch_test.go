@@ -1,0 +1,88 @@
+package models
+
+import (
+	"testing"
+
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/tensor"
+)
+
+// batchTestSpecs returns one small spec per NN family so the equivalence
+// test exercises the conv, recurrent and attention batch kernels end to end.
+func batchTestSpecs() []Spec {
+	return []Spec{
+		{Family: FamilyCNN, WindowSize: 64, Optimizer: "adam", LR: 1e-3, Dropout: 0.2,
+			ConvLayers: 2, Filters: 8, Kernel: 5, Stride: 2, Pool: "max"},
+		{Family: FamilyLSTM, WindowSize: 32, Optimizer: "adam", LR: 1e-3, Dropout: 0.3,
+			LSTMLayers: 2, Hidden: 12},
+		{Family: FamilyTransformer, WindowSize: 24, Optimizer: "adamw", LR: 1e-3, Dropout: 0.1,
+			TFLayers: 2, Heads: 2, DModel: 16, FFDim: 32},
+	}
+}
+
+func randBatch(b, rows int, rng *tensor.RNG) []*tensor.Matrix {
+	xs := make([]*tensor.Matrix, b)
+	for i := range xs {
+		x := tensor.New(rows, eeg.NumChannels)
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64()
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// TestNNPredictBatchMatchesPredict is the serving-path equivalence guarantee:
+// for every NN family, the fused batched forward returns bitwise-identical
+// logits — and therefore identical labels — to per-window Predict.
+func TestNNPredictBatchMatchesPredict(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	for _, spec := range batchTestSpecs() {
+		t.Run(spec.Family.String(), func(t *testing.T) {
+			net, err := BuildNet(spec, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clf := &NNClassifier{Net: net, Spec: spec}
+			for _, B := range []int{1, 3, 8, 32} {
+				xs := randBatch(B, spec.WindowSize, rng)
+				labels := clf.PredictBatch(xs)
+				outs := net.ForwardBatch(xs, false)
+				for i, x := range xs {
+					if want := clf.Predict(x); labels[i] != want {
+						t.Fatalf("B=%d window %d: batched label %d != sequential %d", B, i, labels[i], want)
+					}
+					want := net.Logits(x)
+					got := outs[i].Row(0)
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("B=%d window %d logit %d: batched %v != sequential %v (must be bitwise identical)",
+								B, i, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNNPredictBatchMixedShapesFallsBack: a batch mixing window lengths (two
+// models' sessions misrouted into one call) must degrade to the per-window
+// path, not panic.
+func TestNNPredictBatchMixedShapes(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	spec := Spec{Family: FamilyLSTM, WindowSize: 32, Optimizer: "adam", LR: 1e-3,
+		LSTMLayers: 1, Hidden: 8}
+	net, err := BuildNet(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := &NNClassifier{Net: net, Spec: spec}
+	xs := append(randBatch(2, 32, rng), randBatch(2, 40, rng)...)
+	labels := clf.PredictBatch(xs)
+	for i, x := range xs {
+		if want := clf.Predict(x); labels[i] != want {
+			t.Fatalf("window %d: mixed-shape batch label %d != sequential %d", i, labels[i], want)
+		}
+	}
+}

@@ -218,16 +218,28 @@ func (c *NNClassifier) WindowSize() int { return c.Spec.WindowSize }
 // Name implements Classifier.
 func (c *NNClassifier) Name() string { return c.Spec.ID() }
 
-// PredictBatch implements BatchPredictor. Forward passes stay per-window
-// (the nn layers are two-dimensional by design), so the batch win here is
-// amortised dispatch; inference-mode forwards write no layer state, so the
-// calls are safe alongside concurrent Predict traffic.
+// PredictBatch implements BatchPredictor. Same-shape windows — the serving
+// case, since a shard batches sessions sharing one model and hence one
+// window size — run through nn's fused ForwardBatch, where Dense/Conv1D/
+// attention collapse the B per-window matmuls into single batch×feature
+// GEMMs and the LSTM steps all windows together. Mixed shapes fall back to
+// per-window Predict. Batched forwards write no layer state, so the calls
+// are safe alongside concurrent Predict traffic.
 func (c *NNClassifier) PredictBatch(xs []*tensor.Matrix) []int {
-	out := make([]int, len(xs))
-	for i, x := range xs {
-		out[i] = c.Net.Predict(x)
+	if len(xs) == 0 {
+		return nil
 	}
-	return out
+	rows, cols := xs[0].Rows, xs[0].Cols
+	for _, x := range xs[1:] {
+		if x.Rows != rows || x.Cols != cols {
+			out := make([]int, len(xs))
+			for i, w := range xs {
+				out[i] = c.Net.Predict(w)
+			}
+			return out
+		}
+	}
+	return c.Net.PredictBatch(xs)
 }
 
 // RFClassifier wraps a trained forest plus the feature extraction step.

@@ -72,6 +72,38 @@ func (ln *LayerNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	return y
 }
 
+// ForwardBatch implements BatchForwarder: row-wise normalisation writes all
+// B windows into one (B·T)×D output, one allocation for the batch.
+func (ln *LayerNorm) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	if len(xs) == 0 {
+		return nil
+	}
+	if xs[0].Cols != ln.Dim {
+		panic(fmt.Sprintf("nn: LayerNorm expects dim %d, got %d", ln.Dim, xs[0].Cols))
+	}
+	T := xs[0].Rows
+	y := tensor.New(len(xs)*T, ln.Dim)
+	for i, x := range xs {
+		for t := 0; t < T; t++ {
+			row := x.Row(t)
+			mu := tensor.Mean(row)
+			var v float64
+			for _, xv := range row {
+				d := xv - mu
+				v += d * d
+			}
+			v /= float64(len(row))
+			inv := 1 / math.Sqrt(v+ln.Eps)
+			yrow := y.Row(i*T + t)
+			for j, xv := range row {
+				yrow[j] = (xv-mu)*inv*ln.Gamma.W.Data[j] + ln.Beta.W.Data[j]
+			}
+		}
+	}
+	return tensor.SplitRows(y, T)
+}
+
 // Backward implements Layer.
 func (ln *LayerNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	dx := tensor.New(gradOut.Rows, gradOut.Cols)
@@ -128,6 +160,39 @@ func (pe *PositionalEncoding) Forward(x *tensor.Matrix, train bool) *tensor.Matr
 		}
 	}
 	return y
+}
+
+// ForwardBatch implements BatchForwarder: the sinusoid table depends only on
+// the window length, so it is materialised once and added to every window —
+// B−1 fewer trips through math.Sin/Cos/Pow than per-window Forward.
+func (pe *PositionalEncoding) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	if len(xs) == 0 {
+		return nil
+	}
+	T := xs[0].Rows
+	enc := tensor.New(T, pe.Dim)
+	for t := 0; t < T; t++ {
+		row := enc.Row(t)
+		for j := 0; j < pe.Dim; j += 2 {
+			angle := float64(t) / math.Pow(10000, float64(j)/float64(pe.Dim))
+			row[j] = math.Sin(angle)
+			if j+1 < pe.Dim {
+				row[j+1] = math.Cos(angle)
+			}
+		}
+	}
+	y := tensor.New(len(xs)*T, xs[0].Cols)
+	for i, x := range xs {
+		for t := 0; t < T; t++ {
+			xrow, erow, yrow := x.Row(t), enc.Row(t), y.Row(i*T+t)
+			copy(yrow, xrow)
+			for j := range erow {
+				yrow[j] += erow[j]
+			}
+		}
+	}
+	return tensor.SplitRows(y, T)
 }
 
 // Backward implements Layer. The encoding is additive, so gradients pass
@@ -224,6 +289,44 @@ func (m *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matri
 	return tensor.MatMul(nil, concat, m.Wo.W)
 }
 
+// ForwardBatch implements BatchForwarder: the Q/K/V input projections and the
+// output projection each run as one (B·T)×D GEMM over the stacked batch —
+// 4 GEMMs total instead of 4·B — while the T×T attention itself stays
+// per-window (scores never mix windows).
+func (m *MultiHeadAttention) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	B := len(xs)
+	if B == 0 {
+		return nil
+	}
+	if xs[0].Cols != m.Dim {
+		panic(fmt.Sprintf("nn: attention expects dim %d, got %d", m.Dim, xs[0].Cols))
+	}
+	T := xs[0].Rows
+	x := tensor.Stack(xs)
+	dk := m.Dim / m.Heads
+	scale := 1 / math.Sqrt(float64(dk))
+	qs := tensor.SplitRows(tensor.MatMulBatched(nil, x, m.Wq.W), T)
+	ks := tensor.SplitRows(tensor.MatMulBatched(nil, x, m.Wk.W), T)
+	vs := tensor.SplitRows(tensor.MatMulBatched(nil, x, m.Wv.W), T)
+	concat := tensor.New(B*T, m.Dim)
+	for i := 0; i < B; i++ {
+		for h := 0; h < m.Heads; h++ {
+			qh := headView(qs[i], h, dk)
+			kh := headView(ks[i], h, dk)
+			vh := headView(vs[i], h, dk)
+			scores := tensor.MatMulTransB(nil, qh, kh)
+			tensor.Scale(scores, scale)
+			tensor.SoftmaxRows(scores)
+			oh := tensor.MatMul(nil, scores, vh)
+			for t := 0; t < T; t++ {
+				copy(concat.Row(i*T + t)[h*dk:(h+1)*dk], oh.Row(t))
+			}
+		}
+	}
+	return tensor.SplitRows(tensor.MatMulBatched(nil, concat, m.Wo.W), T)
+}
+
 // Backward implements Layer.
 func (m *MultiHeadAttention) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	// Output projection.
@@ -299,6 +402,18 @@ func (r *Residual) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	return tensor.Add(nil, x, r.Inner.Forward(x, train))
 }
 
+// ForwardBatch implements BatchForwarder: the inner layer runs batched, the
+// skip additions stay per window.
+func (r *Residual) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	inner := forwardBatch(r.Inner, xs, false)
+	out := make([]*tensor.Matrix, len(xs))
+	for i, x := range xs {
+		out[i] = tensor.Add(nil, x, inner[i])
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (r *Residual) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	return tensor.Add(nil, gradOut, r.Inner.Backward(gradOut))
@@ -322,6 +437,16 @@ func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		x = l.Forward(x, train)
 	}
 	return x
+}
+
+// ForwardBatch implements BatchForwarder: the batch threads through every
+// inner layer's batched path.
+func (s *Sequential) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	for _, l := range s.Inner {
+		xs = forwardBatch(l, xs, false)
+	}
+	return xs
 }
 
 // Backward implements Layer.

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+
+	"cognitivearm/internal/tensor"
+)
+
+// BatchForwarder is the optional fused batched-inference extension of Layer.
+// ForwardBatch consumes B same-shape windows and returns B outputs, exactly
+// matching B independent Forward(x, false) calls element-for-element.
+//
+// Contract:
+//   - Inference only: train must be false. The batched kernels write no layer
+//     state (there is nothing for Backward to consume), so implementations
+//     panic on train=true rather than silently corrupting training caches.
+//   - Goroutine safety mirrors Forward(x, false): a trained layer may serve
+//     concurrent ForwardBatch / Forward calls from many goroutines because
+//     neither path writes the receiver.
+//   - Returned matrices may be views into one shared backing array
+//     (tensor.SplitRows); callers must not assume they are independently
+//     resizable, and must copy before mutating if they outlive the batch.
+//   - All windows in one call must share the same shape. Mixed shapes are the
+//     caller's problem (see Network.ForwardBatch, which enforces this).
+type BatchForwarder interface {
+	ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix
+}
+
+// batchInferenceOnly is the shared train-guard for every fused kernel.
+func batchInferenceOnly(train bool) {
+	if train {
+		panic("nn: ForwardBatch is inference-only (train must be false)")
+	}
+}
+
+// forwardBatch routes one layer: through its fused kernel when it implements
+// BatchForwarder, else through the generic per-window fallback. The fallback
+// keeps ForwardBatch total over arbitrary Layer implementations (external
+// layers, future additions) at per-window cost.
+func forwardBatch(l Layer, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	if bf, ok := l.(BatchForwarder); ok {
+		return bf.ForwardBatch(xs, train)
+	}
+	batchInferenceOnly(train)
+	out := make([]*tensor.Matrix, len(xs))
+	for i, x := range xs {
+		out[i] = l.Forward(x, false)
+	}
+	return out
+}
+
+// ForwardBatch runs inference on B same-shape windows through every layer's
+// batched path, returning one output per window in order. Dense, Conv1D and
+// attention projections collapse their B small matmuls into one batch×feature
+// GEMM; the LSTM steps all B windows together (one B×4H GEMM per timestep);
+// row-wise layers process one stacked matrix. Results are bitwise identical
+// to per-window Forward(x, false). See BatchForwarder for the contract.
+func (n *Network) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	if len(xs) == 0 {
+		return nil
+	}
+	r, c := xs[0].Rows, xs[0].Cols
+	for _, x := range xs[1:] {
+		if x.Rows != r || x.Cols != c {
+			panic(fmt.Sprintf("nn: ForwardBatch window shape mismatch %dx%d vs %dx%d", x.Rows, x.Cols, r, c))
+		}
+	}
+	for _, l := range n.Layers {
+		xs = forwardBatch(l, xs, false)
+	}
+	return xs
+}
+
+// PredictBatch classifies B same-shape windows in one fused pass and returns
+// one class index per window, identical to calling Predict on each.
+func (n *Network) PredictBatch(xs []*tensor.Matrix) []int {
+	outs := n.ForwardBatch(xs, false)
+	labels := make([]int, len(outs))
+	for i, out := range outs {
+		labels[i] = tensor.Argmax(out.Row(0))
+	}
+	return labels
+}

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"testing"
+
+	"cognitivearm/internal/tensor"
+)
+
+// randWindows builds B identical-shape random inputs.
+func randWindows(b, rows, cols int, rng *tensor.RNG) []*tensor.Matrix {
+	xs := make([]*tensor.Matrix, b)
+	for i := range xs {
+		x := tensor.New(rows, cols)
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64()
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// assertBatchMatchesForward demands that l.ForwardBatch equals B independent
+// Forward(x, false) calls bitwise.
+func assertBatchMatchesForward(t *testing.T, name string, l Layer, xs []*tensor.Matrix) {
+	t.Helper()
+	bf, ok := l.(BatchForwarder)
+	if !ok {
+		t.Fatalf("%s: layer does not implement BatchForwarder", name)
+	}
+	got := bf.ForwardBatch(xs, false)
+	if len(got) != len(xs) {
+		t.Fatalf("%s: batch returned %d outputs for %d windows", name, len(got), len(xs))
+	}
+	for i, x := range xs {
+		want := l.Forward(x, false)
+		g := got[i]
+		if g.Rows != want.Rows || g.Cols != want.Cols {
+			t.Fatalf("%s window %d: shape %dx%d, want %dx%d", name, i, g.Rows, g.Cols, want.Rows, want.Cols)
+		}
+		for j := range want.Data {
+			if g.Data[j] != want.Data[j] {
+				t.Fatalf("%s window %d element %d: batched %v != sequential %v (must be bitwise identical)",
+					name, i, j, g.Data[j], want.Data[j])
+			}
+		}
+	}
+}
+
+// TestForwardBatchMatchesForwardPerLayer covers every layer family's fused
+// kernel against the per-window reference, including the structural wrappers.
+func TestForwardBatchMatchesForwardPerLayer(t *testing.T) {
+	rng := tensor.NewRNG(41)
+	const B, T, C = 7, 20, 6
+	cases := []struct {
+		name       string
+		layer      Layer
+		rows, cols int
+	}{
+		{"Dense", NewDense(C, 9, rng), T, C},
+		{"ReLU", NewReLU(), T, C},
+		{"Dropout", NewDropout(0.4, rng.Fork()), T, C},
+		{"Flatten", NewFlatten(), T, C},
+		{"MeanPool", NewMeanPool(), T, C},
+		{"Conv1D", NewConv1D(C, 8, 5, 2, rng), T, C},
+		{"MaxPool1D", NewPool1D(MaxPoolKind, 3), T, C},
+		{"AvgPool1D", NewPool1D(AvgPoolKind, 3), T, C},
+		{"Pool1DDegenerate", NewPool1D(MaxPoolKind, T+5), T, C},
+		{"LSTM", NewLSTM(C, 10, rng), T, C},
+		{"LastStep", NewLastStep(), T, C},
+		{"LayerNorm", NewLayerNorm(C), T, C},
+		{"PosEnc", NewPositionalEncoding(C), T, C},
+		{"MHA", NewMultiHeadAttention(8, 2, rng), T, 8},
+		{"Residual", NewResidual(NewDense(C, C, rng)), T, C},
+		{"Sequential", NewSequential(NewDense(C, 12, rng), NewReLU(), NewDense(12, C, rng)), T, C},
+		{"TransformerBlock", TransformerBlock(8, 2, 16, 0.1, rng), T, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertBatchMatchesForward(t, tc.name, tc.layer, randWindows(B, tc.rows, tc.cols, rng))
+		})
+	}
+}
+
+// TestNetworkForwardBatchMatchesPredict runs a full stack end to end.
+func TestNetworkForwardBatchMatchesPredict(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	net := NewNetwork(
+		NewConv1D(4, 6, 3, 1, rng),
+		NewReLU(),
+		NewMeanPool(),
+		NewDropout(0.3, rng.Fork()),
+		NewDense(6, 3, rng),
+	)
+	xs := randWindows(9, 16, 4, rng)
+	outs := net.ForwardBatch(xs, false)
+	labels := net.PredictBatch(xs)
+	for i, x := range xs {
+		if want := net.Predict(x); labels[i] != want {
+			t.Fatalf("window %d: batched label %d != sequential %d", i, labels[i], want)
+		}
+		want := net.Forward(x, false)
+		for j := range want.Data {
+			if outs[i].Data[j] != want.Data[j] {
+				t.Fatalf("window %d logit %d: batched %v != sequential %v", i, j, outs[i].Data[j], want.Data[j])
+			}
+		}
+	}
+}
+
+// TestForwardBatchTrainPanics pins the inference-only contract.
+func TestForwardBatchTrainPanics(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	net := NewNetwork(NewDense(3, 2, rng))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForwardBatch(train=true) must panic")
+		}
+	}()
+	net.ForwardBatch(randWindows(2, 1, 3, rng), true)
+}
+
+// TestForwardBatchShapeMismatchPanics pins the same-shape requirement.
+func TestForwardBatchShapeMismatchPanics(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	net := NewNetwork(NewDense(3, 2, rng))
+	xs := []*tensor.Matrix{tensor.New(4, 3), tensor.New(5, 3)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed window shapes must panic")
+		}
+	}()
+	net.ForwardBatch(xs, false)
+}
+
+// TestForwardBatchEmpty: an empty batch is a no-op, not a panic.
+func TestForwardBatchEmpty(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	net := NewNetwork(NewDense(3, 2, rng))
+	if out := net.ForwardBatch(nil, false); len(out) != 0 {
+		t.Fatalf("empty batch returned %d outputs", len(out))
+	}
+	if out := net.PredictBatch(nil); len(out) != 0 {
+		t.Fatalf("empty PredictBatch returned %d labels", len(out))
+	}
+}

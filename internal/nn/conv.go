@@ -72,6 +72,38 @@ func (c *Conv1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	return y
 }
 
+// ForwardBatch implements BatchForwarder: the B per-window im2col matrices
+// concatenate into one (B·T')×(K·Cin) matrix so the whole batch convolves in
+// a single GEMM against the kernel weight — the batched analogue of Forward's
+// im2col + matmul, with the weight streamed once instead of B times.
+func (c *Conv1D) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	if len(xs) == 0 {
+		return nil
+	}
+	x0 := xs[0]
+	if x0.Cols != c.InChannels {
+		panic(fmt.Sprintf("nn: Conv1D expects %d channels, got %d", c.InChannels, x0.Cols))
+	}
+	outT := c.OutLen(x0.Rows)
+	if outT <= 0 {
+		panic(fmt.Sprintf("nn: Conv1D input length %d shorter than kernel %d", x0.Rows, c.Kernel))
+	}
+	col := tensor.New(len(xs)*outT, c.Kernel*c.InChannels)
+	for i, x := range xs {
+		for t := 0; t < outT; t++ {
+			dst := col.Row(i*outT + t)
+			src := t * c.Stride
+			for k := 0; k < c.Kernel; k++ {
+				copy(dst[k*c.InChannels:(k+1)*c.InChannels], x.Row(src+k))
+			}
+		}
+	}
+	y := tensor.MatMulBatched(nil, col, c.Weight.W)
+	tensor.AddRowVector(y, c.Bias.W.Data)
+	return tensor.SplitRows(y, outT)
+}
+
 // Backward implements Layer.
 func (c *Conv1D) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	// dW += colᵀ·dY ; db += colsums(dY)
@@ -180,6 +212,51 @@ func (p *Pool1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		p.argmax = argmax
 	}
 	return y
+}
+
+// ForwardBatch implements BatchForwarder: the pooling loops run per window
+// (no cross-window arithmetic to fuse) but write into one shared (B·T')×C
+// output, one allocation for the batch.
+func (p *Pool1D) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	if len(xs) == 0 {
+		return nil
+	}
+	x0 := xs[0]
+	outT := x0.Rows / p.Window
+	if outT == 0 {
+		outT = 1
+	}
+	y := tensor.New(len(xs)*outT, x0.Cols)
+	for i, x := range xs {
+		for t := 0; t < outT; t++ {
+			start := t * p.Window
+			end := start + p.Window
+			if end > x.Rows {
+				end = x.Rows
+			}
+			row := y.Row(i*outT + t)
+			for j := 0; j < x.Cols; j++ {
+				switch p.Kind {
+				case MaxPoolKind:
+					best := math.Inf(-1)
+					for r := start; r < end; r++ {
+						if v := x.At(r, j); v > best {
+							best = v
+						}
+					}
+					row[j] = best
+				case AvgPoolKind:
+					var s float64
+					for r := start; r < end; r++ {
+						s += x.At(r, j)
+					}
+					row[j] = s / float64(end-start)
+				}
+			}
+		}
+	}
+	return tensor.SplitRows(y, outT)
 }
 
 // Backward implements Layer.

@@ -35,6 +35,22 @@ func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	return y
 }
 
+// ForwardBatch implements BatchForwarder: B T×In windows stack into one
+// (B·T)×In matrix, fusing the B small matmuls into a single batch×feature
+// GEMM followed by one bias broadcast.
+func (d *Dense) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	if len(xs) == 0 {
+		return nil
+	}
+	if xs[0].Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense expects %d inputs, got %d", d.In, xs[0].Cols))
+	}
+	y := tensor.MatMulBatched(nil, tensor.Stack(xs), d.Weight.W)
+	tensor.AddRowVector(y, d.Bias.W.Data)
+	return tensor.SplitRows(y, xs[0].Rows)
+}
+
 // Backward implements Layer.
 func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	// dW += xᵀ·dY, db += colsum(dY), dX = dY·Wᵀ
@@ -84,6 +100,22 @@ func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		}
 	}
 	return y
+}
+
+// ForwardBatch implements BatchForwarder: one clamp pass over a single
+// stacked matrix, so the batch costs one allocation instead of B clones.
+func (r *ReLU) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	if len(xs) == 0 {
+		return nil
+	}
+	y := tensor.Stack(xs)
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+		}
+	}
+	return tensor.SplitRows(y, xs[0].Rows)
 }
 
 // Backward implements Layer.
@@ -145,6 +177,13 @@ func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	return y
 }
 
+// ForwardBatch implements BatchForwarder. Inference-mode dropout is the
+// identity, so the batch passes through untouched.
+func (d *Dropout) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	return xs
+}
+
 // Backward implements Layer.
 func (d *Dropout) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	if d.mask == nil {
@@ -178,6 +217,18 @@ func (f *Flatten) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	return tensor.FromSlice(1, x.Rows*x.Cols, append([]float64(nil), x.Data...))
 }
 
+// ForwardBatch implements BatchForwarder. Row-major windows flatten by
+// reinterpretation: one stacked copy serves all B flattened rows as views.
+func (f *Flatten) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	if len(xs) == 0 {
+		return nil
+	}
+	y := tensor.Stack(xs)
+	flat := tensor.FromSlice(len(xs), xs[0].Rows*xs[0].Cols, y.Data)
+	return tensor.SplitRows(flat, 1)
+}
+
 // Backward implements Layer.
 func (f *Flatten) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	return tensor.FromSlice(f.rows, f.cols, append([]float64(nil), gradOut.Data...))
@@ -205,6 +256,25 @@ func (m *MeanPool) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	tensor.ColSums(out.Data, x)
 	tensor.Scale(out, 1/float64(x.Rows))
 	return out
+}
+
+// ForwardBatch implements BatchForwarder: all B pooled rows land in one B×C
+// matrix handed out as views.
+func (m *MeanPool) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	if len(xs) == 0 {
+		return nil
+	}
+	out := tensor.New(len(xs), xs[0].Cols)
+	for i, x := range xs {
+		row := out.Row(i)
+		tensor.ColSums(row, x)
+		inv := 1 / float64(x.Rows)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return tensor.SplitRows(out, 1)
 }
 
 // Backward implements Layer.

@@ -104,6 +104,86 @@ func (l *LSTM) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	return out
 }
 
+// ForwardBatch implements BatchForwarder: all B windows advance through the
+// recurrence together. Each timestep accumulates one B×4H gate matrix in
+// weight-row-major order — every row of W is streamed once per step for the
+// whole batch instead of once per window — with bias-first, k-ascending
+// accumulation so every gate value matches Forward bitwise.
+func (l *LSTM) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	B := len(xs)
+	if B == 0 {
+		return nil
+	}
+	if xs[0].Cols != l.In {
+		panic(fmt.Sprintf("nn: LSTM expects %d inputs, got %d", l.In, xs[0].Cols))
+	}
+	T, H := xs[0].Rows, l.Hidden
+	h := tensor.New(B, H)
+	c := tensor.New(B, H)
+	gates := tensor.New(B, 4*H)
+	out := tensor.New(B*T, H)
+	// accumulate adds in[i]·wrow into window i's gate row for the whole
+	// batch, four windows per pass so wrow loads and loop overhead amortise
+	// (the same micro-kernel shape as tensor.MatMulBatched). Per-element
+	// accumulation order stays k-ascending, matching Forward bitwise.
+	accumulate := func(wrow []float64, in func(i int) float64) {
+		i := 0
+		for ; i+4 <= B; i += 4 {
+			c0, c1, c2, c3 := in(i), in(i+1), in(i+2), in(i+3)
+			if c0 == 0 && c1 == 0 && c2 == 0 && c3 == 0 {
+				continue
+			}
+			g0, g1, g2, g3 := gates.Row(i), gates.Row(i+1), gates.Row(i+2), gates.Row(i+3)
+			for j, wv := range wrow {
+				g0[j] += c0 * wv
+				g1[j] += c1 * wv
+				g2[j] += c2 * wv
+				g3[j] += c3 * wv
+			}
+		}
+		for ; i < B; i++ {
+			zk := in(i)
+			if zk == 0 {
+				continue
+			}
+			grow := gates.Row(i)
+			for j, wv := range wrow {
+				grow[j] += zk * wv
+			}
+		}
+	}
+	for t := 0; t < T; t++ {
+		for i := 0; i < B; i++ {
+			copy(gates.Row(i), l.Bias.W.Data)
+		}
+		for k := 0; k < l.In; k++ {
+			wrow := l.Weight.W.Row(k)
+			accumulate(wrow, func(i int) float64 { return xs[i].At(t, k) })
+		}
+		for k := 0; k < H; k++ {
+			wrow := l.Weight.W.Row(l.In + k)
+			accumulate(wrow, func(i int) float64 { return h.At(i, k) })
+		}
+		for i := 0; i < B; i++ {
+			grow := gates.Row(i)
+			crow := c.Row(i)
+			hrow := h.Row(i)
+			orow := out.Row(i*T + t)
+			for j := 0; j < H; j++ {
+				iv := sigmoid(grow[j])
+				fv := sigmoid(grow[H+j])
+				gv := math.Tanh(grow[2*H+j])
+				ov := sigmoid(grow[3*H+j])
+				crow[j] = fv*crow[j] + iv*gv
+				hrow[j] = ov * math.Tanh(crow[j])
+				orow[j] = hrow[j]
+			}
+		}
+	}
+	return tensor.SplitRows(out, T)
+}
+
 // Backward implements Layer.
 func (l *LSTM) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	T, H := l.steps, l.Hidden
@@ -184,6 +264,20 @@ func (s *LastStep) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		s.rows, s.cols = x.Rows, x.Cols
 	}
 	return tensor.FromSlice(1, x.Cols, append([]float64(nil), x.Row(x.Rows-1)...))
+}
+
+// ForwardBatch implements BatchForwarder: the B final timesteps gather into
+// one B×C matrix handed out as views.
+func (s *LastStep) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+	batchInferenceOnly(train)
+	if len(xs) == 0 {
+		return nil
+	}
+	out := tensor.New(len(xs), xs[0].Cols)
+	for i, x := range xs {
+		copy(out.Row(i), x.Row(x.Rows-1))
+	}
+	return tensor.SplitRows(out, 1)
 }
 
 // Backward implements Layer.

@@ -3,9 +3,22 @@
 // needs (Dense, Conv1D, pooling, LSTM, multi-head attention with LayerNorm,
 // dropout), softmax cross-entropy, and the four optimizers of Table III
 // (SGD, RMSProp, Adam, AdamW). Everything operates on float64 matrices from
-// internal/tensor; examples are processed one at a time with gradient
-// accumulation across a mini-batch, which keeps every layer's code
+// internal/tensor; training examples are processed one at a time with
+// gradient accumulation across a mini-batch, which keeps every layer's code
 // two-dimensional and auditable.
+//
+// # Batched inference
+//
+// Inference additionally has a fused batched path: Network.ForwardBatch and
+// Network.PredictBatch run B same-shape windows through each layer's
+// BatchForwarder kernel, collapsing per-window matmuls (Dense, Conv1D,
+// attention projections) into single batch×feature GEMMs and stepping all B
+// LSTM recurrences together. The path is inference-only (train must be
+// false; no layer state is written, so batched calls are safe concurrently
+// with each other and with per-window Predict on a shared trained network)
+// and returns results bitwise identical to per-window Forward. The serving
+// hub (internal/serve) is the main consumer: one shard tick coalesces every
+// ready session window into one ForwardBatch per shared model.
 package nn
 
 import (

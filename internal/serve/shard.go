@@ -209,6 +209,10 @@ func (s *shard) tick() {
 	// Batch phase: one PredictBatch per distinct model. Fleets normally
 	// share one classifier, so this is a single call for the whole shard;
 	// mixed fleets degrade to one call per model, never one per session.
+	// Both classifier kinds exploit the coalesced batch: the forest walks
+	// it tree-major (rf.Forest.PredictBatch) and NN families fuse it into
+	// batch×feature GEMMs (nn.Network.ForwardBatch), so per-inference cost
+	// falls as fleet density rises.
 	if len(readySess) > 0 {
 		type group struct {
 			idx  []int
