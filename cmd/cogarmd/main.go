@@ -16,6 +16,15 @@
 //     the daemon from another process. Sessions that go silent are evicted
 //     after -idle-evict ticks.
 //
+// With -checkpoint-dir the daemon is durable: it persists the entire fleet —
+// decoder weights, every session's signal-path state, shard assignment and
+// counters — every -checkpoint-every interval and on shutdown, and a
+// restarted daemon resumes from the newest valid checkpoint instead of
+// retraining. Restored demo subjects get fresh streamers; restored inlet
+// sessions get fresh sockets whose new addresses are printed. See
+// OPERATIONS.md for the full operations guide and ARCHITECTURE.md for the
+// checkpoint format.
+//
 // The daemon prints a fleet snapshot (per-shard and fleet-wide p50/p99 tick
 // latency, throughput, batching factor, evictions) every -report interval
 // and a final one on shutdown (SIGINT/SIGTERM or -duration).
@@ -24,18 +33,23 @@
 //
 //	cogarmd -shards 4 -subjects 32 -report 5s
 //	cogarmd -listen 8 -idle-evict 150   # then: loadgen -mode udp -targets ...
+//	cogarmd -subjects 32 -checkpoint-dir /var/lib/cogarmd  # kill -9 safe
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"cognitivearm/internal/checkpoint"
 	"cognitivearm/internal/core"
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
@@ -56,19 +70,163 @@ func main() {
 		duration    = flag.Duration("duration", 0, "run time (0 = until SIGINT)")
 		report      = flag.Duration("report", 5*time.Second, "fleet snapshot interval")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
+		ckptDir     = flag.String("checkpoint-dir", "", "fleet checkpoint directory (empty = no persistence)")
+		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (needs -checkpoint-dir)")
 	)
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	stopStreaming := make(chan struct{})
+
+	hub := resumeOrColdStart(resumeConfig{
+		shards:      *shards,
+		maxSessions: *maxSessions,
+		tickHz:      *tickHz,
+		subjects:    *subjects,
+		listen:      *listen,
+		transport:   *transport,
+		idleEvict:   *idleEvict,
+		seed:        *seed,
+		ckptDir:     *ckptDir,
+	}, stopStreaming)
+
+	hub.Start()
+	// Read topology back from the hub: a checkpoint restore serves under the
+	// manifest's shards/tick rate, not this invocation's flags.
+	hcfg := hub.Config()
+	log.Printf("cogarmd: serving %d sessions on %d shards at %.0f Hz", hub.Sessions(), hcfg.Shards, hcfg.TickHz)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if *duration > 0 {
+		timeout = time.After(*duration)
+	}
+	tick := time.NewTicker(*report)
+	defer tick.Stop()
+	var ckptTick <-chan time.Time
+	if *ckptDir != "" && *ckptEvery > 0 {
+		t := time.NewTicker(*ckptEvery)
+		defer t.Stop()
+		ckptTick = t.C
+	}
+loop:
+	for {
+		select {
+		case <-tick.C:
+			log.Printf("%s", hub.Snapshot())
+		case <-ckptTick:
+			saveCheckpoint(hub, *ckptDir)
+		case <-sig:
+			log.Printf("cogarmd: signal received, draining")
+			break loop
+		case <-timeout:
+			break loop
+		}
+	}
+	// Final checkpoint while the fleet is still live, so a clean shutdown
+	// resumes exactly where it stopped.
+	if *ckptDir != "" {
+		saveCheckpoint(hub, *ckptDir)
+	}
+	close(stopStreaming)
+	// Snapshot before Stop so the final report shows the live fleet.
+	final := hub.Snapshot()
+	hub.Stop()
+	log.Printf("final %s", final)
+	for _, s := range final.Shards {
+		log.Printf("final %s", s)
+	}
+}
+
+// saveCheckpoint persists the fleet and logs the outcome; a failed
+// checkpoint is an operational warning, never fatal to serving.
+func saveCheckpoint(hub *serve.Hub, dir string) {
+	start := time.Now()
+	path, err := hub.Checkpoint(dir)
+	if err != nil {
+		log.Printf("cogarmd: checkpoint failed: %v", err)
+		return
+	}
+	log.Printf("cogarmd: checkpointed fleet to %s in %v", path, time.Since(start).Round(time.Millisecond))
+}
+
+type resumeConfig struct {
+	shards, maxSessions int
+	tickHz              float64
+	subjects, listen    int
+	transport           string
+	idleEvict           int
+	seed                uint64
+	ckptDir             string
+}
+
+// resumeOrColdStart restores the fleet from the newest valid checkpoint when
+// one exists, and otherwise trains the shared decoder and admits the
+// configured sessions from scratch.
+func resumeOrColdStart(cfg resumeConfig, stopStreaming <-chan struct{}) *serve.Hub {
+	if cfg.ckptDir != "" {
+		hub, dir, err := serve.RestoreHubDir(cfg.ckptDir, func(rec serve.RestoredSession) (serve.Source, error) {
+			return rebindSource(rec, cfg, stopStreaming)
+		})
+		switch {
+		case err == nil:
+			log.Printf("cogarmd: resumed %d sessions from %s (no retraining)", hub.Sessions(), dir)
+			return hub
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			log.Printf("cogarmd: no checkpoint in %s, cold start", cfg.ckptDir)
+		default:
+			log.Printf("cogarmd: restore failed (%v), cold start", err)
+		}
+	}
+	return coldStart(cfg, stopStreaming)
+}
+
+// rebindSource reattaches a live source to one restored session using the
+// tag cogarmd stamped at admission: demo subjects respawn their synthetic
+// streamer over a fresh loopback transport, inlet sessions get a fresh UDP
+// socket (its new address is printed). Sessions with unknown tags are
+// dropped rather than left permanently silent.
+func rebindSource(rec serve.RestoredSession, cfg resumeConfig, stop <-chan struct{}) (serve.Source, error) {
+	switch {
+	case strings.HasPrefix(rec.Tag, "demo:"):
+		parts := strings.Split(rec.Tag, ":")
+		if len(parts) != 3 {
+			log.Printf("cogarmd: session %d has malformed tag %q, dropping", rec.ID, rec.Tag)
+			return nil, nil
+		}
+		subject, err1 := strconv.Atoi(parts[1])
+		idx, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			log.Printf("cogarmd: session %d has malformed tag %q, dropping", rec.ID, rec.Tag)
+			return nil, nil
+		}
+		return demoSource(cfg.transport, subject, idx, cfg.seed, stop)
+	case rec.Tag == "inlet":
+		inlet, err := stream.NewUDPInlet(stream.NewVirtualClock(0, 0), 4096)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("session %d listening on %s\n", rec.ID, inlet.Addr())
+		return serve.RingSource{Ring: inlet.Ring, Closer: inlet}, nil
+	default:
+		log.Printf("cogarmd: session %d has unknown tag %q, dropping", rec.ID, rec.Tag)
+		return nil, nil
+	}
+}
+
+// coldStart is the original daemon path: train the shared decoder once and
+// admit demo subjects plus external inlets.
+func coldStart(cfg resumeConfig, stopStreaming <-chan struct{}) *serve.Hub {
 	log.Printf("cogarmd: training shared decoder (once, for the whole fleet)")
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	pipeline, err := core.New(cfg)
+	pcfg := core.DefaultConfig()
+	pcfg.Seed = cfg.seed
+	pipeline, err := core.New(pcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	reg := serve.NewRegistry()
-	spec := models.Spec{Family: models.FamilyRF, WindowSize: cfg.WindowSize, Trees: 50, MaxDepth: 12}
+	spec := models.Spec{Family: models.FamilyRF, WindowSize: pcfg.WindowSize, Trees: 50, MaxDepth: 12}
 	// Sessions resolve the classifier from the registry by key at Admit.
 	if _, _, err := reg.GetOrBuild("rf-shared", func() (models.Classifier, int64, error) {
 		c, res, err := pipeline.TrainModel(spec)
@@ -81,23 +239,32 @@ func main() {
 	}
 
 	hub, err := serve.NewHub(serve.Config{
-		Shards:              *shards,
-		MaxSessionsPerShard: *maxSessions,
-		TickHz:              *tickHz,
-		MaxIdleTicks:        *idleEvict,
+		Shards:              cfg.shards,
+		MaxSessionsPerShard: cfg.maxSessions,
+		TickHz:              cfg.tickHz,
+		MaxIdleTicks:        cfg.idleEvict,
 		LatencyWindow:       1024,
 	}, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	stopStreaming := make(chan struct{})
-	for i := 0; i < *subjects; i++ {
-		if err := admitDemoSubject(hub, pipeline, *transport, i, *seed, stopStreaming); err != nil {
+	for i := 0; i < cfg.subjects; i++ {
+		subject := i % 5 // reuse the synthetic participant pool
+		src, err := demoSource(cfg.transport, subject, i, cfg.seed, stopStreaming)
+		if err != nil {
 			log.Fatalf("cogarmd: demo subject %d: %v", i, err)
 		}
+		if _, err := hub.Admit(serve.SessionConfig{
+			ModelKey: "rf-shared",
+			Source:   src,
+			Norm:     pipeline.NormFor(subject),
+			Tag:      fmt.Sprintf("demo:%d:%d", subject, i),
+		}); err != nil {
+			log.Fatalf("cogarmd: admit demo subject %d: %v", i, err)
+		}
 	}
-	for i := 0; i < *listen; i++ {
+	for i := 0; i < cfg.listen; i++ {
 		inlet, err := stream.NewUDPInlet(stream.NewVirtualClock(0, 0), 4096)
 		if err != nil {
 			log.Fatalf("cogarmd: inlet %d: %v", i, err)
@@ -106,51 +273,22 @@ func main() {
 			ModelKey: "rf-shared",
 			Source:   serve.RingSource{Ring: inlet.Ring, Closer: inlet},
 			Norm:     pipeline.GlobalStats(),
+			Tag:      "inlet",
 		})
 		if err != nil {
 			log.Fatalf("cogarmd: admit inlet %d: %v", i, err)
 		}
 		fmt.Printf("session %d listening on %s\n", id, inlet.Addr())
 	}
-
-	hub.Start()
-	log.Printf("cogarmd: serving %d sessions on %d shards at %.0f Hz", hub.Sessions(), *shards, *tickHz)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	var timeout <-chan time.Time
-	if *duration > 0 {
-		timeout = time.After(*duration)
-	}
-	tick := time.NewTicker(*report)
-	defer tick.Stop()
-loop:
-	for {
-		select {
-		case <-tick.C:
-			log.Printf("%s", hub.Snapshot())
-		case <-sig:
-			log.Printf("cogarmd: signal received, draining")
-			break loop
-		case <-timeout:
-			break loop
-		}
-	}
-	close(stopStreaming)
-	// Snapshot before Stop so the final report shows the live fleet.
-	final := hub.Snapshot()
-	hub.Stop()
-	log.Printf("final %s", final)
-	for _, s := range final.Shards {
-		log.Printf("final %s", s)
-	}
+	return hub
 }
 
-// admitDemoSubject wires one in-process synthetic participant through a real
-// loopback transport into the hub: generator → outlet → socket → inlet ring
-// → session. The streaming goroutine paces samples at the EEG rate and
-// wanders between mental tasks every few seconds.
-func admitDemoSubject(hub *serve.Hub, p *core.Pipeline, transport string, idx int, seed uint64, stop <-chan struct{}) error {
+// demoSource wires one in-process synthetic participant through a real
+// loopback transport: generator → outlet → socket → inlet ring. The
+// streaming goroutine paces samples at the EEG rate and wanders between
+// mental tasks every few seconds. The returned source owns the inlet; the
+// streamer stops when stop closes or the outlet's peer vanishes.
+func demoSource(transport string, subject, idx int, seed uint64, stop <-chan struct{}) (serve.Source, error) {
 	clock := stream.NewVirtualClock(0, 0)
 	var push func(values []float64)
 	var cleanup func()
@@ -160,12 +298,12 @@ func admitDemoSubject(hub *serve.Hub, p *core.Pipeline, transport string, idx in
 	case "udp":
 		inlet, err := stream.NewUDPInlet(clock, 4096)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		outlet, err := stream.NewUDPOutlet(inlet.Addr(), clock, stream.LinkConfig{Seed: seed + uint64(idx)})
 		if err != nil {
 			inlet.Close()
-			return err
+			return nil, err
 		}
 		push = func(v []float64) { outlet.Push(v) }
 		cleanup = func() { outlet.Close() }
@@ -173,33 +311,23 @@ func admitDemoSubject(hub *serve.Hub, p *core.Pipeline, transport string, idx in
 	case "lsl":
 		outlet, err := stream.NewLSLOutlet(clock, stream.LinkConfig{Seed: seed + uint64(idx)})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		inlet, err := stream.NewLSLInlet(outlet.Addr(), clock, 4096, 100*time.Millisecond)
 		if err != nil {
 			outlet.Close()
-			return err
+			return nil, err
 		}
 		if err := outlet.WaitReady(2 * time.Second); err != nil {
 			outlet.Close()
 			inlet.Close()
-			return err
+			return nil, err
 		}
 		push = func(v []float64) { outlet.Push(v) }
 		cleanup = func() { outlet.Close() }
 		ring, closer = inlet.Ring, inlet
 	default:
-		return fmt.Errorf("unknown transport %q (udp|lsl)", transport)
-	}
-
-	subject := idx % 5 // reuse the synthetic participant pool
-	if _, err := hub.Admit(serve.SessionConfig{
-		ModelKey: "rf-shared",
-		Source:   serve.RingSource{Ring: ring, Closer: closer},
-		Norm:     p.NormFor(subject),
-	}); err != nil {
-		cleanup()
-		return err
+		return nil, fmt.Errorf("unknown transport %q (udp|lsl)", transport)
 	}
 
 	go func() {
@@ -231,5 +359,5 @@ func admitDemoSubject(hub *serve.Hub, p *core.Pipeline, transport string, idx in
 			}
 		}
 	}()
-	return nil
+	return serve.RingSource{Ring: ring, Closer: closer}, nil
 }

@@ -1,0 +1,95 @@
+package control
+
+import (
+	"fmt"
+
+	"cognitivearm/internal/eeg"
+)
+
+// WindowerState is the portable snapshot of a Windower: everything beyond the
+// construction parameters (rate, channels, window size, norm stats) that the
+// next Push depends on. It is what internal/checkpoint persists per session so
+// a restarted fleet emits bitwise-identical labels: the partially filled
+// rolling window and the per-channel causal filter delay state.
+type WindowerState struct {
+	// Filled is the number of valid rows currently in the rolling window.
+	Filled int
+	// Window is the row-major contents of the rolling buffer
+	// (WindowSize × Channels values, only the first Filled rows meaningful).
+	Window []float64
+	// Filter holds each channel's preprocessor delay state
+	// (signal.EEGPreprocessor.State, one slice per channel).
+	Filter [][]float64
+}
+
+// State exports the Windower's resumable state. The returned slices are
+// copies; mutating them does not affect the Windower.
+func (w *Windower) State() WindowerState {
+	st := WindowerState{
+		Filled: w.filled,
+		Window: append([]float64(nil), w.window.Data...),
+		Filter: make([][]float64, len(w.pre)),
+	}
+	for ch, p := range w.pre {
+		st.Filter[ch] = p.State()
+	}
+	return st
+}
+
+// SetState restores a snapshot taken by State into a Windower built with the
+// same construction parameters. It rejects snapshots whose dimensions do not
+// match the receiver — a mismatched window length, channel count or filter
+// order means the checkpoint was taken from a differently configured session.
+func (w *Windower) SetState(st WindowerState) error {
+	if st.Filled < 0 || st.Filled > w.window.Rows {
+		return fmt.Errorf("control: windower state filled=%d, window holds %d rows", st.Filled, w.window.Rows)
+	}
+	if len(st.Window) != len(w.window.Data) {
+		return fmt.Errorf("control: windower state has %d window values, want %d", len(st.Window), len(w.window.Data))
+	}
+	if len(st.Filter) != len(w.pre) {
+		return fmt.Errorf("control: windower state has %d filter channels, want %d", len(st.Filter), len(w.pre))
+	}
+	for ch, p := range w.pre {
+		if err := p.SetState(st.Filter[ch]); err != nil {
+			return fmt.Errorf("control: channel %d: %w", ch, err)
+		}
+	}
+	copy(w.window.Data, st.Window)
+	w.filled = st.Filled
+	return nil
+}
+
+// DebouncerState is the portable snapshot of a Debouncer's label history.
+type DebouncerState struct {
+	// Recent is the label ring in storage order (SmoothingWindow entries).
+	Recent []int
+	// Head is the next write slot; N is the saturating observed count.
+	Head, N int
+}
+
+// State exports the debounce history.
+func (d *Debouncer) State() DebouncerState {
+	st := DebouncerState{Recent: make([]int, SmoothingWindow), Head: d.head, N: d.n}
+	for i, a := range d.recent {
+		st.Recent[i] = int(a)
+	}
+	return st
+}
+
+// SetState restores a snapshot taken by State, validating ranges so a
+// corrupted checkpoint cannot put the ring cursor out of bounds.
+func (d *Debouncer) SetState(st DebouncerState) error {
+	if len(st.Recent) != SmoothingWindow {
+		return fmt.Errorf("control: debouncer state has %d labels, want %d", len(st.Recent), SmoothingWindow)
+	}
+	if st.Head < 0 || st.Head >= SmoothingWindow || st.N < 0 || st.N > SmoothingWindow {
+		return fmt.Errorf("control: debouncer state head=%d n=%d out of range", st.Head, st.N)
+	}
+	for i, a := range st.Recent {
+		d.recent[i] = eeg.Action(a)
+	}
+	d.head = st.Head
+	d.n = st.N
+	return nil
+}

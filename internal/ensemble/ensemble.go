@@ -21,6 +21,25 @@ type Ensemble struct {
 	Members []models.Classifier
 }
 
+// init plugs Ensemble into the generic models.Save/Load format: an ensemble
+// serialises as its members (recursively), and deserialises by reassembling
+// them with New. Importing this package — directly or blank — is what makes
+// checkpointed ensembles loadable.
+func init() {
+	models.RegisterEnsembleCodec(models.EnsembleCodec{
+		Members: func(c models.Classifier) ([]models.Classifier, bool) {
+			e, ok := c.(*Ensemble)
+			if !ok {
+				return nil, false
+			}
+			return e.Members, true
+		},
+		Build: func(members []models.Classifier) (models.Classifier, error) {
+			return New(members...)
+		},
+	})
+}
+
 // New creates an ensemble. At least one member is required.
 func New(members ...models.Classifier) (*Ensemble, error) {
 	if len(members) == 0 {

@@ -1,0 +1,88 @@
+package ensemble
+
+import (
+	"bytes"
+	"testing"
+
+	"cognitivearm/internal/dataset"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/rf"
+	"cognitivearm/internal/tensor"
+)
+
+// TestEnsembleSaveLoadRoundTrip exercises the codec this package registers
+// with models: a mixed NN+forest ensemble serialises as its members and
+// reassembles with bitwise-identical soft votes.
+func TestEnsembleSaveLoadRoundTrip(t *testing.T) {
+	const window = 40
+	nnSpec := models.Spec{Family: models.FamilyCNN, WindowSize: window, Optimizer: "adam", LR: 1e-3,
+		ConvLayers: 1, Filters: 4, Kernel: 5, Stride: 2, Pool: "none"}
+	net, err := models.BuildNet(nnSpec, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnn := &models.NNClassifier{Net: net, Spec: nnSpec}
+
+	rng := tensor.NewRNG(21)
+	nFeats := len(featVec(window, rng))
+	X := make([][]float64, 80)
+	y := make([]int, len(X))
+	for i := range X {
+		X[i] = make([]float64, nFeats)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+		y[i] = i % eeg.NumActions
+	}
+	forest, err := rf.Fit(X, y, eeg.NumActions, rf.Config{Trees: 5, MaxDepth: 4, MinSamplesSplit: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfc := &models.RFClassifier{Forest: forest, Spec: models.Spec{Family: models.FamilyRF, WindowSize: window, Trees: 5, MaxDepth: 4}}
+
+	orig, err := New(cnn, rfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := models.Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := models.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, ok := loaded.(*Ensemble)
+	if !ok {
+		t.Fatalf("loaded %T, want *Ensemble", loaded)
+	}
+	if len(ens.Members) != 2 {
+		t.Fatalf("%d members after round trip, want 2", len(ens.Members))
+	}
+	if ens.Name() != orig.Name() {
+		t.Fatalf("name %q, want %q", ens.Name(), orig.Name())
+	}
+	for trial := 0; trial < 5; trial++ {
+		x := tensor.New(window, eeg.NumChannels)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		p1, p2 := orig.Probs(x), ens.Probs(x)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("ensemble probs diverge after round trip: %v vs %v", p1, p2)
+			}
+		}
+	}
+}
+
+// featVec returns a representative feature vector so the test forest is fit
+// over the same dimensionality RFClassifier extracts at predict time.
+func featVec(window int, rng *tensor.RNG) []float64 {
+	x := tensor.New(window, eeg.NumChannels)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return dataset.FeatureVector(dataset.Window{Data: x})
+}

@@ -1,59 +1,188 @@
 package models
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 
 	"cognitivearm/internal/nn"
+	"cognitivearm/internal/rf"
 )
 
-// savedModel is the on-disk representation of an NN classifier: the spec
-// (from which the architecture is rebuilt) plus the flat weight tensors in
-// parameter order.
-type savedModel struct {
-	Spec    Spec
+// Classifier serialization covers the whole zoo: NN families persist their
+// spec plus flat weight tensors in parameter order, random forests persist
+// the flat node encoding of rf.ForestData, and ensembles persist their
+// members recursively (via the codec internal/ensemble registers at init).
+// Every payload round-trips float64 values exactly, so a deserialised model
+// emits bitwise-identical predictions — the property the serving fleet's
+// checkpoint/restore path (internal/checkpoint) is built on.
+
+// Kind tags in the saved container.
+const (
+	savedKindNN       = "nn"
+	savedKindRF       = "rf"
+	savedKindEnsemble = "ensemble"
+)
+
+// savedClassifier is the on-disk container: a tagged union over the
+// classifier kinds. Only the fields for Kind are populated.
+type savedClassifier struct {
+	Kind string
+	// Spec is stored for nn and rf kinds.
+	Spec Spec
+	// Weights holds the flat NN weight tensors in nn.Network.Params order.
 	Weights [][]float64
+	// Forest is the flat node encoding of a trained rf.Forest.
+	Forest *rf.ForestData
+	// Members holds each ensemble member as its own nested Save payload.
+	Members [][]byte
 }
 
-// SaveNN writes an NN classifier to w in gob format. Random forests are not
-// serialised (they retrain in seconds and their node layout is an internal
-// detail); callers should persist the spec and retrain.
-func SaveNN(w io.Writer, c *NNClassifier) error {
-	sm := savedModel{Spec: c.Spec}
-	for _, p := range c.Net.Params() {
-		sm.Weights = append(sm.Weights, append([]float64(nil), p.W.Data...))
+// EnsembleCodec lets internal/ensemble plug its type into Save/Load without
+// an import cycle (models cannot import ensemble, which imports models).
+// Members reports the member classifiers of an ensemble (ok=false for any
+// other Classifier); Build reassembles one from deserialised members.
+type EnsembleCodec struct {
+	Members func(Classifier) ([]Classifier, bool)
+	Build   func([]Classifier) (Classifier, error)
+}
+
+var ensembleCodec *EnsembleCodec
+
+// RegisterEnsembleCodec installs the ensemble hooks. internal/ensemble calls
+// it from init(); importing that package (directly or blank) is what enables
+// ensemble persistence.
+func RegisterEnsembleCodec(c EnsembleCodec) { ensembleCodec = &c }
+
+// Save writes any supported classifier to w in gob format: *NNClassifier,
+// *RFClassifier, or a registered ensemble of them.
+func Save(w io.Writer, c Classifier) error {
+	sc, err := toSaved(c)
+	if err != nil {
+		return err
 	}
-	if err := gob.NewEncoder(w).Encode(sm); err != nil {
+	if err := gob.NewEncoder(w).Encode(sc); err != nil {
 		return fmt.Errorf("models: save: %w", err)
 	}
 	return nil
 }
 
-// LoadNN reads a classifier saved by SaveNN, rebuilding the architecture
-// from the stored spec and restoring the weights.
-func LoadNN(r io.Reader) (*NNClassifier, error) {
-	var sm savedModel
-	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
+func toSaved(c Classifier) (*savedClassifier, error) {
+	switch v := c.(type) {
+	case *NNClassifier:
+		sc := &savedClassifier{Kind: savedKindNN, Spec: v.Spec}
+		for _, p := range v.Net.Params() {
+			sc.Weights = append(sc.Weights, append([]float64(nil), p.W.Data...))
+		}
+		return sc, nil
+	case *RFClassifier:
+		return &savedClassifier{Kind: savedKindRF, Spec: v.Spec, Forest: v.Forest.Export()}, nil
+	}
+	if ensembleCodec != nil {
+		if members, ok := ensembleCodec.Members(c); ok {
+			sc := &savedClassifier{Kind: savedKindEnsemble}
+			for i, m := range members {
+				var buf bytes.Buffer
+				if err := Save(&buf, m); err != nil {
+					return nil, fmt.Errorf("models: save ensemble member %d: %w", i, err)
+				}
+				sc.Members = append(sc.Members, buf.Bytes())
+			}
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("models: cannot serialise classifier type %T", c)
+}
+
+// Load reads a classifier written by Save, rebuilding the architecture from
+// the stored spec (or node encoding) and restoring parameters exactly.
+func Load(r io.Reader) (Classifier, error) {
+	var sc savedClassifier
+	if err := gob.NewDecoder(r).Decode(&sc); err != nil {
 		return nil, fmt.Errorf("models: load: %w", err)
 	}
-	net, err := BuildNet(sm.Spec, 0)
+	return fromSaved(&sc)
+}
+
+func fromSaved(sc *savedClassifier) (Classifier, error) {
+	switch sc.Kind {
+	case savedKindNN:
+		return restoreNN(sc.Spec, sc.Weights)
+	case "":
+		// Legacy NN-only payload (pre-checkpoint savedModel): no kind tag,
+		// but gob matched its Spec/Weights fields by name.
+		if len(sc.Weights) > 0 {
+			return restoreNN(sc.Spec, sc.Weights)
+		}
+		return nil, fmt.Errorf("models: load: unknown classifier kind %q", sc.Kind)
+	case savedKindRF:
+		if err := sc.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("models: load: %w", err)
+		}
+		forest, err := rf.FromData(sc.Forest)
+		if err != nil {
+			return nil, fmt.Errorf("models: load: %w", err)
+		}
+		return &RFClassifier{Forest: forest, Spec: sc.Spec}, nil
+	case savedKindEnsemble:
+		if ensembleCodec == nil {
+			return nil, fmt.Errorf("models: load: no ensemble codec registered (import internal/ensemble)")
+		}
+		if len(sc.Members) == 0 {
+			return nil, fmt.Errorf("models: load: ensemble with no members")
+		}
+		members := make([]Classifier, len(sc.Members))
+		for i, raw := range sc.Members {
+			m, err := Load(bytes.NewReader(raw))
+			if err != nil {
+				return nil, fmt.Errorf("models: load ensemble member %d: %w", i, err)
+			}
+			members[i] = m
+		}
+		return ensembleCodec.Build(members)
+	default:
+		return nil, fmt.Errorf("models: load: unknown classifier kind %q", sc.Kind)
+	}
+}
+
+// restoreNN rebuilds a network from spec and copies the stored weights in.
+func restoreNN(spec Spec, weights [][]float64) (*NNClassifier, error) {
+	net, err := BuildNet(spec, 0)
 	if err != nil {
 		return nil, fmt.Errorf("models: load: rebuild: %w", err)
 	}
 	params := net.Params()
-	if len(params) != len(sm.Weights) {
+	if len(params) != len(weights) {
 		return nil, fmt.Errorf("models: load: parameter count mismatch (%d stored, %d rebuilt)",
-			len(sm.Weights), len(params))
+			len(weights), len(params))
 	}
 	for i, p := range params {
-		if len(p.W.Data) != len(sm.Weights[i]) {
+		if len(p.W.Data) != len(weights[i]) {
 			return nil, fmt.Errorf("models: load: parameter %d size mismatch (%d stored, %d rebuilt)",
-				i, len(sm.Weights[i]), len(p.W.Data))
+				i, len(weights[i]), len(p.W.Data))
 		}
-		copy(p.W.Data, sm.Weights[i])
+		copy(p.W.Data, weights[i])
 	}
-	return &NNClassifier{Net: net, Spec: sm.Spec}, nil
+	return &NNClassifier{Net: net, Spec: spec}, nil
+}
+
+// SaveNN writes an NN classifier in the generic Save format. It is the
+// NN-typed convenience wrapper kept for existing callers.
+func SaveNN(w io.Writer, c *NNClassifier) error { return Save(w, c) }
+
+// LoadNN reads an NN classifier saved by SaveNN or Save, accepting both the
+// generic container and the legacy NN-only payload (handled inside Load).
+func LoadNN(r io.Reader) (*NNClassifier, error) {
+	c, err := Load(r)
+	if err != nil {
+		return nil, err
+	}
+	nnClf, ok := c.(*NNClassifier)
+	if !ok {
+		return nil, fmt.Errorf("models: load: saved classifier is %T, not an NN", c)
+	}
+	return nnClf, nil
 }
 
 // ensure nn is referenced for documentation clarity (Params ordering is the

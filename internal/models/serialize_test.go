@@ -2,6 +2,7 @@ package models
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 )
 
@@ -47,6 +48,70 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadGarbage(t *testing.T) {
 	if _, err := LoadNN(bytes.NewReader([]byte("not a gob"))); err == nil {
 		t.Fatal("garbage input should error")
+	}
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage input should error via generic Load too")
+	}
+}
+
+func TestSaveLoadRandomForest(t *testing.T) {
+	train, val := smallData(t, 50)
+	spec := Spec{Family: FamilyRF, WindowSize: 50, Trees: 10, MaxDepth: 6}
+	clf, _, err := Train(spec, train, val, TrainOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfc, ok := loaded.(*RFClassifier)
+	if !ok {
+		t.Fatalf("loaded %T, want *RFClassifier", loaded)
+	}
+	if rfc.Spec != spec {
+		t.Fatalf("spec mangled: %+v", rfc.Spec)
+	}
+	if rfc.NumParams() != clf.NumParams() {
+		t.Fatal("forest node count changed across the round trip")
+	}
+	for _, w := range val {
+		if clf.Predict(w.Data) != rfc.Predict(w.Data) {
+			t.Fatal("loaded forest predicts differently")
+		}
+		p1, p2 := clf.Probs(w.Data), rfc.Probs(w.Data)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("forest probabilities differ: %v vs %v", p1, p2)
+			}
+		}
+	}
+}
+
+// TestLoadRejectsMangledForest pins the validation path: a structurally
+// damaged forest payload must fail Load instead of producing a classifier
+// that panics at predict time.
+func TestLoadRejectsMangledForest(t *testing.T) {
+	train, val := smallData(t, 50)
+	clf, _, err := Train(Spec{Family: FamilyRF, WindowSize: 50, Trees: 3, MaxDepth: 4}, train, val, TrainOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := toSaved(clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Forest.Trees[0].Left[0] = 1 << 20
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("mangled forest payload accepted")
 	}
 }
 

@@ -1,0 +1,148 @@
+package rf
+
+import "fmt"
+
+// TreeData is the flat, pointer-free encoding of one CART tree: nodes in
+// preorder, children referenced by index. Index 0 is the root; -1 marks "no
+// child" (leaves). The flat form is what crosses process boundaries — gob
+// cannot see the unexported node pointers, and an explicit index encoding is
+// cheap to validate against a corrupted or adversarial checkpoint.
+type TreeData struct {
+	// Feature and Threshold describe internal-node splits; Feature is -1 on
+	// leaves.
+	Feature   []int32
+	Threshold []float64
+	// Left and Right are child node indices, -1 on leaves. A well-formed tree
+	// always has both children strictly greater than the parent index (the
+	// preorder flattening guarantees it), which is what FromData checks to
+	// reject cycles.
+	Left, Right []int32
+	// Counts holds the normalised class distribution of each leaf; nil on
+	// internal nodes.
+	Counts [][]float64
+}
+
+// ForestData is the flat encoding of a trained Forest, the payload persisted
+// by models.Save / internal/checkpoint.
+type ForestData struct {
+	Classes int
+	Feats   int
+	Trees   []TreeData
+}
+
+// Export flattens the forest into its portable form. Probabilities and
+// thresholds are copied as float64 bit patterns, so a round trip through
+// Export/FromData reproduces bitwise-identical predictions.
+func (f *Forest) Export() *ForestData {
+	d := &ForestData{Classes: f.Classes, Feats: f.Feats, Trees: make([]TreeData, len(f.Trees))}
+	for i := range f.Trees {
+		d.Trees[i] = flattenTree(&f.Trees[i])
+	}
+	return d
+}
+
+func flattenTree(t *Tree) TreeData {
+	td := TreeData{}
+	var walk func(n *node) int32
+	walk = func(n *node) int32 {
+		idx := int32(len(td.Feature))
+		td.Feature = append(td.Feature, -1)
+		td.Threshold = append(td.Threshold, 0)
+		td.Left = append(td.Left, -1)
+		td.Right = append(td.Right, -1)
+		td.Counts = append(td.Counts, nil)
+		if n.isLeaf() {
+			td.Counts[idx] = append([]float64(nil), n.counts...)
+			return idx
+		}
+		td.Feature[idx] = int32(n.feature)
+		td.Threshold[idx] = n.threshold
+		td.Left[idx] = walk(n.left)
+		td.Right[idx] = walk(n.right)
+		return idx
+	}
+	walk(t.root)
+	return td
+}
+
+// FromData rebuilds a Forest from its flat encoding, validating structure as
+// it goes: parallel arrays must agree in length, child indices must stay in
+// range and strictly increase (no cycles, no sharing), split features must be
+// within Feats, and every leaf must carry exactly Classes probabilities. A
+// truncated or bit-flipped checkpoint fails here with a description instead of
+// producing a forest that panics at predict time.
+func FromData(d *ForestData) (*Forest, error) {
+	if d == nil {
+		return nil, fmt.Errorf("rf: nil forest data")
+	}
+	if d.Classes < 1 || d.Feats < 1 {
+		return nil, fmt.Errorf("rf: forest data has classes=%d feats=%d", d.Classes, d.Feats)
+	}
+	if len(d.Trees) == 0 {
+		return nil, fmt.Errorf("rf: forest data has no trees")
+	}
+	f := &Forest{Classes: d.Classes, Feats: d.Feats, Trees: make([]Tree, len(d.Trees))}
+	for ti := range d.Trees {
+		tree, err := unflattenTree(&d.Trees[ti], d.Classes, d.Feats)
+		if err != nil {
+			return nil, fmt.Errorf("rf: tree %d: %w", ti, err)
+		}
+		f.Trees[ti] = tree
+	}
+	return f, nil
+}
+
+func unflattenTree(td *TreeData, classes, feats int) (Tree, error) {
+	n := len(td.Feature)
+	if n == 0 {
+		return Tree{}, fmt.Errorf("empty tree")
+	}
+	if len(td.Threshold) != n || len(td.Left) != n || len(td.Right) != n || len(td.Counts) != n {
+		return Tree{}, fmt.Errorf("ragged node arrays (%d/%d/%d/%d/%d)",
+			n, len(td.Threshold), len(td.Left), len(td.Right), len(td.Counts))
+	}
+	nodes := make([]node, n)
+	for i := 0; i < n; i++ {
+		leaf := td.Left[i] < 0 && td.Right[i] < 0
+		if leaf {
+			if len(td.Counts[i]) != classes {
+				return Tree{}, fmt.Errorf("leaf %d has %d class probabilities, want %d", i, len(td.Counts[i]), classes)
+			}
+			nodes[i].counts = append([]float64(nil), td.Counts[i]...)
+			continue
+		}
+		l, r := td.Left[i], td.Right[i]
+		// Preorder flattening puts both children after the parent; anything
+		// else is corruption (or a cycle).
+		if l <= int32(i) || r <= int32(i) || int(l) >= n || int(r) >= n {
+			return Tree{}, fmt.Errorf("node %d has child indices %d/%d outside (%d, %d)", i, l, r, i, n)
+		}
+		if td.Feature[i] < 0 || int(td.Feature[i]) >= feats {
+			return Tree{}, fmt.Errorf("node %d splits on feature %d of %d", i, td.Feature[i], feats)
+		}
+		nodes[i].feature = int(td.Feature[i])
+		nodes[i].threshold = td.Threshold[i]
+		nodes[i].left = &nodes[l]
+		nodes[i].right = &nodes[r]
+	}
+	// Reachability: every node must be referenced exactly once (tree shape).
+	seen := make([]bool, n)
+	seen[0] = true
+	for i := 0; i < n; i++ {
+		if nodes[i].isLeaf() {
+			continue
+		}
+		for _, c := range []int32{td.Left[i], td.Right[i]} {
+			if seen[c] {
+				return Tree{}, fmt.Errorf("node %d referenced twice", c)
+			}
+			seen[c] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return Tree{}, fmt.Errorf("node %d unreachable", i)
+		}
+	}
+	return Tree{root: &nodes[0], classes: classes, nodes: n}, nil
+}

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cognitivearm/internal/checkpoint"
+	"cognitivearm/internal/control"
+	"cognitivearm/internal/dataset"
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/stream"
+)
+
+// Fleet checkpointing: Hub.Checkpoint snapshots the entire hub — registry
+// models, every session's signal-path state, shard assignment and metrics
+// baselines — into a checkpoint directory via internal/checkpoint, and
+// RestoreHub rebuilds a serving hub from one. The capture is copy-on-
+// snapshot: each shard's lock is held only long enough to deep-copy its
+// sessions' in-memory state (microseconds per shard, one shard at a time),
+// and all serialization and disk I/O happen afterwards on the caller's
+// goroutine, so paced tick loops never stall behind a checkpoint.
+
+// Checkpoint atomically persists the hub's complete serving state as the
+// next checkpoint under root, returning the new checkpoint directory. It is
+// safe to call while the hub is serving (Start) or between TickAll calls; a
+// session's tick and its capture are serialized by the shard lock, so every
+// persisted session is at a tick boundary.
+func (h *Hub) Checkpoint(root string) (string, error) {
+	return checkpoint.Save(root, h.CaptureState())
+}
+
+// CaptureState snapshots the hub into a checkpoint.FleetState without
+// touching disk — the in-memory half of Checkpoint, exposed for tests and
+// for callers that ship state elsewhere (e.g. a replication stream).
+func (h *Hub) CaptureState() *checkpoint.FleetState {
+	h.mu.Lock()
+	state := &checkpoint.FleetState{
+		Manifest: checkpoint.Manifest{
+			Hub: checkpoint.HubConfig{
+				Shards:              h.cfg.Shards,
+				MaxSessionsPerShard: h.cfg.MaxSessionsPerShard,
+				TickHz:              h.cfg.TickHz,
+				MaxIdleTicks:        h.cfg.MaxIdleTicks,
+				LatencyWindow:       h.cfg.LatencyWindow,
+			},
+			NextID: uint64(h.nextID),
+		},
+	}
+	shards := h.shards
+	h.mu.Unlock()
+
+	for _, s := range shards {
+		state.Manifest.Shards = append(state.Manifest.Shards, s.captureCounters())
+		state.Sessions = append(state.Sessions, s.captureSessions()...)
+	}
+	// Resolve models after the session sweep: Admit only places a session
+	// once its model has resolved in the registry, so every model a captured
+	// session references is guaranteed present here — the reverse order
+	// would let a concurrently admitted session reference a model missing
+	// from the snapshot, producing a checkpoint Load rejects whole.
+	state.Models, state.ModelMACs = h.reg.Resolved()
+	return state
+}
+
+// captureSessions deep-copies every session's resumable state under the
+// shard lock (the brief pause a running tick loop sees) and returns records
+// sorted by session ID for deterministic checkpoint bytes.
+func (s *shard) captureSessions() []checkpoint.SessionRecord {
+	s.mu.Lock()
+	recs := make([]checkpoint.SessionRecord, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		rec := checkpoint.SessionRecord{
+			ID:           uint64(sess.id),
+			Shard:        s.id,
+			ModelKey:     sess.cfg.ModelKey,
+			Tag:          sess.cfg.Tag,
+			Channels:     sess.cfg.Channels,
+			SampleRateHz: sess.cfg.SampleRateHz,
+			NormMean:     append([]float64(nil), sess.cfg.Norm.Mean...),
+			NormStd:      append([]float64(nil), sess.cfg.Norm.Std...),
+			SampleAcc:    sess.sampleAcc,
+			Fed:          sess.fed,
+			IdleTicks:    sess.idleTicks,
+			Decoded:      sess.decoded,
+			Agreed:       sess.agreed,
+			Actions:      append([]uint64(nil), sess.actions[:]...),
+			Windower:     sess.win.State(),
+			Debounce:     sess.debounce.State(),
+		}
+		if snap, ok := sess.cfg.Source.(PendingSnapshotter); ok {
+			for _, smp := range snap.SnapshotPending() {
+				rec.Pending = append(rec.Pending, checkpoint.PendingSample{
+					Seq: smp.Seq, Timestamp: smp.Timestamp, Values: smp.Values,
+				})
+			}
+		}
+		recs = append(recs, rec)
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+// captureCounters snapshots the shard's monotonic metric counters.
+func (s *shard) captureCounters() checkpoint.ShardCounters {
+	m := &s.met
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return checkpoint.ShardCounters{
+		Ticks:      m.ticks,
+		Inferences: m.inferences,
+		Batches:    m.batches,
+		Evictions:  m.evictions,
+		SamplesIn:  m.samplesIn,
+	}
+}
+
+// restoreCounters reinstates a persisted counter baseline, so fleet
+// throughput totals survive a daemon restart.
+func (m *shardMetrics) restoreCounters(c checkpoint.ShardCounters) {
+	m.mu.Lock()
+	m.ticks = c.Ticks
+	m.inferences = c.Inferences
+	m.batches = c.Batches
+	m.evictions = c.Evictions
+	m.samplesIn = c.SamplesIn
+	m.mu.Unlock()
+}
+
+// RestoredSession is the view of a persisted session handed to a
+// SourceFactory so the caller can rebind a live sample source.
+type RestoredSession struct {
+	ID           SessionID
+	ModelKey     string
+	Tag          string
+	Channels     int
+	SampleRateHz float64
+}
+
+// SourceFactory rebinds a live Source for one restored session. Returning
+// (nil, nil) drops the session — the rebind target no longer exists (e.g. an
+// external client that will simply reconnect and be re-admitted). Returning
+// an error aborts the whole restore.
+type SourceFactory func(RestoredSession) (Source, error)
+
+// RestoreHub rebuilds a serving hub from a loaded checkpoint: the registry
+// is populated with the deserialised models (no retraining), every session
+// returns to its original shard with its rolling window, filter delay state,
+// debounce ring and counters intact, and samples that sat unconsumed in
+// source buffers at snapshot time are prepended to the new source — so the
+// restored fleet's label stream continues bitwise-identically to the one the
+// killed fleet would have produced for the same subsequent input.
+//
+// The hub is returned stopped; call Start (or TickAll) to resume serving.
+func RestoreHub(state *checkpoint.FleetState, newSource SourceFactory) (*Hub, error) {
+	if state == nil {
+		return nil, fmt.Errorf("serve: restore: nil state")
+	}
+	if newSource == nil {
+		return nil, fmt.Errorf("serve: restore: nil source factory")
+	}
+	man := &state.Manifest
+	reg := NewRegistry()
+	for key, clf := range state.Models {
+		clf, macs := clf, state.ModelMACs[key]
+		reg.GetOrBuild(key, func() (models.Classifier, int64, error) { return clf, macs, nil })
+	}
+	hub, err := NewHub(Config{
+		Shards:              man.Hub.Shards,
+		MaxSessionsPerShard: man.Hub.MaxSessionsPerShard,
+		TickHz:              man.Hub.TickHz,
+		MaxIdleTicks:        man.Hub.MaxIdleTicks,
+		LatencyWindow:       man.Hub.LatencyWindow,
+	}, reg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore: %w", err)
+	}
+	for i, s := range hub.shards {
+		if i < len(man.Shards) {
+			s.met.restoreCounters(man.Shards[i])
+		}
+	}
+	// fail aborts a partial restore: Stop on the unstarted hub closes the
+	// sources of every session already rebound, so an error on session N
+	// cannot leak N-1 open sockets (and their streamer goroutines).
+	fail := func(err error) (*Hub, error) {
+		hub.Stop()
+		return nil, err
+	}
+
+	maxID := SessionID(man.NextID)
+	for i := range state.Sessions {
+		rec := &state.Sessions[i]
+		if rec.Shard < 0 || rec.Shard >= len(hub.shards) {
+			return fail(fmt.Errorf("serve: restore: session %d assigned to shard %d of %d", rec.ID, rec.Shard, len(hub.shards)))
+		}
+		clf, _, ok := reg.Get(rec.ModelKey)
+		if !ok {
+			return fail(fmt.Errorf("serve: restore: session %d references model %q not in checkpoint", rec.ID, rec.ModelKey))
+		}
+		src, err := newSource(RestoredSession{
+			ID:           SessionID(rec.ID),
+			ModelKey:     rec.ModelKey,
+			Tag:          rec.Tag,
+			Channels:     rec.Channels,
+			SampleRateHz: rec.SampleRateHz,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("serve: restore: session %d source: %w", rec.ID, err))
+		}
+		if src == nil {
+			continue // caller dropped the session
+		}
+		if len(rec.Pending) > 0 {
+			pending := make([]stream.Sample, len(rec.Pending))
+			for j, smp := range rec.Pending {
+				pending[j] = stream.Sample{Seq: smp.Seq, Timestamp: smp.Timestamp, Values: smp.Values}
+			}
+			src = &pendingSource{pending: pending, src: src}
+		}
+		norm := dataset.Stats{Mean: rec.NormMean, Std: rec.NormStd}
+		win, err := control.NewWindower(rec.SampleRateHz, rec.Channels, clf.WindowSize(), norm)
+		if err != nil {
+			closeSource(src)
+			return fail(fmt.Errorf("serve: restore: session %d: %w", rec.ID, err))
+		}
+		if err := win.SetState(rec.Windower); err != nil {
+			closeSource(src)
+			return fail(fmt.Errorf("serve: restore: session %d: %w", rec.ID, err))
+		}
+		sess := &session{
+			id: SessionID(rec.ID),
+			cfg: SessionConfig{
+				ModelKey:     rec.ModelKey,
+				Source:       src,
+				Norm:         norm,
+				Channels:     rec.Channels,
+				SampleRateHz: rec.SampleRateHz,
+				Tag:          rec.Tag,
+			},
+			clf:       clf,
+			win:       win,
+			sampleAcc: rec.SampleAcc,
+			fed:       rec.Fed,
+			idleTicks: rec.IdleTicks,
+			decoded:   rec.Decoded,
+			agreed:    rec.Agreed,
+		}
+		if err := sess.debounce.SetState(rec.Debounce); err != nil {
+			closeSource(src)
+			return fail(fmt.Errorf("serve: restore: session %d: %w", rec.ID, err))
+		}
+		for i := 0; i < len(sess.actions) && i < len(rec.Actions); i++ {
+			sess.actions[i] = rec.Actions[i]
+		}
+		target := hub.shards[rec.Shard]
+		target.add(sess)
+		hub.idxMu.Lock()
+		hub.index[sess.id] = target
+		hub.idxMu.Unlock()
+		if sess.id > maxID {
+			maxID = sess.id
+		}
+	}
+	hub.mu.Lock()
+	hub.nextID = maxID
+	hub.mu.Unlock()
+	return hub, nil
+}
+
+// RestoreHubDir loads the newest valid checkpoint under root and restores a
+// hub from it — the one-call resume path for daemons. It returns
+// checkpoint.ErrNoCheckpoint (wrapped) when root holds no checkpoint yet.
+func RestoreHubDir(root string, newSource SourceFactory) (*Hub, string, error) {
+	state, dir, err := checkpoint.LoadLatest(root)
+	if err != nil {
+		return nil, "", err
+	}
+	hub, err := RestoreHub(state, newSource)
+	if err != nil {
+		return nil, "", err
+	}
+	return hub, dir, nil
+}
+
+// pendingSource replays samples that were buffered but unconsumed at
+// checkpoint time before handing reads through to the rebound live source.
+// It preserves ordering: every pending sample drains before the first live
+// one, exactly as the ring would have delivered them.
+type pendingSource struct {
+	pending []stream.Sample
+	src     Source
+}
+
+// Read implements Source, preserving the Source contract exactly: max <= 0
+// drains pending AND the live source (as Ring.PopN would), a positive max is
+// split between the two. Any deviation here would group samples into
+// different ticks than the pre-kill fleet and break bitwise-identical resume.
+func (p *pendingSource) Read(max int) []stream.Sample {
+	if len(p.pending) == 0 {
+		return p.src.Read(max)
+	}
+	n := len(p.pending)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := p.pending[:n:n]
+	p.pending = p.pending[n:]
+	if max > 0 && n == max {
+		return out
+	}
+	// max-n is negative when max <= 0: the drain-everything case passes
+	// through to the live source unchanged.
+	return append(out, p.src.Read(max-n)...)
+}
+
+// SnapshotPending implements PendingSnapshotter, so re-checkpointing before
+// the replay drains still captures every in-flight sample.
+func (p *pendingSource) SnapshotPending() []stream.Sample {
+	out := make([]stream.Sample, 0, len(p.pending))
+	for _, s := range p.pending {
+		s.Values = append([]float64(nil), s.Values...)
+		out = append(out, s)
+	}
+	if snap, ok := p.src.(PendingSnapshotter); ok {
+		out = append(out, snap.SnapshotPending()...)
+	}
+	return out
+}
+
+// Close implements io.Closer, forwarding to the wrapped source.
+func (p *pendingSource) Close() error {
+	if c, ok := p.src.(io.Closer); ok {
+		return c.Close()
+	}
+	closeSource(p.src)
+	return nil
+}

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cognitivearm/internal/checkpoint"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/stream"
+)
+
+// scriptSource replays a fixed pre-generated sample stream — the
+// deterministic stand-in for a live subject that lets two hubs (or one hub
+// killed and restored) consume byte-identical input.
+type scriptSource struct {
+	samples []stream.Sample
+	pos     int
+}
+
+func (s *scriptSource) Read(max int) []stream.Sample {
+	n := len(s.samples) - s.pos
+	if max > 0 && max < n {
+		n = max
+	}
+	out := s.samples[s.pos : s.pos+n : s.pos+n]
+	s.pos += n
+	return out
+}
+
+// scriptedEEG pre-generates a deterministic multichannel stream whose intent
+// wanders, so decoded labels change over time.
+func scriptedEEG(subject int, seed uint64, n int) []stream.Sample {
+	gen := eeg.NewGenerator(eeg.NewSubject(subject), seed)
+	out := make([]stream.Sample, n)
+	for i := range out {
+		raw := gen.Next(eeg.Action((i / 90) % 3))
+		out[i] = stream.Sample{Seq: uint64(i), Values: append([]float64(nil), raw[:]...)}
+	}
+	return out
+}
+
+// tickStats advances the hub one tick and returns each session's stats.
+func tickStats(t *testing.T, hub *Hub, ids []SessionID) []SessionStats {
+	t.Helper()
+	hub.TickAll()
+	out := make([]SessionStats, len(ids))
+	for i, id := range ids {
+		st, ok := hub.Session(id)
+		if !ok {
+			t.Fatalf("session %d vanished", id)
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// TestKillAndRestoreBitwiseIdentical is the acceptance test for fleet
+// checkpointing: a hub killed mid-serve (mid-window, mid-debounce, with
+// samples still buffered in a source ring) and restored from disk must emit
+// exactly the per-tick decode sequence the uninterrupted hub emits for the
+// same subsequent input stream — no retraining, no re-warmup, no divergence.
+func TestKillAndRestoreBitwiseIdentical(t *testing.T) {
+	reg, p := testFleet(t)
+	const (
+		totalSamples = 700
+		totalTicks   = 70
+		killTick     = 23 // mid-window, fractional sample accumulator in play
+	)
+	// Session 0 replays a script; session 1 is ring-fed with the entire
+	// stream buffered upfront, so the kill point leaves most of it pending.
+	streamA := scriptedEEG(0, 41, totalSamples)
+	streamB := scriptedEEG(0, 97, totalSamples)
+
+	admit := func(hub *Hub, src Source, tag string) SessionID {
+		t.Helper()
+		id, err := hub.Admit(SessionConfig{ModelKey: "rf", Source: src, Norm: p.NormFor(0), Tag: tag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	newRing := func(samples []stream.Sample) *stream.Ring {
+		ring := stream.NewRing(totalSamples + 1)
+		for _, smp := range samples {
+			ring.Push(smp)
+		}
+		return ring
+	}
+	cfg := Config{Shards: 2, MaxSessionsPerShard: 2, TickHz: 15, LatencyWindow: 32}
+
+	// Reference: one uninterrupted hub over the full stream.
+	ref, err := NewHub(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Stop()
+	refIDs := []SessionID{
+		admit(ref, &scriptSource{samples: streamA}, "script"),
+		admit(ref, RingSource{Ring: newRing(streamB)}, "ring"),
+	}
+	var want []SessionStats
+	for i := 0; i < totalTicks; i++ {
+		want = append(want, tickStats(t, ref, refIDs)...)
+	}
+
+	// Victim: identical hub, killed at killTick.
+	victim, err := NewHub(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := &scriptSource{samples: streamA}
+	ids := []SessionID{
+		admit(victim, script, "script"),
+		admit(victim, RingSource{Ring: newRing(streamB)}, "ring"),
+	}
+	var got []SessionStats
+	for i := 0; i < killTick; i++ {
+		got = append(got, tickStats(t, victim, ids)...)
+	}
+	dir := t.TempDir()
+	if _, err := victim.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	consumed := script.pos // what the dead process had already read
+	victim.Stop()          // the "kill"
+
+	// Restore into a fresh hub. The script session resumes from the exact
+	// sample the dead hub stopped at; the ring session's buffered remainder
+	// rides in as pending samples, so its new source is empty.
+	restored, rdir, err := RestoreHubDir(dir, func(rec RestoredSession) (Source, error) {
+		switch rec.Tag {
+		case "script":
+			return &scriptSource{samples: streamA[consumed:]}, nil
+		case "ring":
+			return RingSource{Ring: stream.NewRing(8)}, nil
+		default:
+			t.Fatalf("unexpected tag %q", rec.Tag)
+			return nil, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Stop()
+	if filepath.Base(rdir) != "ckpt-00000001" {
+		t.Fatalf("restored from %s", rdir)
+	}
+	if restored.Sessions() != 2 {
+		t.Fatalf("restored %d sessions, want 2", restored.Sessions())
+	}
+	for i := killTick; i < totalTicks; i++ {
+		got = append(got, tickStats(t, restored, ids)...)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d stats, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("tick %d session %d diverged after restore:\n got %+v\nwant %+v",
+				i/len(ids), i%len(ids), got[i], want[i])
+		}
+	}
+}
+
+// TestRestorePreservesFleetShape pins the bookkeeping half of restore: shard
+// assignment, session IDs, metric counter baselines, tags and the admission
+// index all survive, and new admissions do not collide with restored IDs.
+func TestRestorePreservesFleetShape(t *testing.T) {
+	reg, p := testFleet(t)
+	hub, err := NewHub(Config{Shards: 2, MaxSessionsPerShard: 4, TickHz: 15, LatencyWindow: 16}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []SessionID
+	for i := 0; i < 4; i++ {
+		id, err := hub.Admit(boardSession(t, p, 0, uint64(i)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i < 20; i++ {
+		hub.TickAll()
+	}
+	before := hub.Snapshot()
+	state := hub.CaptureState()
+	hub.Stop()
+
+	restored, err := RestoreHub(state, func(rec RestoredSession) (Source, error) {
+		return &scriptSource{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Stop()
+	after := restored.Snapshot()
+	if after.Sessions != before.Sessions || after.Ticks != before.Ticks ||
+		after.Inferences != before.Inferences || after.SamplesIn != before.SamplesIn {
+		t.Fatalf("counters not restored:\n got %+v\nwant %+v", after, before)
+	}
+	for i, s := range after.Shards {
+		if s.Sessions != before.Shards[i].Sessions {
+			t.Fatalf("shard %d has %d sessions, want %d (assignment not preserved)",
+				i, s.Sessions, before.Shards[i].Sessions)
+		}
+	}
+	for _, id := range ids {
+		st, ok := restored.Session(id)
+		if !ok {
+			t.Fatalf("session %d missing after restore", id)
+		}
+		if st.Decoded == 0 {
+			t.Fatalf("session %d lost its decode counters", id)
+		}
+	}
+	// Fresh admissions continue past the restored ID space.
+	nid, err := restored.Admit(SessionConfig{ModelKey: "rf", Source: &scriptSource{}, Norm: p.NormFor(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if nid == id {
+			t.Fatalf("new session reused restored ID %d", id)
+		}
+	}
+}
+
+// TestRestoreSourceFactoryDrops verifies a factory returning (nil, nil)
+// drops just that session, the documented path for external clients that
+// will reconnect on their own.
+func TestRestoreSourceFactoryDrops(t *testing.T) {
+	reg, p := testFleet(t)
+	hub, err := NewHub(Config{Shards: 1, MaxSessionsPerShard: 4, TickHz: 15, LatencyWindow: 16}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := hub.Admit(SessionConfig{ModelKey: "rf", Source: &scriptSource{}, Norm: p.NormFor(0), Tag: "keep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Admit(SessionConfig{ModelKey: "rf", Source: &scriptSource{}, Norm: p.NormFor(0), Tag: "drop"}); err != nil {
+		t.Fatal(err)
+	}
+	state := hub.CaptureState()
+	hub.Stop()
+	restored, err := RestoreHub(state, func(rec RestoredSession) (Source, error) {
+		if rec.Tag == "drop" {
+			return nil, nil
+		}
+		return &scriptSource{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Stop()
+	if n := restored.Sessions(); n != 1 {
+		t.Fatalf("restored %d sessions, want 1", n)
+	}
+	if _, ok := restored.Session(keep); !ok {
+		t.Fatal("kept session missing")
+	}
+}
+
+// TestRestoreRejectsDamage: a corrupted only-checkpoint must fail restore
+// with a wrapped corruption error, and an empty directory must report
+// ErrNoCheckpoint — never a half-restored hub.
+func TestRestoreRejectsDamage(t *testing.T) {
+	reg, p := testFleet(t)
+	hub, err := NewHub(Config{Shards: 1, MaxSessionsPerShard: 2, TickHz: 15, LatencyWindow: 16}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Admit(SessionConfig{ModelKey: "rf", Source: &scriptSource{}, Norm: p.NormFor(0)}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ckpt, err := hub.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Stop()
+
+	raw, err := os.ReadFile(filepath.Join(ckpt, "sessions.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-5] ^= 0x10
+	if err := os.WriteFile(filepath.Join(ckpt, "sessions.bin"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RestoreHubDir(dir, func(RestoredSession) (Source, error) {
+		return &scriptSource{}, nil
+	}); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("corrupted restore returned %v, want ErrCorrupt", err)
+	}
+	if _, _, err := RestoreHubDir(t.TempDir(), func(RestoredSession) (Source, error) {
+		return &scriptSource{}, nil
+	}); !errors.Is(err, checkpoint.ErrNoCheckpoint) {
+		t.Fatalf("empty dir returned %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestCheckpointUnderLoad is the -race workout for copy-on-snapshot: paced
+// shard loops serve board-fed sessions while checkpoints, snapshots,
+// admissions and evictions race against them.
+func TestCheckpointUnderLoad(t *testing.T) {
+	reg, p := testFleet(t)
+	hub, err := NewHub(Config{Shards: 2, MaxSessionsPerShard: 32, TickHz: 200, LatencyWindow: 64}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := hub.Admit(boardSession(t, p, 0, uint64(i)+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hub.Start()
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := hub.Checkpoint(dir); err != nil {
+					t.Errorf("checkpoint %d/%d: %v", w, i, err)
+					return
+				}
+				_ = hub.Snapshot()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			id, err := hub.Admit(boardSession(t, p, 0, uint64(100+i)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i%2 == 0 {
+				if err := hub.Evict(id); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	hub.Stop()
+
+	// The last published checkpoint must be loadable and restorable.
+	if _, _, err := RestoreHubDir(dir, func(RestoredSession) (Source, error) {
+		return &scriptSource{}, nil
+	}); err != nil {
+		t.Fatalf("checkpoint taken under load does not restore: %v", err)
+	}
+}

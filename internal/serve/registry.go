@@ -60,22 +60,73 @@ func (r *Registry) GetOrBuild(key string, build func() (models.Classifier, int64
 	return e.clf, e.macs, e.err
 }
 
-// LoadNNFile deserialises a saved NN classifier (models.SaveNN format) under
-// key, once. MACs are derived from the stored spec.
-func (r *Registry) LoadNNFile(key, path string) (models.Classifier, error) {
+// LoadFile deserialises any saved classifier (models.Save format — NN
+// families, random forests, or registered ensembles) under key, once. MACs
+// are derived from the stored spec where one exists.
+func (r *Registry) LoadFile(key, path string) (models.Classifier, error) {
 	clf, _, err := r.GetOrBuild(key, func() (models.Classifier, int64, error) {
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, 0, err
 		}
 		defer f.Close()
-		nnClf, err := models.LoadNN(f)
+		c, err := models.Load(f)
 		if err != nil {
 			return nil, 0, err
 		}
-		return nnClf, models.OpsPerInference(nnClf.Spec), nil
+		return c, macsFor(c), nil
 	})
 	return clf, err
+}
+
+// macsFor estimates per-inference MACs for classifiers that carry a spec.
+func macsFor(c models.Classifier) int64 {
+	switch v := c.(type) {
+	case *models.NNClassifier:
+		return models.OpsPerInference(v.Spec)
+	case *models.RFClassifier:
+		return models.OpsPerInference(v.Spec)
+	default:
+		return 0
+	}
+}
+
+// LoadNNFile deserialises a saved NN classifier under key, once — LoadFile
+// narrowed to the NN-typed contract existing callers rely on.
+func (r *Registry) LoadNNFile(key, path string) (models.Classifier, error) {
+	clf, err := r.LoadFile(key, path)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := clf.(*models.NNClassifier); !ok {
+		return nil, fmt.Errorf("serve: %s holds a %T, not an NN classifier", path, clf)
+	}
+	return clf, nil
+}
+
+// Resolved returns the successfully built classifiers and their MAC
+// estimates. In-flight builds are skipped rather than waited for: the
+// checkpoint path must never block behind a training run.
+func (r *Registry) Resolved() (map[string]models.Classifier, map[string]int64) {
+	r.mu.Lock()
+	entries := make(map[string]*regEntry, len(r.entries))
+	for k, e := range r.entries {
+		entries[k] = e
+	}
+	r.mu.Unlock()
+	clfs := make(map[string]models.Classifier)
+	macs := make(map[string]int64)
+	for k, e := range entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				clfs[k] = e.clf
+				macs[k] = e.macs
+			}
+		default:
+		}
+	}
+	return clfs, macs
 }
 
 // Get returns the classifier for key, or ok=false when the key is unknown

@@ -37,6 +37,20 @@
 //
 // Hubs run in two modes: Start launches paced shard loops for daemons, and
 // TickAll advances every shard once for caller-paced benchmarks and tests.
+//
+// # Persistence
+//
+// The hub is durable serving infrastructure, not a cache: Hub.Checkpoint
+// (persist.go) snapshots the whole fleet — registry models, every session's
+// rolling window, per-channel IIR filter delay state, debounce ring,
+// counters and shard assignment, plus samples still buffered in source
+// rings — into a versioned, CRC-checked checkpoint directory via
+// internal/checkpoint, and RestoreHub rebuilds a hub from one so a restarted
+// daemon resumes without retraining and emits bitwise-identical labels for
+// the same subsequent input. Capture is copy-on-snapshot: shard locks are
+// held only to deep-copy in-memory state, never across serialization or disk
+// I/O, so paced tick loops do not stall. See ARCHITECTURE.md for the on-disk
+// format specification.
 package serve
 
 import (
@@ -139,6 +153,11 @@ func (h *Hub) dropIndex(id SessionID) {
 
 // Registry exposes the hub's shared model registry.
 func (h *Hub) Registry() *Registry { return h.reg }
+
+// Config returns the hub's serving configuration. For a hub built by
+// RestoreHub this is the checkpoint manifest's topology, which overrides
+// whatever the restarting caller would otherwise have configured.
+func (h *Hub) Config() Config { return h.cfg }
 
 // Admit validates the session config, resolves its shared classifier from
 // the registry, and places the session on the least-loaded shard. It returns

@@ -17,6 +17,17 @@ type Source interface {
 	Read(max int) []stream.Sample
 }
 
+// PendingSnapshotter is the optional Source extension the checkpoint path
+// uses: sources that buffer samples the session has not consumed yet (ring-
+// backed network inlets) expose a non-destructive copy, so a fleet snapshot
+// loses no in-flight data. Sources that synthesise samples on demand (boards)
+// have nothing pending and simply do not implement it.
+type PendingSnapshotter interface {
+	// SnapshotPending returns a copy of buffered-but-unread samples, oldest
+	// first, without consuming them.
+	SnapshotPending() []stream.Sample
+}
+
 // RingSource adapts a *stream.Ring — e.g. the receive buffer of a
 // stream.UDPInlet or stream.LSLInlet — to the Source interface.
 type RingSource struct {
@@ -28,6 +39,9 @@ type RingSource struct {
 
 // Read implements Source.
 func (r RingSource) Read(max int) []stream.Sample { return r.Ring.PopN(max) }
+
+// SnapshotPending implements PendingSnapshotter.
+func (r RingSource) SnapshotPending() []stream.Sample { return r.Ring.Snapshot() }
 
 // Close implements io.Closer.
 func (r RingSource) Close() error {
@@ -51,6 +65,11 @@ type SessionConfig struct {
 	// default to the synthetic Cyton's 16 channels at 125 Hz.
 	Channels     int
 	SampleRateHz float64
+	// Tag is an opaque caller label persisted with the session in fleet
+	// checkpoints. The hub never interprets it; daemons use it to decide how
+	// to rebind a live Source on restore (cmd/cogarmd tags sessions
+	// "demo:<subject>:<idx>" or "inlet").
+	Tag string
 }
 
 // SessionStats is a point-in-time view of one session's decode counters.

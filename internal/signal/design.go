@@ -189,3 +189,22 @@ func (p *EEGPreprocessor) Reset() {
 func (p *EEGPreprocessor) FilterOffline(src []float64) []float64 {
 	return p.Notch.FiltFilt(p.Bandpass.FiltFilt(src))
 }
+
+// State exports the delay state of the whole chain (band-pass sections first,
+// then notch) so a resumed stream continues bit-for-bit where it left off.
+func (p *EEGPreprocessor) State() []float64 {
+	return append(p.Bandpass.State(), p.Notch.State()...)
+}
+
+// SetState restores delay state previously exported by State.
+func (p *EEGPreprocessor) SetState(state []float64) error {
+	nb := 2 * len(p.Bandpass.Sections)
+	if len(state) != nb+2*len(p.Notch.Sections) {
+		return fmt.Errorf("preprocessor state has %d values, want %d",
+			len(state), nb+2*len(p.Notch.Sections))
+	}
+	if err := p.Bandpass.SetState(state[:nb]); err != nil {
+		return err
+	}
+	return p.Notch.SetState(state[nb:])
+}

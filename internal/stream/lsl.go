@@ -152,7 +152,7 @@ func (o *LSLOutlet) Push(values []float64) Sample {
 	o.seq++
 	o.mu.Unlock()
 	s := Sample{Seq: seq, Timestamp: o.clock.Now(), Values: append([]float64(nil), values...)}
-	frame := s.MarshalBinary()
+	frame, _ := s.MarshalBinary()
 	select {
 	case o.sendq <- frame:
 	default:

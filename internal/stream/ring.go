@@ -76,6 +76,22 @@ func (r *Ring) PopN(max int) []Sample {
 	return out
 }
 
+// Snapshot returns a deep copy of the buffered samples, oldest first, without
+// consuming them. It is the checkpoint path: a fleet snapshot must capture
+// samples that arrived but have not been ticked through a session yet, while
+// the producer keeps pushing and the shard keeps popping.
+func (r *Ring) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, r.size)
+	for i := 0; i < r.size; i++ {
+		s := r.buf[(r.head+i)%len(r.buf)]
+		s.Values = append([]float64(nil), s.Values...)
+		out = append(out, s)
+	}
+	return out
+}
+
 // Len returns the number of buffered samples.
 func (r *Ring) Len() int {
 	r.mu.Lock()

@@ -34,8 +34,13 @@ const (
 const headerSize = 1 + 8 + 8 + 2
 
 // MarshalBinary encodes the sample in the little-endian wire format:
-// [tag u8][seq u64][timestamp f64][nch u16][values f64 ×nch].
-func (s *Sample) MarshalBinary() []byte {
+// [tag u8][seq u64][timestamp f64][nch u16][values f64 ×nch]. The error is
+// always nil; the ([]byte, error) signature makes Sample a proper
+// encoding.BinaryMarshaler, matching UnmarshalBinary — an asymmetric pair
+// (only the unmarshal side conforming) makes encoding/gob encode the struct
+// field-wise but refuse to decode it, so any gob payload holding a Sample
+// would be unreadable.
+func (s *Sample) MarshalBinary() ([]byte, error) {
 	buf := make([]byte, headerSize+8*len(s.Values))
 	buf[0] = msgData
 	binary.LittleEndian.PutUint64(buf[1:], s.Seq)
@@ -44,7 +49,7 @@ func (s *Sample) MarshalBinary() []byte {
 	for i, v := range s.Values {
 		binary.LittleEndian.PutUint64(buf[headerSize+8*i:], math.Float64bits(v))
 	}
-	return buf
+	return buf, nil
 }
 
 // UnmarshalBinary decodes a wire-format sample.

@@ -10,7 +10,8 @@ import (
 func TestSampleRoundTrip(t *testing.T) {
 	s := Sample{Seq: 42, Timestamp: 1.5, Values: []float64{1, -2, 3.25}}
 	var got Sample
-	if err := got.UnmarshalBinary(s.MarshalBinary()); err != nil {
+	raw, _ := s.MarshalBinary()
+	if err := got.UnmarshalBinary(raw); err != nil {
 		t.Fatal(err)
 	}
 	if got.Seq != s.Seq || got.Timestamp != s.Timestamp || len(got.Values) != 3 {
@@ -30,7 +31,8 @@ func TestSampleRoundTripProperty(t *testing.T) {
 		}
 		s := Sample{Seq: seq, Timestamp: ts, Values: raw}
 		var got Sample
-		if err := got.UnmarshalBinary(s.MarshalBinary()); err != nil {
+		enc, _ := s.MarshalBinary()
+		if err := got.UnmarshalBinary(enc); err != nil {
 			return false
 		}
 		if got.Seq != seq || len(got.Values) != len(raw) {
@@ -57,7 +59,7 @@ func TestSampleUnmarshalErrors(t *testing.T) {
 	if err := s.UnmarshalBinary([]byte{1, 2}); err == nil {
 		t.Fatal("truncated header should error")
 	}
-	good := (&Sample{Seq: 1, Values: []float64{1, 2}}).MarshalBinary()
+	good, _ := (&Sample{Seq: 1, Values: []float64{1, 2}}).MarshalBinary()
 	if err := s.UnmarshalBinary(good[:len(good)-4]); err == nil {
 		t.Fatal("truncated payload should error")
 	}
@@ -73,7 +75,8 @@ func TestWireSize(t *testing.T) {
 		t.Fatalf("WireSize(16)=%d", WireSize(16))
 	}
 	s := Sample{Values: make([]float64, 16)}
-	if len(s.MarshalBinary()) != WireSize(16) {
+	raw, _ := s.MarshalBinary()
+	if len(raw) != WireSize(16) {
 		t.Fatal("MarshalBinary size disagrees with WireSize")
 	}
 }

@@ -61,7 +61,7 @@ func (o *UDPOutlet) Push(values []float64) Sample {
 		o.mu.Unlock()
 		return s
 	}
-	frame := s.MarshalBinary()
+	frame, _ := s.MarshalBinary()
 	send := func() {
 		if _, err := o.conn.Write(frame); err == nil {
 			o.mu.Lock()
