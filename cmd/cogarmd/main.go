@@ -25,6 +25,17 @@
 // OPERATIONS.md for the full operations guide and ARCHITECTURE.md for the
 // checkpoint format.
 //
+// With -cluster the daemon is one node of a multi-node fleet: it binds an
+// inter-node endpoint (the migration endpoint peers stream checkpoint
+// records to), joins the members named by -peers, and takes over the
+// sessions the consistent-hash ring routes to it — live, mid-window, with
+// bitwise-identical subsequent predictions. With -drain a terminating daemon
+// first hands its sessions off to the surviving members instead of taking
+// them down with it:
+//
+//	cogarmd -cluster 127.0.0.1:7946 -node-id a -subjects 32
+//	cogarmd -cluster 127.0.0.1:7947 -node-id b -subjects 0 -peers 127.0.0.1:7946 -drain
+//
 // The daemon prints a fleet snapshot (per-shard and fleet-wide p50/p99 tick
 // latency, throughput, batching factor, evictions) every -report interval
 // and a final one on shutdown (SIGINT/SIGTERM or -duration).
@@ -50,6 +61,7 @@ import (
 	"time"
 
 	"cognitivearm/internal/checkpoint"
+	"cognitivearm/internal/cluster"
 	"cognitivearm/internal/core"
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
@@ -72,13 +84,17 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "simulation seed")
 		ckptDir     = flag.String("checkpoint-dir", "", "fleet checkpoint directory (empty = no persistence)")
 		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (needs -checkpoint-dir)")
+		clusterAddr = flag.String("cluster", "", "inter-node endpoint to bind (e.g. 127.0.0.1:7946); empty = single-node")
+		nodeID      = flag.String("node-id", "", "ring identity of this node (defaults to the bound cluster address)")
+		peers       = flag.String("peers", "", "comma-separated cluster endpoints of existing members to join")
+		drain       = flag.Bool("drain", false, "on shutdown, migrate live sessions to surviving peers before exiting")
 	)
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	stopStreaming := make(chan struct{})
 
-	hub := resumeOrColdStart(resumeConfig{
+	rcfg := resumeConfig{
 		shards:      *shards,
 		maxSessions: *maxSessions,
 		tickHz:      *tickHz,
@@ -88,13 +104,52 @@ func main() {
 		idleEvict:   *idleEvict,
 		seed:        *seed,
 		ckptDir:     *ckptDir,
-	}, stopStreaming)
+	}
+	hub := resumeOrColdStart(rcfg, stopStreaming)
 
 	hub.Start()
 	// Read topology back from the hub: a checkpoint restore serves under the
 	// manifest's shards/tick rate, not this invocation's flags.
 	hcfg := hub.Config()
 	log.Printf("cogarmd: serving %d sessions on %d shards at %.0f Hz", hub.Sessions(), hcfg.Shards, hcfg.TickHz)
+
+	// Cluster mode: bind the inter-node endpoint (the migration endpoint
+	// peers stream checkpoint records to) and join any named members. The
+	// ring immediately starts routing: joining hands this node the sessions
+	// it now owns, live.
+	var node *cluster.Node
+	if *clusterAddr != "" {
+		var err error
+		node, err = cluster.NewNode(cluster.Config{
+			ID:         *nodeID,
+			ListenAddr: *clusterAddr,
+			Logf:       log.Printf,
+			Rebind: func(rec serve.RestoredSession) (serve.Source, error) {
+				return rebindSource(rec, rcfg, stopStreaming)
+			},
+		}, hub)
+		if err != nil {
+			log.Fatalf("cogarmd: cluster: %v", err)
+		}
+		defer node.Close()
+		log.Printf("cogarmd: cluster node %s on %s", node.ID(), node.Addr())
+		joined := false
+		for _, peer := range strings.Split(*peers, ",") {
+			if peer = strings.TrimSpace(peer); peer == "" {
+				continue
+			}
+			if err := node.Join(peer); err != nil {
+				log.Printf("cogarmd: join via %s failed: %v", peer, err)
+				continue
+			}
+			joined = true
+			break // one seed suffices: Join announces to the whole fleet
+		}
+		if *peers != "" && !joined {
+			log.Fatalf("cogarmd: could not join any of -peers %q", *peers)
+		}
+		log.Printf("cogarmd: %s", node.Snapshot())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -115,6 +170,9 @@ loop:
 		select {
 		case <-tick.C:
 			log.Printf("%s", hub.Snapshot())
+			if node != nil {
+				log.Printf("%s", node.Snapshot())
+			}
 		case <-ckptTick:
 			saveCheckpoint(hub, *ckptDir)
 		case <-sig:
@@ -122,6 +180,14 @@ loop:
 			break loop
 		case <-timeout:
 			break loop
+		}
+	}
+	// Hand live sessions to the surviving members before anything stops:
+	// the fleet keeps ticking until each session is captured, so subscribers
+	// see a migration, not an outage.
+	if node != nil && *drain {
+		if err := node.Drain(); err != nil {
+			log.Printf("cogarmd: drain failed: %v", err)
 		}
 	}
 	// Final checkpoint while the fleet is still live, so a clean shutdown
@@ -202,7 +268,7 @@ func rebindSource(rec serve.RestoredSession, cfg resumeConfig, stop <-chan struc
 			return nil, nil
 		}
 		return demoSource(cfg.transport, subject, idx, cfg.seed, stop)
-	case rec.Tag == "inlet":
+	case strings.HasPrefix(rec.Tag, "inlet"):
 		inlet, err := stream.NewUDPInlet(stream.NewVirtualClock(0, 0), 4096)
 		if err != nil {
 			return nil, err
@@ -273,7 +339,9 @@ func coldStart(cfg resumeConfig, stopStreaming <-chan struct{}) *serve.Hub {
 			ModelKey: "rf-shared",
 			Source:   serve.RingSource{Ring: inlet.Ring, Closer: inlet},
 			Norm:     pipeline.GlobalStats(),
-			Tag:      "inlet",
+			// Unique per inlet: the tag doubles as the consistent-hash
+			// routing key in cluster mode (rebind matches by prefix).
+			Tag: fmt.Sprintf("inlet:%d", i),
 		})
 		if err != nil {
 			log.Fatalf("cogarmd: admit inlet %d: %v", i, err)

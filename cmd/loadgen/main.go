@@ -3,7 +3,7 @@
 // closed-loop sessions does one machine sustain, and at what per-inference
 // cost?
 //
-// Two modes:
+// Three modes:
 //
 //   - -mode inproc (default): builds its own hub, trains the shared decoder
 //     once, admits -sessions board-backed synthetic subjects, and drives
@@ -15,6 +15,14 @@
 //     running cogarmd (-targets is the comma-separated inlet address list
 //     cogarmd printed at startup with -listen).
 //
+//   - -mode cluster: builds -nodes in-process cluster nodes joined over real
+//     loopback TCP, routes -sessions subjects across them by consistent
+//     hash, and drives every node's hub flat out for -duration — the
+//     multi-node scaling answer. Compare aggregate inferences/s at -nodes 1
+//     and -nodes 2 on an otherwise idle machine to see the near-linear
+//     scale-out (the model trains once and is shared, so only serving work
+//     multiplies).
+//
 // The report includes fleet and per-shard snapshots: sessions, ticks,
 // inference throughput, realised batch size, and p50/p99 tick latency.
 //
@@ -22,6 +30,7 @@
 //
 //	loadgen -sessions 100 -shards 4 -duration 10s
 //	loadgen -mode udp -targets 127.0.0.1:40001,127.0.0.1:40002 -duration 30s
+//	loadgen -mode cluster -nodes 2 -sessions 200 -duration 10s
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"cognitivearm/internal/board"
+	"cognitivearm/internal/cluster"
 	"cognitivearm/internal/core"
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
@@ -42,7 +52,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "inproc", "inproc | udp")
+		mode     = flag.String("mode", "inproc", "inproc | udp | cluster")
 		sessions = flag.Int("sessions", 100, "concurrent synthetic subjects")
 		shards   = flag.Int("shards", 4, "worker shards (inproc)")
 		tickHz   = flag.Float64("tick", 15, "session classification rate (Hz)")
@@ -50,6 +60,7 @@ func main() {
 		paced    = flag.Bool("paced", false, "inproc: run real paced shard loops instead of max-rate TickAll")
 		targets  = flag.String("targets", "", "udp: comma-separated inlet addresses from cogarmd -listen")
 		rate     = flag.Float64("rate", eeg.SampleRate, "udp: per-subject sample rate (Hz)")
+		nodes    = flag.Int("nodes", 2, "cluster: in-process nodes joined over loopback TCP")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
@@ -60,6 +71,8 @@ func main() {
 		runInproc(*sessions, *shards, *tickHz, *duration, *paced, *seed)
 	case "udp":
 		runUDP(strings.Split(*targets, ","), *sessions, *rate, *duration, *seed)
+	case "cluster":
+		runCluster(*sessions, *nodes, *shards, *tickHz, *duration, *seed)
 	default:
 		log.Fatalf("loadgen: unknown mode %q", *mode)
 	}
@@ -134,6 +147,128 @@ func runInproc(sessions, shards int, tickHz float64, duration time.Duration, pac
 	if snap.Inferences > 0 {
 		fmt.Printf("per-inference wall %.2fµs (fleet-wide, incl. ingest+filtering)\n",
 			1e6*secs/float64(snap.Inferences))
+	}
+}
+
+// runCluster measures multi-node scale-out: -nodes cluster nodes in one
+// process (joined over real loopback TCP, exactly the cogarmd -cluster
+// shape), sessions routed across them by consistent hash, every hub driven
+// caller-paced as fast as it will go. Each node runs its own shards, its own
+// registry holding the shared train-once decoder, and its own tick loops —
+// the only cross-node traffic is membership and (on join) migration, so
+// aggregate throughput scales with nodes until the machine runs out of
+// cores.
+func runCluster(sessions, nodes, shards int, tickHz float64, duration time.Duration, seed uint64) {
+	if nodes < 1 {
+		log.Fatal("loadgen: -nodes must be >= 1")
+	}
+	log.Printf("loadgen: training shared decoder (once, for all %d nodes)", nodes)
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	pipeline, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := models.Spec{Family: models.FamilyRF, WindowSize: cfg.WindowSize, Trees: 50, MaxDepth: 12}
+	clf, _, err := pipeline.TrainModel(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rebind := func(rec serve.RestoredSession) (serve.Source, error) {
+		b := board.NewSyntheticCyton(eeg.NewSubject(0), seed+uint64(rec.ID)*13+7, false)
+		if err := b.Start(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	perShard := (sessions + shards - 1) / shards // full capacity per node: hash skew must never refuse
+	var hubs []*serve.Hub
+	byID := map[string]*cluster.Node{}
+	var ns []*cluster.Node
+	for i := 0; i < nodes; i++ {
+		reg := serve.NewRegistry()
+		reg.GetOrBuild("rf-shared", func() (models.Classifier, int64, error) {
+			return clf, models.OpsPerInference(spec), nil
+		})
+		hub, err := serve.NewHub(serve.Config{
+			Shards:              shards,
+			MaxSessionsPerShard: perShard,
+			TickHz:              tickHz,
+			LatencyWindow:       2048,
+		}, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		node, err := cluster.NewNode(cluster.Config{ID: fmt.Sprintf("node-%d", i), Rebind: rebind}, hub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
+		if i > 0 {
+			if err := node.Join(ns[0].Addr()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		hubs = append(hubs, hub)
+		ns = append(ns, node)
+		byID[node.ID()] = node
+	}
+
+	for i := 0; i < sessions; i++ {
+		subject := i % len(cfg.SubjectIDs)
+		tag := fmt.Sprintf("subject:%d", i)
+		target := ns[0]
+		if owner, _, local := ns[0].Owner(tag); !local {
+			target = byID[owner]
+		}
+		b := board.NewSyntheticCyton(eeg.NewSubject(subject), seed+uint64(i)*13+7, false)
+		if err := b.Start(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := target.Admit(serve.SessionConfig{
+			ModelKey: "rf-shared",
+			Source:   b,
+			Norm:     pipeline.NormFor(subject),
+			Tag:      tag,
+		}); err != nil {
+			log.Fatalf("loadgen: admit %s on %s: %v", tag, target.ID(), err)
+		}
+	}
+	for _, n := range ns {
+		log.Printf("loadgen: %s", n.Snapshot())
+	}
+	log.Printf("loadgen: %d sessions across %d nodes, driving for %v", sessions, nodes, duration)
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for _, hub := range hubs {
+		wg.Add(1)
+		go func(hub *serve.Hub) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				hub.TickAll()
+			}
+		}(hub)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var totalInf, totalTicks, totalSamples uint64
+	for i, hub := range hubs {
+		snap := hub.Snapshot()
+		hub.Stop()
+		fmt.Printf("\nnode-%d %s\n", i, snap)
+		totalInf += snap.Inferences
+		totalTicks += snap.Ticks
+		totalSamples += snap.SamplesIn
+	}
+	secs := elapsed.Seconds()
+	fmt.Printf("\naggregate: wall %.2fs  ticks/s %.0f  inferences/s %.0f  samples/s %.0f\n",
+		secs, float64(totalTicks)/secs, float64(totalInf)/secs, float64(totalSamples)/secs)
+	if totalInf > 0 {
+		fmt.Printf("per-inference wall %.2fµs (aggregate across %d nodes)\n", 1e6*secs/float64(totalInf), nodes)
 	}
 }
 

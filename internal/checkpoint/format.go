@@ -39,6 +39,12 @@ const (
 	KindModel = uint16(2)
 	// KindSessions files hold one record per persisted session.
 	KindSessions = uint16(3)
+	// KindStream frames a whole FleetState as one self-delimiting byte
+	// stream — the wire variant of a checkpoint directory, written by
+	// WriteStream and consumed by ReadStream (live session migration,
+	// replication). Record order: manifest, models (manifest order),
+	// sessions.
+	KindStream = uint16(4)
 )
 
 // Record types.

@@ -1,0 +1,112 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/tensor"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	state := testState(t)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, state); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Manifest.Hub != state.Manifest.Hub {
+		t.Fatalf("hub config mangled: %+v vs %+v", loaded.Manifest.Hub, state.Manifest.Hub)
+	}
+	if !reflect.DeepEqual(loaded.Sessions, state.Sessions) {
+		t.Fatalf("session records mangled:\n got %+v\nwant %+v", loaded.Sessions, state.Sessions)
+	}
+	if !reflect.DeepEqual(loaded.ModelMACs, state.ModelMACs) {
+		t.Fatalf("model MACs mangled: %+v", loaded.ModelMACs)
+	}
+	rng := tensor.NewRNG(11)
+	for key, orig := range state.Models {
+		got, ok := loaded.Models[key]
+		if !ok {
+			t.Fatalf("model %q missing after stream round trip", key)
+		}
+		for trial := 0; trial < 3; trial++ {
+			x := tensor.New(40, eeg.NumChannels)
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64()
+			}
+			if p1, p2 := orig.Probs(x), got.Probs(x); !reflect.DeepEqual(p1, p2) {
+				t.Fatalf("model %q probs diverge after stream round trip: %v vs %v", key, p1, p2)
+			}
+		}
+	}
+}
+
+// TestStreamConsumesExactly pins the self-delimiting property: ReadStream
+// stops at the final session record and leaves trailing bytes — a protocol
+// ack sharing the connection — unread.
+func TestStreamConsumesExactly(t *testing.T) {
+	state := testState(t)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, state); err != nil {
+		t.Fatal(err)
+	}
+	trailer := []byte("ack-from-the-same-connection")
+	buf.Write(trailer)
+	r := bytes.NewReader(buf.Bytes())
+	if _, err := ReadStream(r); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, trailer) {
+		t.Fatalf("ReadStream consumed past the checkpoint: %d trailing bytes left, want %d", len(rest), len(trailer))
+	}
+}
+
+// TestStreamRejectsDamage: a flipped bit anywhere fails the transfer with
+// ErrCorrupt, and a truncated stream is reported as corrupt, never as a
+// short-but-valid fleet.
+func TestStreamRejectsDamage(t *testing.T) {
+	state := testState(t)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, state); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	for _, offset := range []int{headerLen + 3, len(wire) / 2, len(wire) - 3} {
+		bad := append([]byte(nil), wire...)
+		bad[offset] ^= 0x40
+		if _, err := ReadStream(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("flip at %d: got %v, want ErrCorrupt", offset, err)
+		}
+	}
+	for _, cut := range []int{headerLen - 2, headerLen + 4, len(wire) / 3, len(wire) - 1} {
+		if _, err := ReadStream(bytes.NewReader(wire[:cut])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncate at %d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestStreamRejectsEmptyHub pins manifest validation on the wire path: a
+// stream whose manifest describes an impossible hub is rejected.
+func TestStreamRejectsEmptyHub(t *testing.T) {
+	state := testState(t)
+	state.Manifest.Hub.Shards = 0
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, state); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStream(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("session:%d", i)
+	}
+	return keys
+}
+
+func owners(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			panic("empty ring")
+		}
+		out[k] = o
+	}
+	return out
+}
+
+// TestRingDeterminism: two rings built independently from the same member
+// list agree on every key — the property that lets nodes route without
+// coordinating.
+func TestRingDeterminism(t *testing.T) {
+	members := []string{"node-a", "node-b", "node-c"}
+	r1, r2 := NewRing(0), NewRing(0)
+	for _, m := range members {
+		r1.Add(m)
+	}
+	// Insertion order must not matter either.
+	for i := len(members) - 1; i >= 0; i-- {
+		r2.Add(members[i])
+	}
+	keys := ringKeys(2000)
+	o1, o2 := owners(r1, keys), owners(r2, keys)
+	for _, k := range keys {
+		if o1[k] != o2[k] {
+			t.Fatalf("rings disagree on %q: %s vs %s", k, o1[k], o2[k])
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes spread load across members without any
+// member starving or hogging.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"node-a", "node-b", "node-c", "node-d"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := ringKeys(8000)
+	counts := map[string]int{}
+	for _, o := range owners(r, keys) {
+		counts[o]++
+	}
+	want := len(keys) / len(members)
+	for _, m := range members {
+		if counts[m] < want/2 || counts[m] > want*2 {
+			t.Fatalf("member %s owns %d of %d keys (ideal %d): balance broken %v",
+				m, counts[m], len(keys), want, counts)
+		}
+	}
+}
+
+// TestRingMovementOnJoin pins the ≤~1/N rebalance property: when a member
+// joins a ring of n, only keys the joiner now owns change hands — nothing
+// shuffles between existing members — and that share is about 1/(n+1).
+func TestRingMovementOnJoin(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range []string{"node-a", "node-b", "node-c"} {
+		r.Add(m)
+	}
+	keys := ringKeys(8000)
+	before := owners(r, keys)
+	r.Add("node-d")
+	after := owners(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != "node-d" {
+				t.Fatalf("key %q moved %s → %s, not to the joiner", k, before[k], after[k])
+			}
+		}
+	}
+	ideal := len(keys) / 4
+	if moved > ideal*8/5 {
+		t.Fatalf("join moved %d of %d keys, want ≈%d (≤ 1.6× ideal)", moved, len(keys), ideal)
+	}
+	if moved < ideal/2 {
+		t.Fatalf("join moved only %d keys, joiner is starving (ideal %d)", moved, ideal)
+	}
+}
+
+// TestRingMovementOnLeave: removing a member reassigns exactly its keys;
+// every other assignment is untouched.
+func TestRingMovementOnLeave(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range []string{"node-a", "node-b", "node-c", "node-d"} {
+		r.Add(m)
+	}
+	keys := ringKeys(8000)
+	before := owners(r, keys)
+	r.Remove("node-b")
+	after := owners(r, keys)
+	for _, k := range keys {
+		if before[k] == "node-b" {
+			if after[k] == "node-b" {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+		} else if before[k] != after[k] {
+			t.Fatalf("key %q moved %s → %s though its owner never left", k, before[k], after[k])
+		}
+	}
+}
+
+// TestRingEmptyAndIdempotent covers the degenerate shapes: empty ring owns
+// nothing, double add/remove are no-ops.
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add("a")
+	r.Add("a")
+	if got := len(r.points); got != 8 {
+		t.Fatalf("double add produced %d points, want 8", got)
+	}
+	r.Remove("b") // unknown
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("ring not empty after removals: %d members, %d points", r.Len(), len(r.points))
+	}
+}

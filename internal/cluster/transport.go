@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"cognitivearm/internal/stream"
+)
+
+// Control-plane serialization: gob bodies inside internal/stream's
+// length-prefixed message frames. The data plane of a migration — the
+// session records and models themselves — is NOT re-framed here: it rides
+// as a raw checkpoint stream whose records carry their own CRCs and whose
+// manifest self-delimits it on the connection.
+
+func writeMemberMsg(w io.Writer, msg memberMsg) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
+		return err
+	}
+	return stream.WriteMsg(w, buf.Bytes())
+}
+
+func readMemberMsg(r io.Reader) (memberMsg, error) {
+	payload, err := stream.ReadMsg(r)
+	if err != nil {
+		return memberMsg{}, err
+	}
+	var msg memberMsg
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
+		return memberMsg{}, fmt.Errorf("cluster: malformed member message: %w", err)
+	}
+	if msg.ID == "" {
+		return memberMsg{}, fmt.Errorf("cluster: member message without ID")
+	}
+	return msg, nil
+}
+
+func writeAck(w io.Writer, ack ackMsg) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&ack); err != nil {
+		return err
+	}
+	return stream.WriteMsg(w, buf.Bytes())
+}
+
+func readAck(r io.Reader) (*ackMsg, error) {
+	payload, err := stream.ReadMsg(r)
+	if err != nil {
+		return nil, err
+	}
+	var ack ackMsg
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ack); err != nil {
+		return nil, fmt.Errorf("cluster: malformed ack: %w", err)
+	}
+	return &ack, nil
+}

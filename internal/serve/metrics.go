@@ -21,6 +21,13 @@ type shardMetrics struct {
 	lat     []float64 // ring of recent tick latencies (seconds)
 	latIdx  int
 	latFull bool
+
+	// p99Cache memoises the admission-path percentile so bursts of Admit
+	// calls (e.g. an inbound migration) do not re-sort the latency ring per
+	// session; it refreshes after latency window/16 new ticks.
+	p99Cache  float64
+	p99AtTick uint64
+	p99Valid  bool
 }
 
 func newShardMetrics(window int) shardMetrics {
@@ -38,6 +45,33 @@ func (m *shardMetrics) tick(latencySec float64, samplesIn uint64) {
 		m.latFull = true
 	}
 	m.mu.Unlock()
+}
+
+// p99 returns the 99th percentile of the retained tick latencies in seconds
+// (0 until the shard has ticked). It is the backpressure signal admission
+// consults before placing a session. The value is cached and refreshed only
+// after the window has turned over by 1/16th, so admission bursts cost a map
+// read, not a sort of the whole ring each.
+func (m *shardMetrics) p99() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	refreshEvery := uint64(len(m.lat) / 16)
+	if refreshEvery == 0 {
+		refreshEvery = 1
+	}
+	if m.p99Valid && m.ticks-m.p99AtTick < refreshEvery {
+		return m.p99Cache
+	}
+	n := m.latIdx
+	if m.latFull {
+		n = len(m.lat)
+	}
+	lat := append([]float64(nil), m.lat[:n]...)
+	sort.Float64s(lat)
+	m.p99Cache = metrics.PercentileSorted(lat, 0.99)
+	m.p99AtTick = m.ticks
+	m.p99Valid = true
+	return m.p99Cache
 }
 
 func (m *shardMetrics) batch(size int) {
@@ -114,9 +148,14 @@ type FleetSnapshot struct {
 	Inferences uint64
 	Batches    uint64
 	Evictions  uint64
-	TickP50Ms  float64
-	TickP99Ms  float64
-	Shards     []ShardSnapshot
+	// RefusedFull counts admissions refused at the static per-shard cap;
+	// RefusedOverload counts admissions refused by backpressure — shards had
+	// capacity, but their p99 tick latency already crowded the tick budget.
+	RefusedFull     uint64
+	RefusedOverload uint64
+	TickP50Ms       float64
+	TickP99Ms       float64
+	Shards          []ShardSnapshot
 }
 
 // String renders the fleet-wide headline as a log line.
@@ -125,6 +164,10 @@ func (f FleetSnapshot) String() string {
 	if f.Batches > 0 {
 		mean = float64(f.Inferences) / float64(f.Batches)
 	}
-	return fmt.Sprintf("fleet: %d sessions on %d shards, %d ticks, %d inferences (mean batch %.1f), tick p50 %.3fms p99 %.3fms",
+	s := fmt.Sprintf("fleet: %d sessions on %d shards, %d ticks, %d inferences (mean batch %.1f), tick p50 %.3fms p99 %.3fms",
 		f.Sessions, len(f.Shards), f.Ticks, f.Inferences, mean, f.TickP50Ms, f.TickP99Ms)
+	if f.RefusedFull+f.RefusedOverload > 0 {
+		s += fmt.Sprintf(", refused %d full / %d overloaded", f.RefusedFull, f.RefusedOverload)
+	}
+	return s
 }

@@ -70,36 +70,42 @@ func (s *shard) captureSessions() []checkpoint.SessionRecord {
 	s.mu.Lock()
 	recs := make([]checkpoint.SessionRecord, 0, len(s.sessions))
 	for _, sess := range s.sessions {
-		rec := checkpoint.SessionRecord{
-			ID:           uint64(sess.id),
-			Shard:        s.id,
-			ModelKey:     sess.cfg.ModelKey,
-			Tag:          sess.cfg.Tag,
-			Channels:     sess.cfg.Channels,
-			SampleRateHz: sess.cfg.SampleRateHz,
-			NormMean:     append([]float64(nil), sess.cfg.Norm.Mean...),
-			NormStd:      append([]float64(nil), sess.cfg.Norm.Std...),
-			SampleAcc:    sess.sampleAcc,
-			Fed:          sess.fed,
-			IdleTicks:    sess.idleTicks,
-			Decoded:      sess.decoded,
-			Agreed:       sess.agreed,
-			Actions:      append([]uint64(nil), sess.actions[:]...),
-			Windower:     sess.win.State(),
-			Debounce:     sess.debounce.State(),
-		}
-		if snap, ok := sess.cfg.Source.(PendingSnapshotter); ok {
-			for _, smp := range snap.SnapshotPending() {
-				rec.Pending = append(rec.Pending, checkpoint.PendingSample{
-					Seq: smp.Seq, Timestamp: smp.Timestamp, Values: smp.Values,
-				})
-			}
-		}
-		recs = append(recs, rec)
+		recs = append(recs, captureSessionLocked(s.id, sess))
 	}
 	s.mu.Unlock()
 	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
 	return recs
+}
+
+// captureSessionLocked deep-copies one session's complete resumable state.
+// Callers hold the owning shard's lock.
+func captureSessionLocked(shardID int, sess *session) checkpoint.SessionRecord {
+	rec := checkpoint.SessionRecord{
+		ID:           uint64(sess.id),
+		Shard:        shardID,
+		ModelKey:     sess.cfg.ModelKey,
+		Tag:          sess.cfg.Tag,
+		Channels:     sess.cfg.Channels,
+		SampleRateHz: sess.cfg.SampleRateHz,
+		NormMean:     append([]float64(nil), sess.cfg.Norm.Mean...),
+		NormStd:      append([]float64(nil), sess.cfg.Norm.Std...),
+		SampleAcc:    sess.sampleAcc,
+		Fed:          sess.fed,
+		IdleTicks:    sess.idleTicks,
+		Decoded:      sess.decoded,
+		Agreed:       sess.agreed,
+		Actions:      append([]uint64(nil), sess.actions[:]...),
+		Windower:     sess.win.State(),
+		Debounce:     sess.debounce.State(),
+	}
+	if snap, ok := sess.cfg.Source.(PendingSnapshotter); ok {
+		for _, smp := range snap.SnapshotPending() {
+			rec.Pending = append(rec.Pending, checkpoint.PendingSample{
+				Seq: smp.Seq, Timestamp: smp.Timestamp, Values: smp.Values,
+			})
+		}
+	}
+	return rec
 }
 
 // captureCounters snapshots the shard's monotonic metric counters.
@@ -212,48 +218,11 @@ func RestoreHub(state *checkpoint.FleetState, newSource SourceFactory) (*Hub, er
 		if src == nil {
 			continue // caller dropped the session
 		}
-		if len(rec.Pending) > 0 {
-			pending := make([]stream.Sample, len(rec.Pending))
-			for j, smp := range rec.Pending {
-				pending[j] = stream.Sample{Seq: smp.Seq, Timestamp: smp.Timestamp, Values: smp.Values}
-			}
-			src = &pendingSource{pending: pending, src: src}
-		}
-		norm := dataset.Stats{Mean: rec.NormMean, Std: rec.NormStd}
-		win, err := control.NewWindower(rec.SampleRateHz, rec.Channels, clf.WindowSize(), norm)
+		sess, err := sessionFromRecord(rec, clf, src)
 		if err != nil {
-			closeSource(src)
-			return fail(fmt.Errorf("serve: restore: session %d: %w", rec.ID, err))
+			return fail(err)
 		}
-		if err := win.SetState(rec.Windower); err != nil {
-			closeSource(src)
-			return fail(fmt.Errorf("serve: restore: session %d: %w", rec.ID, err))
-		}
-		sess := &session{
-			id: SessionID(rec.ID),
-			cfg: SessionConfig{
-				ModelKey:     rec.ModelKey,
-				Source:       src,
-				Norm:         norm,
-				Channels:     rec.Channels,
-				SampleRateHz: rec.SampleRateHz,
-				Tag:          rec.Tag,
-			},
-			clf:       clf,
-			win:       win,
-			sampleAcc: rec.SampleAcc,
-			fed:       rec.Fed,
-			idleTicks: rec.IdleTicks,
-			decoded:   rec.Decoded,
-			agreed:    rec.Agreed,
-		}
-		if err := sess.debounce.SetState(rec.Debounce); err != nil {
-			closeSource(src)
-			return fail(fmt.Errorf("serve: restore: session %d: %w", rec.ID, err))
-		}
-		for i := 0; i < len(sess.actions) && i < len(rec.Actions); i++ {
-			sess.actions[i] = rec.Actions[i]
-		}
+		sess.id = SessionID(rec.ID)
 		target := hub.shards[rec.Shard]
 		target.add(sess)
 		hub.idxMu.Lock()
@@ -267,6 +236,120 @@ func RestoreHub(state *checkpoint.FleetState, newSource SourceFactory) (*Hub, er
 	hub.nextID = maxID
 	hub.mu.Unlock()
 	return hub, nil
+}
+
+// sessionFromRecord rebuilds one session from its checkpoint record around a
+// live source: pending samples are prepended, the rolling window and filter
+// delay state are reinstated, and the debounce ring and counters resume. The
+// session's ID is left unset — RestoreHub reinstates the persisted ID, while
+// RestoreSession (migration-in) assigns a fresh local one. On error the
+// source is closed.
+func sessionFromRecord(rec *checkpoint.SessionRecord, clf models.Classifier, src Source) (*session, error) {
+	if len(rec.Pending) > 0 {
+		pending := make([]stream.Sample, len(rec.Pending))
+		for j, smp := range rec.Pending {
+			pending[j] = stream.Sample{Seq: smp.Seq, Timestamp: smp.Timestamp, Values: smp.Values}
+		}
+		src = &pendingSource{pending: pending, src: src}
+	}
+	norm := dataset.Stats{Mean: rec.NormMean, Std: rec.NormStd}
+	win, err := control.NewWindower(rec.SampleRateHz, rec.Channels, clf.WindowSize(), norm)
+	if err != nil {
+		closeSource(src)
+		return nil, fmt.Errorf("serve: restore: session %d: %w", rec.ID, err)
+	}
+	if err := win.SetState(rec.Windower); err != nil {
+		closeSource(src)
+		return nil, fmt.Errorf("serve: restore: session %d: %w", rec.ID, err)
+	}
+	sess := &session{
+		cfg: SessionConfig{
+			ModelKey:     rec.ModelKey,
+			Source:       src,
+			Norm:         norm,
+			Channels:     rec.Channels,
+			SampleRateHz: rec.SampleRateHz,
+			Tag:          rec.Tag,
+		},
+		clf:       clf,
+		win:       win,
+		sampleAcc: rec.SampleAcc,
+		fed:       rec.Fed,
+		idleTicks: rec.IdleTicks,
+		decoded:   rec.Decoded,
+		agreed:    rec.Agreed,
+	}
+	if err := sess.debounce.SetState(rec.Debounce); err != nil {
+		closeSource(src)
+		return nil, fmt.Errorf("serve: restore: session %d: %w", rec.ID, err)
+	}
+	for i := 0; i < len(sess.actions) && i < len(rec.Actions); i++ {
+		sess.actions[i] = rec.Actions[i]
+	}
+	return sess, nil
+}
+
+// ExtractSession atomically captures one session's complete resumable state
+// and removes it from the hub — the sending half of live migration. Capture
+// and removal happen under the shard lock, so no tick can advance the session
+// between the snapshot and its departure; samples still buffered in the
+// source ride along in the record's Pending list, and the source is closed
+// after capture. The returned record is exactly what Hub.RestoreSession on
+// another node (fed the same subsequent input) resumes bitwise-identically.
+func (h *Hub) ExtractSession(id SessionID) (*checkpoint.SessionRecord, bool) {
+	h.idxMu.Lock()
+	s, ok := h.index[id]
+	h.idxMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return s.extractSession(id)
+}
+
+// extractSession captures-and-removes one session under the shard lock.
+func (s *shard) extractSession(id SessionID) (*checkpoint.SessionRecord, bool) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	rec := captureSessionLocked(s.id, sess)
+	delete(s.sessions, id)
+	closeSource(sess.cfg.Source)
+	if s.onEvict != nil {
+		s.onEvict(id)
+	}
+	s.mu.Unlock()
+	return &rec, true
+}
+
+// RestoreSession admits a migrated-in session from its streamed checkpoint
+// record: every piece of signal-path state resumes exactly (rolling window,
+// IIR delay state, debounce ring, counters, pending samples), but the hub
+// assigns a fresh local ID and places the session with its own Placement
+// policy — session IDs and shard assignment are node-local bookkeeping, not
+// migrated identity. The record's ModelKey must already resolve in this hub's
+// registry (the cluster layer registers streamed models first).
+func (h *Hub) RestoreSession(rec *checkpoint.SessionRecord, src Source) (SessionID, error) {
+	if src == nil {
+		return 0, fmt.Errorf("serve: restore session %d: nil source", rec.ID)
+	}
+	clf, _, ok := h.reg.Get(rec.ModelKey)
+	if !ok {
+		closeSource(src)
+		return 0, fmt.Errorf("serve: restore session %d: model %q not in registry", rec.ID, rec.ModelKey)
+	}
+	sess, err := sessionFromRecord(rec, clf, src)
+	if err != nil {
+		return 0, err
+	}
+	id, err := h.admitSession(sess)
+	if err != nil {
+		closeSource(sess.cfg.Source)
+		return 0, err
+	}
+	return id, nil
 }
 
 // RestoreHubDir loads the newest valid checkpoint under root and restores a

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"errors"
+)
+
+// Session placement is pluggable: the Hub asks a Placement policy which shard
+// receives each newly admitted (or migrated-in) session, handing it a
+// point-in-time load view of every shard. The default policy, LeastLoaded,
+// reproduces the hub's original behaviour — fill the emptiest shard first —
+// plus backpressure-aware admission: shards whose recent p99 tick latency
+// already crowds the tick budget refuse new sessions before they overrun,
+// instead of only when the static per-shard cap is hit.
+//
+// Placement decides where a session runs inside ONE hub; routing a session to
+// the right hub across a multi-node fleet is the consistent-hash layer in
+// internal/cluster, built on top of this interface.
+
+// ShardInfo is the load view of one shard handed to a Placement policy.
+type ShardInfo struct {
+	// Index identifies the shard within the hub.
+	Index int
+	// Sessions is the shard's current session count; Capacity is the static
+	// admission cap (Config.MaxSessionsPerShard).
+	Sessions int
+	Capacity int
+	// TickP99 is the shard's recent 99th-percentile tick latency in seconds
+	// (0 until the shard has ticked); TickBudget is the tick period
+	// (1/TickHz) the shard must stay inside to hold its classification rate.
+	TickP99    float64
+	TickBudget float64
+}
+
+// Placement chooses the shard that receives the next session.
+//
+// Place returns the Index of the chosen shard, or an error when no shard
+// should accept the session: ErrFleetFull when every shard is at its static
+// cap, ErrFleetOverloaded when capacity exists but latency budgets do not.
+// Implementations must be safe for concurrent use; the hub may call Place
+// from concurrent Admits.
+type Placement interface {
+	Place(shards []ShardInfo) (int, error)
+}
+
+// ErrFleetOverloaded is returned by Admit when shards have session capacity
+// left but their tick latency already crowds the tick budget — admitting more
+// load would make every session on the shard miss its classification rate.
+var ErrFleetOverloaded = errors.New("serve: fleet overloaded (tick latency budget exhausted)")
+
+// DefaultMaxP99Frac is the fraction of the tick budget a shard's p99 tick
+// latency may reach before LeastLoaded stops placing new sessions on it.
+// At the paper's 15 Hz the budget is ~66.7 ms, so a shard refuses beyond a
+// ~60 ms p99 — before it overruns, not after.
+const DefaultMaxP99Frac = 0.9
+
+// LeastLoaded is the default placement policy: the session goes to the shard
+// with the fewest sessions among those that are under their static cap AND
+// under their latency budget. The zero value is ready to use.
+type LeastLoaded struct {
+	// MaxP99Frac is the backpressure threshold as a fraction of the tick
+	// budget. 0 means DefaultMaxP99Frac; a negative value disables
+	// latency-based refusal entirely (static cap only).
+	MaxP99Frac float64
+}
+
+// Place implements Placement.
+func (ll LeastLoaded) Place(shards []ShardInfo) (int, error) {
+	frac := ll.MaxP99Frac
+	if frac == 0 {
+		frac = DefaultMaxP99Frac
+	}
+	best := -1
+	bestSessions := 0
+	overloaded := false
+	for _, si := range shards {
+		if si.Sessions >= si.Capacity {
+			continue
+		}
+		if frac > 0 && si.TickBudget > 0 && si.TickP99 > frac*si.TickBudget {
+			overloaded = true
+			continue
+		}
+		if best < 0 || si.Sessions < bestSessions {
+			best = si.Index
+			bestSessions = si.Sessions
+		}
+	}
+	if best < 0 {
+		if overloaded {
+			return 0, ErrFleetOverloaded
+		}
+		return 0, ErrFleetFull
+	}
+	return best, nil
+}

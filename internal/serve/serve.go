@@ -54,9 +54,11 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cognitivearm/internal/control"
 	"cognitivearm/internal/eeg"
@@ -79,6 +81,12 @@ type Config struct {
 	// LatencyWindow is how many recent tick latencies each shard retains for
 	// the percentile snapshot.
 	LatencyWindow int
+	// Placement chooses the shard each admitted session lands on. nil means
+	// LeastLoaded{} — emptiest shard first, refusing shards whose p99 tick
+	// latency crowds the tick budget. Placement is serving policy, not fleet
+	// state: it is not persisted in checkpoints, and a hub built by
+	// RestoreHub uses the default policy.
+	Placement Placement
 }
 
 // DefaultConfig returns a laptop-scale hub: 4 shards × 256 sessions at the
@@ -101,8 +109,14 @@ type SessionID uint64
 
 // Hub owns the fleet: a model registry, N shards, and the admission index.
 type Hub struct {
-	cfg Config
-	reg *Registry
+	cfg   Config
+	reg   *Registry
+	place Placement
+
+	// refusedFull / refusedOverload count admissions refused at the static
+	// cap and at the latency budget respectively, surfaced in FleetSnapshot.
+	refusedFull     atomic.Uint64
+	refusedOverload atomic.Uint64
 
 	mu      sync.Mutex
 	shards  []*shard
@@ -133,7 +147,11 @@ func NewHub(cfg Config, reg *Registry) (*Hub, error) {
 	if reg == nil {
 		reg = NewRegistry()
 	}
-	h := &Hub{cfg: cfg, reg: reg, index: map[SessionID]*shard{}}
+	place := cfg.Placement
+	if place == nil {
+		place = LeastLoaded{}
+	}
+	h := &Hub{cfg: cfg, reg: reg, place: place, index: map[SessionID]*shard{}}
 	for i := 0; i < cfg.Shards; i++ {
 		s := newShard(i, cfg)
 		// Shard-initiated evictions (idle timeout) must also leave the
@@ -160,8 +178,11 @@ func (h *Hub) Registry() *Registry { return h.reg }
 func (h *Hub) Config() Config { return h.cfg }
 
 // Admit validates the session config, resolves its shared classifier from
-// the registry, and places the session on the least-loaded shard. It returns
-// ErrFleetFull when every shard is at capacity.
+// the registry, and hands the session to the hub's Placement policy. Under
+// the default LeastLoaded policy it returns ErrFleetFull when every shard is
+// at its static cap and ErrFleetOverloaded when capacity exists but every
+// candidate shard's p99 tick latency already crowds the tick budget —
+// refusals of both kinds are counted in FleetSnapshot.
 func (h *Hub) Admit(sc SessionConfig) (SessionID, error) {
 	clf, _, ok := h.reg.Get(sc.ModelKey)
 	if !ok {
@@ -180,28 +201,62 @@ func (h *Hub) Admit(sc SessionConfig) (SessionID, error) {
 	if err != nil {
 		return 0, err
 	}
+	return h.admitSession(&session{cfg: sc, clf: clf, win: win})
+}
 
+// admitSession assigns a fresh ID to a fully built session and registers it
+// on the shard chosen by the placement policy. It is the shared tail of
+// Admit and RestoreSession (migration-in).
+func (h *Hub) admitSession(sess *session) (SessionID, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	var best *shard
-	for _, s := range h.shards {
-		if s.len() >= h.cfg.MaxSessionsPerShard {
-			continue
-		}
-		if best == nil || s.len() < best.len() {
-			best = s
+	infos := make([]ShardInfo, len(h.shards))
+	budget := 1 / h.cfg.TickHz
+	for i, s := range h.shards {
+		infos[i] = ShardInfo{
+			Index:      i,
+			Sessions:   s.len(),
+			Capacity:   h.cfg.MaxSessionsPerShard,
+			TickP99:    s.met.p99(),
+			TickBudget: budget,
 		}
 	}
-	if best == nil {
-		return 0, ErrFleetFull
+	idx, err := h.place.Place(infos)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrFleetFull):
+			h.refusedFull.Add(1)
+		case errors.Is(err, ErrFleetOverloaded):
+			h.refusedOverload.Add(1)
+		}
+		return 0, err
+	}
+	if idx < 0 || idx >= len(h.shards) {
+		return 0, fmt.Errorf("serve: placement chose shard %d of %d", idx, len(h.shards))
 	}
 	h.nextID++
-	id := h.nextID
-	best.add(&session{id: id, cfg: sc, clf: clf, win: win})
+	sess.id = h.nextID
+	target := h.shards[idx]
+	target.add(sess)
 	h.idxMu.Lock()
-	h.index[id] = best
+	h.index[sess.id] = target
 	h.idxMu.Unlock()
-	return id, nil
+	return sess.id, nil
+}
+
+// SessionKeys returns a point-in-time map of live session IDs to their Tags —
+// the routing view a cluster layer uses to decide which sessions move when
+// ring membership changes.
+func (h *Hub) SessionKeys() map[SessionID]string {
+	out := make(map[SessionID]string, h.Sessions())
+	for _, s := range h.shards {
+		s.mu.Lock()
+		for id, sess := range s.sessions {
+			out[id] = sess.cfg.Tag
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Evict removes a session gracefully: the shard drops it at the next tick
@@ -306,6 +361,8 @@ func (h *Hub) Snapshot() FleetSnapshot {
 		fleet.SamplesIn += snap.SamplesIn
 	}
 	fleet.Shards = shardSnaps
+	fleet.RefusedFull = h.refusedFull.Load()
+	fleet.RefusedOverload = h.refusedOverload.Load()
 	sort.Float64s(pooled)
 	fleet.TickP50Ms = 1e3 * metrics.PercentileSorted(pooled, 0.50)
 	fleet.TickP99Ms = 1e3 * metrics.PercentileSorted(pooled, 0.99)

@@ -190,32 +190,6 @@ func (o *LSLOutlet) Close() error {
 	return o.ln.Close()
 }
 
-// writeFrame sends a length-prefixed frame. Callers must serialise access.
-func writeFrame(conn net.Conn, frame []byte) error {
-	var hdr [2]byte
-	binary.LittleEndian.PutUint16(hdr[:], uint16(len(frame)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(frame)
-	return err
-}
-
-// readFrame reads one length-prefixed frame.
-func readFrame(conn net.Conn, buf []byte) ([]byte, error) {
-	var hdr [2]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := int(binary.LittleEndian.Uint16(hdr[:]))
-	if cap(buf) < n {
-		buf = make([]byte, n)
-	}
-	buf = buf[:n]
-	_, err := io.ReadFull(conn, buf)
-	return buf, err
-}
-
 // LSLInlet is the receiving side: it buffers data into a ring, runs the
 // time-synchronisation protocol, and exposes offset-corrected timestamps.
 type LSLInlet struct {
@@ -223,13 +197,14 @@ type LSLInlet struct {
 	clock *VirtualClock
 	Ring  *Ring
 
-	mu          sync.Mutex
-	offsets     []float64          // recent clock-offset estimates (outlet − inlet)
-	arrivals    map[uint64]float64 // seq → inlet-clock arrival time
-	bytesRecv   uint64
-	syncPending chan float64 // t0 of in-flight probe (capacity 1)
-	closed      chan struct{}
-	closeOnce   sync.Once
+	mu            sync.Mutex
+	offsets       []float64          // recent clock-offset estimates (outlet − inlet)
+	arrivals      map[uint64]float64 // seq → inlet-clock arrival time
+	bytesRecv     uint64
+	droppedFrames uint64       // malformed frames discarded (see DroppedFrames)
+	syncPending   chan float64 // t0 of in-flight probe (capacity 1)
+	closed        chan struct{}
+	closeOnce     sync.Once
 }
 
 // NewLSLInlet dials the outlet and starts the reader and synchronisation
@@ -263,10 +238,15 @@ func (in *LSLInlet) reader() {
 		in.mu.Lock()
 		in.bytesRecv += uint64(len(frame))
 		in.mu.Unlock()
+		if len(frame) == 0 {
+			in.drop()
+			continue
+		}
 		switch frame[0] {
 		case msgData:
 			var s Sample
 			if err := s.UnmarshalBinary(frame); err != nil {
+				in.drop()
 				continue
 			}
 			now := in.clock.Now()
@@ -276,6 +256,7 @@ func (in *LSLInlet) reader() {
 			in.Ring.Push(s)
 		case msgSyncResp:
 			if len(frame) < 17 {
+				in.drop()
 				continue
 			}
 			t0 := math.Float64frombits(binary.LittleEndian.Uint64(frame[1:9]))
@@ -293,6 +274,8 @@ func (in *LSLInlet) reader() {
 			case <-in.syncPending:
 			default:
 			}
+		default:
+			in.drop() // unknown message tag
 		}
 	}
 }
@@ -325,6 +308,21 @@ func (in *LSLInlet) probe() {
 	req[0] = msgSyncReq
 	binary.LittleEndian.PutUint64(req[1:], math.Float64bits(t0))
 	in.conn.Write(req)
+}
+
+// drop counts one malformed frame.
+func (in *LSLInlet) drop() {
+	in.mu.Lock()
+	in.droppedFrames++
+	in.mu.Unlock()
+}
+
+// DroppedFrames reports how many malformed frames this inlet has discarded
+// since creation.
+func (in *LSLInlet) DroppedFrames() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.droppedFrames
 }
 
 // ClockOffset returns the current median offset estimate (outlet clock −

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -87,17 +88,30 @@ func (o *UDPOutlet) Close() error {
 	return o.conn.Close()
 }
 
+// MaxChannels bounds the per-sample channel count an inlet accepts. The
+// synthetic Cyton streams 16; research caps top out in the hundreds. A
+// datagram claiming more is malformed or hostile, not a bigger headset.
+const MaxChannels = 1024
+
 // UDPInlet receives datagrams into a ring buffer. Timestamps stay in the
 // sender's clock frame — UDP has no synchronisation protocol, which is the
 // crux of the Figure 4 comparison.
+//
+// Inbound datagrams are validated before anything touches the ring: the tag
+// must mark a data frame, the declared channel count must fit MaxChannels,
+// and the datagram size must match the declared geometry exactly. Anything
+// else increments the per-inlet drop counter (DroppedFrames) and is
+// discarded — an inlet on an open port must account for garbage, not
+// silently absorb it.
 type UDPInlet struct {
 	conn  *net.UDPConn
 	clock *VirtualClock
 	Ring  *Ring
 
-	mu        sync.Mutex
-	arrivals  map[uint64]float64
-	bytesRecv uint64
+	mu            sync.Mutex
+	arrivals      map[uint64]float64
+	bytesRecv     uint64
+	droppedFrames uint64
 }
 
 // NewUDPInlet binds a loopback UDP socket and starts receiving.
@@ -125,8 +139,11 @@ func (in *UDPInlet) reader() {
 		if err != nil {
 			return
 		}
-		var s Sample
-		if err := s.UnmarshalBinary(buf[:n]); err != nil {
+		s, ok := parseDatagram(buf[:n])
+		if !ok {
+			in.mu.Lock()
+			in.droppedFrames++
+			in.mu.Unlock()
 			continue
 		}
 		now := in.clock.Now()
@@ -136,6 +153,32 @@ func (in *UDPInlet) reader() {
 		in.mu.Unlock()
 		in.Ring.Push(s)
 	}
+}
+
+// parseDatagram strictly validates one inbound datagram: data tag, channel
+// count within MaxChannels, and an exact size match against the declared
+// geometry (a sample occupies the whole datagram — trailing bytes mean a
+// corrupt or foreign frame, not padding).
+func parseDatagram(buf []byte) (Sample, bool) {
+	if len(buf) < headerSize || buf[0] != msgData {
+		return Sample{}, false
+	}
+	if nch := int(binary.LittleEndian.Uint16(buf[17:])); nch > MaxChannels || len(buf) != WireSize(nch) {
+		return Sample{}, false
+	}
+	var s Sample
+	if err := s.UnmarshalBinary(buf); err != nil {
+		return Sample{}, false
+	}
+	return s, true
+}
+
+// DroppedFrames reports how many malformed or oversized datagrams this inlet
+// has discarded since creation.
+func (in *UDPInlet) DroppedFrames() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.droppedFrames
 }
 
 // ArrivalTime returns the inlet-clock arrival time recorded for seq.
