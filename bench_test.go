@@ -519,6 +519,7 @@ func BenchmarkHubThroughput(b *testing.B) {
 		hub := benchHub(b, sessions, 4, "rf-shared")
 		defer hub.Stop()
 		before := hub.Snapshot()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			hub.TickAll()
@@ -532,6 +533,7 @@ func BenchmarkHubThroughput(b *testing.B) {
 	})
 	b.Run("independent-loops", func(b *testing.B) {
 		sys := independentSystems(b, sessions)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, s := range sys {
@@ -555,6 +557,7 @@ func BenchmarkHubScaling(b *testing.B) {
 				hub := benchHub(b, sessions, shards, "rf-shared")
 				defer hub.Stop()
 				before := hub.Snapshot()
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					hub.TickAll()
@@ -596,6 +599,7 @@ func BenchmarkNNForwardBatch(b *testing.B) {
 				xs[i] = x
 			}
 			b.Run(spec.Family.String()+"-b"+itoa(batch)+"-batched", func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					clf.PredictBatch(xs)
 				}
@@ -622,6 +626,7 @@ func BenchmarkHubNNFleet(b *testing.B) {
 	hub := benchHub(b, sessions, 4, "cnn-shared")
 	defer hub.Stop()
 	before := hub.Snapshot()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hub.TickAll()

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"cognitivearm/internal/board"
+	"cognitivearm/internal/core"
+	"cognitivearm/internal/eeg"
+	"cognitivearm/internal/models"
+	"cognitivearm/internal/serve"
+)
+
+// The -serve mode: a fixed serving micro-benchmark whose numbers land in
+// BENCH_serve.json, so the fleet path's perf trajectory (µs/inference,
+// allocs/op, checkpoint latency at 100 sessions) is tracked across PRs by a
+// machine-readable artefact instead of buried bench logs.
+
+// serveBenchReport is the schema of BENCH_serve.json.
+type serveBenchReport struct {
+	Sessions int                        `json:"sessions"`
+	Shards   int                        `json:"shards"`
+	Models   map[string]serveModelBench `json:"models"`
+	Ckpt     serveCkptBench             `json:"checkpoint"`
+}
+
+type serveModelBench struct {
+	UsPerInference float64 `json:"us_per_inference"`
+	AllocsPerTick  float64 `json:"allocs_per_tick"`
+	MeanBatch      float64 `json:"mean_batch"`
+}
+
+type serveCkptBench struct {
+	FullMs           float64 `json:"full_ms"`
+	FullBytes        int64   `json:"full_bytes"`
+	IncrementalMs    float64 `json:"incremental_ms"`
+	IncrementalBytes int64   `json:"incremental_bytes"`
+}
+
+// runServeBench builds a 100-session fleet per decoder family, measures the
+// steady-state tick loop, times a full and an incremental checkpoint, and
+// writes the report to outPath.
+func runServeBench(outPath string) {
+	const (
+		sessions = 100
+		shards   = 4
+		warmup   = 25
+		ticks    = 150
+	)
+	cfg := core.DefaultConfig()
+	cfg.SubjectIDs = []int{0}
+	cfg.SessionSeconds = 24
+	pipe, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	rfSpec := models.Spec{Family: models.FamilyRF, WindowSize: cfg.WindowSize, Trees: 50, MaxDepth: 12}
+	if _, _, err := reg.GetOrBuild("rf", func() (models.Classifier, int64, error) {
+		clf, _, err := pipe.TrainModel(rfSpec)
+		return clf, models.OpsPerInference(rfSpec), err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// Untrained CNN weights serve at identical cost to trained ones.
+	cnnSpec := models.Spec{Family: models.FamilyCNN, WindowSize: cfg.WindowSize,
+		Optimizer: "adam", LR: 1e-3, Dropout: 0.2, ConvLayers: 1, Filters: 32, Kernel: 5, Stride: 2, Pool: "none"}
+	if _, _, err := reg.GetOrBuild("cnn", func() (models.Classifier, int64, error) {
+		net, err := models.BuildNet(cnnSpec, 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &models.NNClassifier{Net: net, Spec: cnnSpec}, models.OpsPerInference(cnnSpec), nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	report := serveBenchReport{Sessions: sessions, Shards: shards, Models: map[string]serveModelBench{}}
+	for _, key := range []string{"rf", "cnn"} {
+		hub, boards := buildServeBenchHub(reg, pipe, key, sessions, shards)
+		for i := 0; i < warmup; i++ {
+			hub.TickAll()
+		}
+		before := hub.Snapshot()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < ticks; i++ {
+			hub.TickAll()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		after := hub.Snapshot()
+		inf := after.Inferences - before.Inferences
+		mb := serveModelBench{
+			AllocsPerTick: float64(ms1.Mallocs-ms0.Mallocs) / float64(ticks),
+		}
+		if inf > 0 {
+			mb.UsPerInference = float64(elapsed.Microseconds()) / float64(inf)
+		}
+		if batches := after.Batches - before.Batches; batches > 0 {
+			mb.MeanBatch = float64(inf) / float64(batches)
+		}
+		report.Models[key] = mb
+
+		if key == "rf" { // checkpoint timing once, on the trained-model fleet
+			root, err := os.MkdirTemp("", "benchckpt")
+			if err != nil {
+				log.Fatal(err)
+			}
+			start = time.Now()
+			fullDir, err := hub.Checkpoint(root)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Ckpt.FullMs = float64(time.Since(start).Microseconds()) / 1e3
+			report.Ckpt.FullBytes = dirBytes(fullDir)
+			// The incremental measure mirrors the churn-proportional claim:
+			// 90 of 100 subjects go quiet, 10 keep streaming, so only 10
+			// session records are rewritten.
+			for _, b := range boards[10:] {
+				b.Stop()
+			}
+			for i := 0; i < 5; i++ {
+				hub.TickAll()
+			}
+			start = time.Now()
+			incDir, err := hub.Checkpoint(root)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Ckpt.IncrementalMs = float64(time.Since(start).Microseconds()) / 1e3
+			report.Ckpt.IncrementalBytes = dirBytes(incDir)
+			os.RemoveAll(root)
+		}
+		hub.Stop()
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Serving benchmark (%d sessions, %d shards) ==\n", sessions, shards)
+	for _, key := range []string{"rf", "cnn"} {
+		mb := report.Models[key]
+		fmt.Printf("%-4s %8.1f µs/inference  %8.1f allocs/tick  mean batch %.1f\n",
+			key, mb.UsPerInference, mb.AllocsPerTick, mb.MeanBatch)
+	}
+	fmt.Printf("checkpoint: full %.1f ms / %d B, incremental %.1f ms / %d B\n",
+		report.Ckpt.FullMs, report.Ckpt.FullBytes, report.Ckpt.IncrementalMs, report.Ckpt.IncrementalBytes)
+	fmt.Printf("wrote %s\n\n", outPath)
+}
+
+func buildServeBenchHub(reg *serve.Registry, pipe *core.Pipeline, modelKey string, sessions, shards int) (*serve.Hub, []*board.SyntheticCyton) {
+	hub, err := serve.NewHub(serve.Config{
+		Shards:              shards,
+		MaxSessionsPerShard: (sessions + shards - 1) / shards,
+		TickHz:              15,
+		LatencyWindow:       1024,
+	}, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boards := make([]*board.SyntheticCyton, 0, sessions)
+	for i := 0; i < sessions; i++ {
+		brd := board.NewSyntheticCyton(eeg.NewSubject(0), uint64(i)*13+7, false)
+		if err := brd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := hub.Admit(serve.SessionConfig{ModelKey: modelKey, Source: brd, Norm: pipe.NormFor(0)}); err != nil {
+			log.Fatal(err)
+		}
+		boards = append(boards, brd)
+	}
+	return hub, boards
+}
+
+// dirBytes sums the file sizes directly inside dir.
+func dirBytes(dir string) int64 {
+	var total int64
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, de := range des {
+		if info, err := de.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}

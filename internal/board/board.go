@@ -155,6 +155,51 @@ func (b *SyntheticCyton) produce(n int) {
 	}
 }
 
+// ReadInto is the allocation-free variant of Read used by the serving shard
+// (serve.ReaderInto): samples are appended to dst, and in on-demand mode the
+// synthesiser recycles the Values buffers sitting in dst's spare capacity
+// from the previous call. The returned samples — including their Values —
+// are therefore valid only until the next ReadInto with the same dst; the
+// shard consumes them within the tick, which is the contract.
+func (b *SyntheticCyton) ReadInto(dst []stream.Sample, max int) []stream.Sample {
+	b.mu.Lock()
+	if b.running && !b.realtime && max > 0 && b.ring.Len() == 0 {
+		// Fast path: synthesise straight into dst, bypassing the ring the
+		// samples would only transit within this call anyway. Value buffers
+		// are scavenged from dst[len:cap] — exactly the slots this append
+		// sequence is about to overwrite.
+		defer b.mu.Unlock()
+		spare := dst[:cap(dst)]
+		for i := 0; i < max; i++ {
+			var vals []float64
+			if len(dst) < len(spare) && cap(spare[len(dst)].Values) >= eeg.NumChannels {
+				vals = spare[len(dst)].Values[:eeg.NumChannels]
+			} else {
+				vals = make([]float64, eeg.NumChannels)
+			}
+			raw := b.gen.Next(b.state)
+			copy(vals, raw[:])
+			dst = append(dst, stream.Sample{Seq: b.seq, Timestamp: b.clock.Now(), Values: vals})
+			b.seq++
+		}
+		return dst
+	}
+	b.mu.Unlock()
+	if max <= 0 {
+		return append(dst, b.Read(max)...)
+	}
+	// Buffered leftovers (or realtime pacing): drain the ring re-using dst's
+	// slots; on-demand mode tops the ring up first, as Read would.
+	b.mu.Lock()
+	if b.running && !b.realtime {
+		b.mu.Unlock()
+		b.produce(max)
+	} else {
+		b.mu.Unlock()
+	}
+	return b.ring.PopNInto(dst, max)
+}
+
 // Read implements Board. In non-realtime mode it synthesises max samples on
 // demand (max must then be positive).
 func (b *SyntheticCyton) Read(max int) []stream.Sample {

@@ -1,0 +1,234 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// dirBytes sums the file sizes of one checkpoint directory.
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		info, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// saveFullV2 writes testState as a self-contained v2 checkpoint with session
+// versions and refs populated, returning its directory and manifest.
+func saveFullV2(t *testing.T, root string) (string, *Manifest, *FleetState) {
+	t.Helper()
+	full := testState(t)
+	full.Manifest.Format = DirFormatV2
+	full.Sessions[0].Ver = 5
+	full.Sessions[1].Ver = 2
+	full.Manifest.Refs = []SessionRef{
+		{ID: 3, Ver: 5, SampleAcc: full.Sessions[0].SampleAcc, IdleTicks: full.Sessions[0].IdleTicks},
+		{ID: 7, Ver: 2},
+	}
+	dir, err := Save(root, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := readManifest(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, man, full
+}
+
+// incrementalAgainst builds an incremental FleetState on top of base: session
+// 3 rewritten at a new version, session 7 referenced with fresh volatile
+// fields, and every model referenced instead of rewritten.
+func incrementalAgainst(full *FleetState, base *Manifest) *FleetState {
+	dirty := full.Sessions[0] // copy
+	dirty.Ver = 6
+	dirty.SampleAcc = 0.5
+	dirty.IdleTicks = 0
+	inc := &FleetState{
+		Manifest: Manifest{
+			Hub:        full.Manifest.Hub,
+			NextID:     full.Manifest.NextID,
+			Shards:     full.Manifest.Shards,
+			Format:     DirFormatV2,
+			Base:       base.Seq,
+			Increments: base.Increments + 1,
+			Refs: []SessionRef{
+				{ID: 3, Ver: 6, SampleAcc: 0.5, IdleTicks: 0}, // local rewrite
+				{ID: 7, Ver: 2, Seq: base.Seq, SampleAcc: 0.75, IdleTicks: 9},
+			},
+		},
+		Sessions: []SessionRecord{dirty},
+	}
+	for _, e := range base.ModelIndex() {
+		inc.ModelRefs = append(inc.ModelRefs, e)
+	}
+	return inc
+}
+
+// TestIncrementalSaveLoadResolvesReferences: an incremental checkpoint that
+// rewrites one dirty session, references the other, and references every
+// model must load into the exact fleet state — referenced heavy state
+// bitwise-intact, volatile scheduler fields taken from the new manifest —
+// while writing a small fraction of the full checkpoint's bytes.
+func TestIncrementalSaveLoadResolvesReferences(t *testing.T) {
+	root := t.TempDir()
+	dir1, man1, full := saveFullV2(t, root)
+	inc := incrementalAgainst(full, man1)
+	dir2, err := Save(root, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	state, from, err := LoadLatest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != dir2 {
+		t.Fatalf("LoadLatest resolved %s, want %s", from, dir2)
+	}
+	if len(state.Sessions) != 2 {
+		t.Fatalf("resolved %d sessions, want 2", len(state.Sessions))
+	}
+	byID := map[uint64]*SessionRecord{}
+	for i := range state.Sessions {
+		byID[state.Sessions[i].ID] = &state.Sessions[i]
+	}
+	got3, got7 := byID[3], byID[7]
+	if got3 == nil || got7 == nil {
+		t.Fatalf("sessions 3 and 7 must both resolve, got %v", byID)
+	}
+	if !reflect.DeepEqual(*got3, inc.Sessions[0]) {
+		t.Fatalf("dirty session diverged:\n got %+v\nwant %+v", *got3, inc.Sessions[0])
+	}
+	// The referenced record must be the full checkpoint's bytes with only
+	// the volatile overlay applied.
+	want7 := full.Sessions[1]
+	want7.Ver = 2
+	want7.SampleAcc = 0.75
+	want7.IdleTicks = 9
+	if !reflect.DeepEqual(*got7, want7) {
+		t.Fatalf("referenced session diverged:\n got %+v\nwant %+v", *got7, want7)
+	}
+	if len(state.Models) != 2 {
+		t.Fatalf("resolved %d models, want 2", len(state.Models))
+	}
+
+	// Byte economy: the incremental directory holds one of the two session
+	// records and no model payloads. (The fleet-scale ratio gate — ≤ ~15%
+	// at 100 sessions with 10 dirty — lives in internal/serve's
+	// TestIncrementalCheckpointWritesDirtyOnly, where record bytes dominate.)
+	fullBytes, incBytes := dirBytes(t, dir1), dirBytes(t, dir2)
+	if incBytes*2 > fullBytes {
+		t.Fatalf("incremental checkpoint is %d bytes vs %d full — expected well under half", incBytes, fullBytes)
+	}
+	for _, name := range []string{"model-0.bin", "model-1.bin"} {
+		if _, err := os.Stat(filepath.Join(dir2, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("incremental checkpoint rewrote model payload %s", name)
+		}
+	}
+}
+
+// TestIncrementalVersionMismatchRejected: a referenced record whose Ver does
+// not match the manifest's expectation is corruption, not silently stale
+// state.
+func TestIncrementalVersionMismatchRejected(t *testing.T) {
+	root := t.TempDir()
+	_, man1, full := saveFullV2(t, root)
+	inc := incrementalAgainst(full, man1)
+	inc.Manifest.Refs[1].Ver = 99 // promises a version the base never wrote
+	dir2, err := Save(root, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version-mismatched reference loaded: %v", err)
+	}
+}
+
+// TestIncrementalBrokenChainFallsBack: deleting the base directory breaks the
+// newest checkpoint's references; LoadLatest must fall back to an older
+// self-contained checkpoint rather than fail the fleet.
+func TestIncrementalBrokenChainFallsBack(t *testing.T) {
+	root := t.TempDir()
+	dir1, man1, full := saveFullV2(t, root)
+	inc := incrementalAgainst(full, man1)
+	if _, err := Save(root, inc); err != nil {
+		t.Fatal(err)
+	}
+	// A second, self-contained full checkpoint, then an incremental on top
+	// whose base we destroy.
+	dir3, man3, full3 := saveFullV2(t, root)
+	inc2 := incrementalAgainst(full3, man3)
+	if _, err := Save(root, inc2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir3); err != nil {
+		t.Fatal(err)
+	}
+	state, from, err := LoadLatest(root)
+	if err != nil {
+		t.Fatalf("LoadLatest with broken newest chain: %v", err)
+	}
+	if from == dir1 {
+		// Falling all the way back to dir1 is acceptable only if dir2 also
+		// failed; dir2 references dir1, which still exists, so it should
+		// resolve.
+		t.Fatalf("fallback skipped a resolvable incremental checkpoint")
+	}
+	if len(state.Sessions) != 2 {
+		t.Fatalf("fallback resolved %d sessions, want 2", len(state.Sessions))
+	}
+}
+
+// TestPruneKeepsReferencedDirectories: directories older than DefaultKeep
+// survive while a kept manifest still references their records, so an
+// incremental chain never dangles.
+func TestPruneKeepsReferencedDirectories(t *testing.T) {
+	root := t.TempDir()
+	dir1, man1, full := saveFullV2(t, root)
+	// Enough incrementals against dir1 to push it past DefaultKeep.
+	for i := 0; i < DefaultKeep+2; i++ {
+		inc := incrementalAgainst(full, man1)
+		inc.Manifest.Increments = i + 1
+		if _, err := Save(root, inc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(dir1); err != nil {
+		t.Fatalf("prune removed the base directory a kept manifest references: %v", err)
+	}
+	if _, _, err := LoadLatest(root); err != nil {
+		t.Fatalf("newest incremental no longer loads after pruning: %v", err)
+	}
+}
+
+// TestLatestManifestSkipsDamaged: LatestManifest must fall back past a
+// checkpoint whose manifest is unreadable, mirroring LoadLatest.
+func TestLatestManifestSkipsDamaged(t *testing.T) {
+	root := t.TempDir()
+	saveFullV2(t, root)
+	dir2, _, _ := saveFullV2(t, root)
+	if err := os.Truncate(filepath.Join(dir2, manifestFile), 3); err != nil {
+		t.Fatal(err)
+	}
+	man, err := LatestManifest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Seq != 1 {
+		t.Fatalf("LatestManifest picked seq %d, want fallback to 1", man.Seq)
+	}
+}

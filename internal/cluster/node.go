@@ -196,7 +196,7 @@ func (n *Node) Admit(sc serve.SessionConfig) (serve.SessionID, error) {
 // member, each of which does the same. When Join returns, the ring has
 // converged and every session this node owns is running on it.
 func (n *Node) Join(seedAddr string) error {
-	ack, err := n.call(seedAddr, verbJoin, memberMsg{ID: n.id, Addr: n.Addr()})
+	ack, ackBuf, err := n.call(seedAddr, verbJoin, memberMsg{ID: n.id, Addr: n.Addr()}, nil)
 	if err != nil {
 		return fmt.Errorf("cluster: join %s: %w", seedAddr, err)
 	}
@@ -215,7 +215,8 @@ func (n *Node) Join(seedAddr string) error {
 	}
 	n.mu.Unlock()
 	for id, addr := range peers {
-		if _, err := n.call(addr, verbAnnounce, memberMsg{ID: n.id, Addr: n.Addr()}); err != nil {
+		// One reuse buffer across the whole announce sweep.
+		if _, ackBuf, err = n.call(addr, verbAnnounce, memberMsg{ID: n.id, Addr: n.Addr()}, ackBuf); err != nil {
 			return fmt.Errorf("cluster: announce to %s (%s): %w", id, addr, err)
 		}
 	}
@@ -250,13 +251,14 @@ func (n *Node) Drain() error {
 		peers[id] = addr
 	}
 	n.mu.Unlock()
+	var ackBuf []byte
 	for id, addr := range peers {
 		// A peer that misses the leave keeps a ghost member routing ~1/N of
 		// its keys at a dead address, so retry transient failures before
 		// giving up loudly.
 		var err error
 		for attempt := 0; attempt < 3; attempt++ {
-			if _, err = n.call(addr, verbLeave, memberMsg{ID: n.id, Addr: n.Addr()}); err == nil {
+			if _, ackBuf, err = n.call(addr, verbLeave, memberMsg{ID: n.id, Addr: n.Addr()}, ackBuf); err == nil {
 				break
 			}
 			time.Sleep(time.Duration(attempt+1) * 100 * time.Millisecond)
@@ -441,7 +443,7 @@ func (n *Node) sendMigration(addr string, state *checkpoint.FleetState) (int, er
 	if err := checkpoint.WriteStream(conn, state); err != nil {
 		return 0, err
 	}
-	ack, err := readAck(conn)
+	ack, _, err := readAck(conn, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -500,7 +502,7 @@ func (n *Node) handle(conn net.Conn) {
 	}
 	switch verb[0] {
 	case verbJoin, verbAnnounce, verbLeave:
-		msg, err := readMemberMsg(conn)
+		msg, _, err := readMemberMsg(conn, nil)
 		if err != nil {
 			writeAck(conn, ackMsg{Err: err.Error()})
 			return
@@ -607,26 +609,28 @@ func (n *Node) receiveMigration(conn net.Conn) (int, error) {
 	return handled, nil
 }
 
-// call performs one control exchange with a peer.
-func (n *Node) call(addr string, verb byte, msg memberMsg) (*ackMsg, error) {
+// call performs one control exchange with a peer. buf is an optional reuse
+// buffer for the ack payload (stream.ReadMsgBuf); loops over many peers pass
+// one buffer across iterations and get the grown buffer back.
+func (n *Node) call(addr string, verb byte, msg memberMsg, buf []byte) (*ackMsg, []byte, error) {
 	conn, err := net.DialTimeout("tcp", addr, ioTimeout)
 	if err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(ioTimeout))
 	if _, err := conn.Write([]byte{verb}); err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	if err := writeMemberMsg(conn, msg); err != nil {
-		return nil, err
+		return nil, buf, err
 	}
-	ack, err := readAck(conn)
+	ack, buf, err := readAck(conn, buf)
 	if err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	if ack.Err != "" {
-		return nil, fmt.Errorf("remote: %s", ack.Err)
+		return nil, buf, fmt.Errorf("remote: %s", ack.Err)
 	}
-	return ack, nil
+	return ack, buf, nil
 }

@@ -14,6 +14,12 @@ import (
 // session records and models themselves — is NOT re-framed here: it rides
 // as a raw checkpoint stream whose records carry their own CRCs and whose
 // manifest self-delimits it on the connection.
+//
+// The read helpers thread a reusable payload buffer (stream.ReadMsgBuf):
+// loops that exchange messages with many peers — announce on join, leave
+// notifications on drain — carry one buffer across iterations so inbound
+// frames stop allocating their payloads after the largest-yet. Each helper
+// returns the (possibly grown) buffer for the caller's next read.
 
 func writeMemberMsg(w io.Writer, msg memberMsg) error {
 	var buf bytes.Buffer
@@ -23,19 +29,19 @@ func writeMemberMsg(w io.Writer, msg memberMsg) error {
 	return stream.WriteMsg(w, buf.Bytes())
 }
 
-func readMemberMsg(r io.Reader) (memberMsg, error) {
-	payload, err := stream.ReadMsg(r)
+func readMemberMsg(r io.Reader, buf []byte) (memberMsg, []byte, error) {
+	payload, err := stream.ReadMsgBuf(r, buf)
 	if err != nil {
-		return memberMsg{}, err
+		return memberMsg{}, buf, err
 	}
 	var msg memberMsg
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
-		return memberMsg{}, fmt.Errorf("cluster: malformed member message: %w", err)
+		return memberMsg{}, payload, fmt.Errorf("cluster: malformed member message: %w", err)
 	}
 	if msg.ID == "" {
-		return memberMsg{}, fmt.Errorf("cluster: member message without ID")
+		return memberMsg{}, payload, fmt.Errorf("cluster: member message without ID")
 	}
-	return msg, nil
+	return msg, payload, nil
 }
 
 func writeAck(w io.Writer, ack ackMsg) error {
@@ -46,14 +52,14 @@ func writeAck(w io.Writer, ack ackMsg) error {
 	return stream.WriteMsg(w, buf.Bytes())
 }
 
-func readAck(r io.Reader) (*ackMsg, error) {
-	payload, err := stream.ReadMsg(r)
+func readAck(r io.Reader, buf []byte) (*ackMsg, []byte, error) {
+	payload, err := stream.ReadMsgBuf(r, buf)
 	if err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	var ack ackMsg
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ack); err != nil {
-		return nil, fmt.Errorf("cluster: malformed ack: %w", err)
+		return nil, payload, fmt.Errorf("cluster: malformed ack: %w", err)
 	}
-	return &ack, nil
+	return &ack, payload, nil
 }

@@ -266,3 +266,41 @@ func TestDebouncerRingMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+// TestWindowInto pins the copy-out contract: the returned matrix equals the
+// live window, survives subsequent pushes untouched, reuses a well-shaped
+// dst, and replaces a mis-shaped one.
+func TestWindowInto(t *testing.T) {
+	w, err := NewWindower(125, 2, 4, dataset.Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		w.Push([]float64{float64(i), float64(-i)})
+	}
+	snap := w.WindowInto(nil)
+	if snap == w.Window() {
+		t.Fatal("WindowInto must not return the live buffer")
+	}
+	live := append([]float64(nil), w.Window().Data...)
+	for i := range live {
+		if snap.Data[i] != live[i] {
+			t.Fatalf("copy element %d: %v != live %v", i, snap.Data[i], live[i])
+		}
+	}
+	w.Push([]float64{99, 99}) // live window rolls; the copy must not move
+	if snap.Data[0] != live[0] || snap.Data[len(live)-1] != live[len(live)-1] {
+		t.Fatal("WindowInto copy mutated by a later Push")
+	}
+	if again := w.WindowInto(snap); again != snap {
+		t.Fatal("well-shaped dst must be reused, not reallocated")
+	}
+	for i, v := range w.Window().Data {
+		if snap.Data[i] != v {
+			t.Fatalf("reused dst element %d not refreshed: %v != live %v", i, snap.Data[i], v)
+		}
+	}
+	if fixed := w.WindowInto(tensor.New(1, 1)); fixed.Rows != 4 || fixed.Cols != 2 {
+		t.Fatal("mis-shaped dst must be replaced with a correctly shaped matrix")
+	}
+}

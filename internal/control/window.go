@@ -73,10 +73,25 @@ func (w *Windower) Push(values []float64) bool {
 // Ready reports whether enough samples have accumulated to classify.
 func (w *Windower) Ready() bool { return w.filled == w.window.Rows }
 
-// Window exposes the rolling buffer for classification. The matrix is owned
-// by the Windower and overwritten by subsequent Push calls; classify before
-// pushing more samples, or clone.
+// Window exposes the rolling buffer for classification without copying. The
+// matrix is owned by the Windower and overwritten by subsequent Push calls;
+// classify before pushing more samples, or use WindowInto for a stable copy.
+// The serving shard reads it zero-copy: within one tick, every ready window
+// is classified before any session receives further pushes, so the aliasing
+// is safe (see ARCHITECTURE.md "Memory model").
 func (w *Windower) Window() *tensor.Matrix { return w.window }
+
+// WindowInto copies the rolling buffer into dst and returns it, allocating
+// only when dst is nil or mis-shaped. Callers that must hold a window across
+// subsequent Push calls (deferred classification, cross-tick buffering) use
+// this with a reused dst instead of cloning Window() every tick.
+func (w *Windower) WindowInto(dst *tensor.Matrix) *tensor.Matrix {
+	if dst == nil || dst.Rows != w.window.Rows || dst.Cols != w.window.Cols {
+		dst = tensor.New(w.window.Rows, w.window.Cols)
+	}
+	copy(dst.Data, w.window.Data)
+	return dst
+}
 
 // Size returns the window length in samples.
 func (w *Windower) Size() int { return w.window.Rows }

@@ -367,8 +367,19 @@ func LOSO(bySubject map[int][]Window, rng *tensor.RNG) []Split {
 // FeatureVector extracts the Random-Forest feature set from Table III:
 // mean, std, min, max, variance for every channel (5 × channels values).
 func FeatureVector(w Window) []float64 {
+	return FeatureVectorInto(nil, w)
+}
+
+// FeatureVectorInto is FeatureVector appending into dst[:0] — pass a buffer
+// with capacity 5×channels (e.g. from a tensor.Workspace) for an
+// allocation-free call on the serving hot path. The result is identical to
+// FeatureVector.
+func FeatureVectorInto(dst []float64, w Window) []float64 {
 	nch := w.Data.Cols
-	out := make([]float64, 0, 5*nch)
+	out := dst[:0]
+	if cap(out) < 5*nch {
+		out = make([]float64, 0, 5*nch)
+	}
 	for c := 0; c < nch; c++ {
 		var sum, sq float64
 		lo, hi := math.Inf(1), math.Inf(-1)

@@ -44,13 +44,23 @@ func TestNNPredictBatchMatchesPredict(t *testing.T) {
 				t.Fatal(err)
 			}
 			clf := &NNClassifier{Net: net, Spec: spec}
+			// One workspace reused (with Reset) across every batch size, as a
+			// serving shard would across ticks: stale-scratch leaks between
+			// cycles would surface as logit mismatches here.
+			ws := tensor.NewWorkspace()
+			labelBuf := make([]int, 0, 32)
 			for _, B := range []int{1, 3, 8, 32} {
 				xs := randBatch(B, spec.WindowSize, rng)
 				labels := clf.PredictBatch(xs)
-				outs := net.ForwardBatch(xs, false)
+				ws.Reset()
+				wsLabels := clf.PredictBatchWS(ws, xs, labelBuf)
+				outs := net.ForwardBatch(nil, xs, false)
 				for i, x := range xs {
 					if want := clf.Predict(x); labels[i] != want {
 						t.Fatalf("B=%d window %d: batched label %d != sequential %d", B, i, labels[i], want)
+					}
+					if wsLabels[i] != labels[i] {
+						t.Fatalf("B=%d window %d: workspace label %d != unpooled %d", B, i, wsLabels[i], labels[i])
 					}
 					want := net.Logits(x)
 					got := outs[i].Row(0)

@@ -183,18 +183,49 @@ type BatchPredictor interface {
 	PredictBatch(xs []*tensor.Matrix) []int
 }
 
+// BatchPredictorWS is the workspace-aware extension of BatchPredictor: the
+// serving shard passes its per-shard tensor.Workspace and a reused label
+// buffer so the steady-state classify call allocates nothing. Implementations
+// must produce labels identical to PredictBatch; ws and dst may be nil.
+type BatchPredictorWS interface {
+	// PredictBatchWS classifies many windows drawing every temporary from ws
+	// and writing labels into dst when it has capacity.
+	PredictBatchWS(ws *tensor.Workspace, xs []*tensor.Matrix, dst []int) []int
+}
+
 // PredictBatch classifies a batch of windows through c's batched path when
 // it implements BatchPredictor, falling back to per-window Predict calls
 // otherwise. It is safe for concurrent use with other inference calls.
 func PredictBatch(c Classifier, xs []*tensor.Matrix) []int {
+	return PredictBatchWS(c, nil, xs, nil)
+}
+
+// PredictBatchWS classifies a batch through c's most capable batched path:
+// BatchPredictorWS when implemented (allocation-free with a warm ws),
+// BatchPredictor next, per-window Predict last. Labels land in dst when it
+// has capacity. It is safe for concurrent use with other inference calls
+// provided ws is not shared across concurrent callers.
+func PredictBatchWS(c Classifier, ws *tensor.Workspace, xs []*tensor.Matrix, dst []int) []int {
+	if bp, ok := c.(BatchPredictorWS); ok {
+		return bp.PredictBatchWS(ws, xs, dst)
+	}
 	if bp, ok := c.(BatchPredictor); ok {
-		return bp.PredictBatch(xs)
+		out := bp.PredictBatch(xs)
+		if cap(dst) >= len(out) {
+			dst = dst[:len(out)]
+			copy(dst, out)
+			return dst
+		}
+		return out
 	}
-	out := make([]int, len(xs))
+	if cap(dst) < len(xs) {
+		dst = make([]int, len(xs))
+	}
+	dst = dst[:len(xs)]
 	for i, x := range xs {
-		out[i] = c.Predict(x)
+		dst[i] = c.Predict(x)
 	}
-	return out
+	return dst
 }
 
 // NNClassifier wraps an nn.Network with its spec.
@@ -226,20 +257,29 @@ func (c *NNClassifier) Name() string { return c.Spec.ID() }
 // per-window Predict. Batched forwards write no layer state, so the calls
 // are safe alongside concurrent Predict traffic.
 func (c *NNClassifier) PredictBatch(xs []*tensor.Matrix) []int {
+	return c.PredictBatchWS(nil, xs, nil)
+}
+
+// PredictBatchWS implements BatchPredictorWS: the fused forward pass draws
+// every temporary from ws (nil = plain allocation, bitwise-identical labels).
+func (c *NNClassifier) PredictBatchWS(ws *tensor.Workspace, xs []*tensor.Matrix, dst []int) []int {
 	if len(xs) == 0 {
-		return nil
+		return dst[:0]
 	}
 	rows, cols := xs[0].Rows, xs[0].Cols
 	for _, x := range xs[1:] {
 		if x.Rows != rows || x.Cols != cols {
-			out := make([]int, len(xs))
-			for i, w := range xs {
-				out[i] = c.Net.Predict(w)
+			if cap(dst) < len(xs) {
+				dst = make([]int, len(xs))
 			}
-			return out
+			dst = dst[:len(xs)]
+			for i, w := range xs {
+				dst[i] = c.Net.Predict(w)
+			}
+			return dst
 		}
 	}
-	return c.Net.PredictBatch(xs)
+	return c.Net.PredictBatch(ws, xs, dst)
 }
 
 // RFClassifier wraps a trained forest plus the feature extraction step.
@@ -272,11 +312,17 @@ func (c *RFClassifier) Name() string { return c.Spec.ID() }
 // then the forest routes the whole batch tree-major (see rf.ProbsBatch) so
 // each tree's nodes are walked while still cache-hot.
 func (c *RFClassifier) PredictBatch(xs []*tensor.Matrix) []int {
-	X := make([][]float64, len(xs))
+	return c.PredictBatchWS(nil, xs, nil)
+}
+
+// PredictBatchWS implements BatchPredictorWS: feature rows and the forest's
+// vote accumulators come from ws (nil = plain allocation, identical labels).
+func (c *RFClassifier) PredictBatchWS(ws *tensor.Workspace, xs []*tensor.Matrix, dst []int) []int {
+	X := ws.FloatRows(len(xs))
 	for i, x := range xs {
-		X[i] = dataset.FeatureVector(dataset.Window{Data: x})
+		X[i] = dataset.FeatureVectorInto(ws.Floats(5*x.Cols), dataset.Window{Data: x})
 	}
-	return c.Forest.PredictBatch(X)
+	return c.Forest.PredictBatchWS(ws, X, dst)
 }
 
 // BuildNet constructs the (untrained) network for an NN-family spec.

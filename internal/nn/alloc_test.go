@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"testing"
+
+	"cognitivearm/internal/tensor"
+)
+
+// TestForwardBatchAllocFree pins the steady-state allocation count of the
+// fused batched inference path at zero for every NN family shape: with a
+// warmed workspace reset per cycle and a reused label buffer, a serving
+// shard's classify call must never touch the heap. This is a regression
+// gate — any new per-batch allocation in a kernel fails it.
+func TestForwardBatchAllocFree(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	const B, T, C = 16, 24, 6
+	nets := map[string]*Network{
+		"cnn": NewNetwork(
+			NewConv1D(C, 8, 5, 2, rng), NewReLU(), NewPool1D(MaxPoolKind, 2),
+			NewMeanPool(), NewDropout(0.2, rng.Fork()), NewDense(8, 3, rng),
+		),
+		"lstm": NewNetwork(
+			NewLSTM(C, 12, rng), NewLastStep(), NewDense(12, 3, rng),
+		),
+		"transformer": NewNetwork(
+			NewDense(C, 8, rng), NewPositionalEncoding(8),
+			TransformerBlock(8, 2, 16, 0.1, rng),
+			NewMeanPool(), NewDense(8, 3, rng),
+		),
+	}
+	xs := make([]*tensor.Matrix, B)
+	for i := range xs {
+		xs[i] = tensor.New(T, C)
+		for j := range xs[i].Data {
+			xs[i].Data[j] = rng.NormFloat64()
+		}
+	}
+	for name, net := range nets {
+		t.Run(name, func(t *testing.T) {
+			ws := tensor.NewWorkspace()
+			labels := make([]int, 0, B)
+			cycle := func() {
+				ws.Reset()
+				labels = net.PredictBatch(ws, xs, labels[:0])
+			}
+			cycle() // populate every bucket the forward pass touches
+			if avg := testing.AllocsPerRun(50, cycle); avg != 0 {
+				t.Fatalf("steady-state PredictBatch allocates %.1f times per call, want 0", avg)
+			}
+		})
+	}
+}

@@ -73,8 +73,8 @@ func (ln *LayerNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 }
 
 // ForwardBatch implements BatchForwarder: row-wise normalisation writes all
-// B windows into one (B·T)×D output, one allocation for the batch.
-func (ln *LayerNorm) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+// B windows into one (B·T)×D output, one scratch buffer for the batch.
+func (ln *LayerNorm) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
 		return nil
@@ -83,7 +83,7 @@ func (ln *LayerNorm) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Mat
 		panic(fmt.Sprintf("nn: LayerNorm expects dim %d, got %d", ln.Dim, xs[0].Cols))
 	}
 	T := xs[0].Rows
-	y := tensor.New(len(xs)*T, ln.Dim)
+	y := ws.Uninit(len(xs)*T, ln.Dim)
 	for i, x := range xs {
 		for t := 0; t < T; t++ {
 			row := x.Row(t)
@@ -101,7 +101,7 @@ func (ln *LayerNorm) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Mat
 			}
 		}
 	}
-	return tensor.SplitRows(y, T)
+	return tensor.SplitRowsWS(ws, y, T)
 }
 
 // Backward implements Layer.
@@ -165,13 +165,13 @@ func (pe *PositionalEncoding) Forward(x *tensor.Matrix, train bool) *tensor.Matr
 // ForwardBatch implements BatchForwarder: the sinusoid table depends only on
 // the window length, so it is materialised once and added to every window —
 // B−1 fewer trips through math.Sin/Cos/Pow than per-window Forward.
-func (pe *PositionalEncoding) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (pe *PositionalEncoding) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
 		return nil
 	}
 	T := xs[0].Rows
-	enc := tensor.New(T, pe.Dim)
+	enc := ws.Uninit(T, pe.Dim)
 	for t := 0; t < T; t++ {
 		row := enc.Row(t)
 		for j := 0; j < pe.Dim; j += 2 {
@@ -182,7 +182,7 @@ func (pe *PositionalEncoding) ForwardBatch(xs []*tensor.Matrix, train bool) []*t
 			}
 		}
 	}
-	y := tensor.New(len(xs)*T, xs[0].Cols)
+	y := ws.Uninit(len(xs)*T, xs[0].Cols)
 	for i, x := range xs {
 		for t := 0; t < T; t++ {
 			xrow, erow, yrow := x.Row(t), enc.Row(t), y.Row(i*T+t)
@@ -192,7 +192,7 @@ func (pe *PositionalEncoding) ForwardBatch(xs []*tensor.Matrix, train bool) []*t
 			}
 		}
 	}
-	return tensor.SplitRows(y, T)
+	return tensor.SplitRowsWS(ws, y, T)
 }
 
 // Backward implements Layer. The encoding is additive, so gradients pass
@@ -238,10 +238,15 @@ func NewMultiHeadAttention(dim, heads int, rng *tensor.RNG) *MultiHeadAttention 
 // headView returns the T×dk sub-matrix of m for head h as a copy.
 func headView(m *tensor.Matrix, h, dk int) *tensor.Matrix {
 	out := tensor.New(m.Rows, dk)
-	for t := 0; t < m.Rows; t++ {
-		copy(out.Row(t), m.Row(t)[h*dk:(h+1)*dk])
-	}
+	headCopy(out, m, h, dk)
 	return out
+}
+
+// headCopy extracts the T×dk sub-matrix of m for head h into dst.
+func headCopy(dst, m *tensor.Matrix, h, dk int) {
+	for t := 0; t < m.Rows; t++ {
+		copy(dst.Row(t), m.Row(t)[h*dk:(h+1)*dk])
+	}
 }
 
 // headAdd accumulates src (T×dk) into dst's head-h columns.
@@ -293,7 +298,7 @@ func (m *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matri
 // output projection each run as one (B·T)×D GEMM over the stacked batch —
 // 4 GEMMs total instead of 4·B — while the T×T attention itself stays
 // per-window (scores never mix windows).
-func (m *MultiHeadAttention) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (m *MultiHeadAttention) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	B := len(xs)
 	if B == 0 {
@@ -303,28 +308,35 @@ func (m *MultiHeadAttention) ForwardBatch(xs []*tensor.Matrix, train bool) []*te
 		panic(fmt.Sprintf("nn: attention expects dim %d, got %d", m.Dim, xs[0].Cols))
 	}
 	T := xs[0].Rows
-	x := tensor.Stack(xs)
+	x := tensor.StackWS(ws, xs)
 	dk := m.Dim / m.Heads
 	scale := 1 / math.Sqrt(float64(dk))
-	qs := tensor.SplitRows(tensor.MatMulBatched(nil, x, m.Wq.W), T)
-	ks := tensor.SplitRows(tensor.MatMulBatched(nil, x, m.Wk.W), T)
-	vs := tensor.SplitRows(tensor.MatMulBatched(nil, x, m.Wv.W), T)
-	concat := tensor.New(B*T, m.Dim)
+	proj := func(w *Param) []*tensor.Matrix {
+		return tensor.SplitRowsWS(ws, tensor.MatMulBatched(ws.Uninit(x.Rows, m.Dim), x, w.W), T)
+	}
+	qs, ks, vs := proj(m.Wq), proj(m.Wk), proj(m.Wv)
+	concat := ws.Uninit(B*T, m.Dim)
+	// One set of per-head scratch, reused across every (window, head) pair —
+	// shapes are loop-invariant, so the workspace footprint stays one head's
+	// worth instead of B·H of them.
+	qh, kh, vh := ws.Uninit(T, dk), ws.Uninit(T, dk), ws.Uninit(T, dk)
+	scores := ws.Uninit(T, T)
+	oh := ws.Uninit(T, dk)
 	for i := 0; i < B; i++ {
 		for h := 0; h < m.Heads; h++ {
-			qh := headView(qs[i], h, dk)
-			kh := headView(ks[i], h, dk)
-			vh := headView(vs[i], h, dk)
-			scores := tensor.MatMulTransB(nil, qh, kh)
+			headCopy(qh, qs[i], h, dk)
+			headCopy(kh, ks[i], h, dk)
+			headCopy(vh, vs[i], h, dk)
+			tensor.MatMulTransB(scores, qh, kh)
 			tensor.Scale(scores, scale)
 			tensor.SoftmaxRows(scores)
-			oh := tensor.MatMul(nil, scores, vh)
+			tensor.MatMul(oh, scores, vh)
 			for t := 0; t < T; t++ {
 				copy(concat.Row(i*T + t)[h*dk:(h+1)*dk], oh.Row(t))
 			}
 		}
 	}
-	return tensor.SplitRows(tensor.MatMulBatched(nil, concat, m.Wo.W), T)
+	return tensor.SplitRowsWS(ws, tensor.MatMulBatched(ws.Uninit(B*T, m.Dim), concat, m.Wo.W), T)
 }
 
 // Backward implements Layer.
@@ -404,12 +416,12 @@ func (r *Residual) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder: the inner layer runs batched, the
 // skip additions stay per window.
-func (r *Residual) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (r *Residual) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
-	inner := forwardBatch(r.Inner, xs, false)
-	out := make([]*tensor.Matrix, len(xs))
+	inner := forwardBatch(r.Inner, ws, xs, false)
+	out := ws.Matrices(len(xs))
 	for i, x := range xs {
-		out[i] = tensor.Add(nil, x, inner[i])
+		out[i] = tensor.Add(ws.Uninit(x.Rows, x.Cols), x, inner[i])
 	}
 	return out
 }
@@ -441,10 +453,10 @@ func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder: the batch threads through every
 // inner layer's batched path.
-func (s *Sequential) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (s *Sequential) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	for _, l := range s.Inner {
-		xs = forwardBatch(l, xs, false)
+		xs = forwardBatch(l, ws, xs, false)
 	}
 	return xs
 }

@@ -8,7 +8,11 @@ import (
 
 // BatchForwarder is the optional fused batched-inference extension of Layer.
 // ForwardBatch consumes B same-shape windows and returns B outputs, exactly
-// matching B independent Forward(x, false) calls element-for-element.
+// matching B independent Forward(x, false) calls element-for-element. Every
+// temporary — stacked inputs, GEMM destinations, output views — is drawn from
+// ws, so a caller that resets one workspace per tick runs the whole forward
+// pass without heap allocations at steady state. ws may be nil, selecting
+// plain heap allocation (the unpooled path, bitwise-identical by contract).
 //
 // Contract:
 //   - Inference only: train must be false. The batched kernels write no layer
@@ -16,14 +20,17 @@ import (
 //     panic on train=true rather than silently corrupting training caches.
 //   - Goroutine safety mirrors Forward(x, false): a trained layer may serve
 //     concurrent ForwardBatch / Forward calls from many goroutines because
-//     neither path writes the receiver.
+//     neither path writes the receiver — provided each call uses its own
+//     Workspace (or nil). Workspaces are single-owner and must not be shared
+//     across concurrent calls.
 //   - Returned matrices may be views into one shared backing array
-//     (tensor.SplitRows); callers must not assume they are independently
-//     resizable, and must copy before mutating if they outlive the batch.
+//     (tensor.SplitRowsWS) and, with a non-nil ws, are valid only until the
+//     workspace's next Reset; callers must copy anything that outlives the
+//     cycle.
 //   - All windows in one call must share the same shape. Mixed shapes are the
 //     caller's problem (see Network.ForwardBatch, which enforces this).
 type BatchForwarder interface {
-	ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix
+	ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix
 }
 
 // batchInferenceOnly is the shared train-guard for every fused kernel.
@@ -37,12 +44,12 @@ func batchInferenceOnly(train bool) {
 // BatchForwarder, else through the generic per-window fallback. The fallback
 // keeps ForwardBatch total over arbitrary Layer implementations (external
 // layers, future additions) at per-window cost.
-func forwardBatch(l Layer, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func forwardBatch(l Layer, ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	if bf, ok := l.(BatchForwarder); ok {
-		return bf.ForwardBatch(xs, train)
+		return bf.ForwardBatch(ws, xs, train)
 	}
 	batchInferenceOnly(train)
-	out := make([]*tensor.Matrix, len(xs))
+	out := ws.Matrices(len(xs))
 	for i, x := range xs {
 		out[i] = l.Forward(x, false)
 	}
@@ -54,8 +61,9 @@ func forwardBatch(l Layer, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 // attention projections collapse their B small matmuls into one batch×feature
 // GEMM; the LSTM steps all B windows together (one B×4H GEMM per timestep);
 // row-wise layers process one stacked matrix. Results are bitwise identical
-// to per-window Forward(x, false). See BatchForwarder for the contract.
-func (n *Network) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+// to per-window Forward(x, false), with or without a workspace. See
+// BatchForwarder for the contract (ws may be nil = unpooled).
+func (n *Network) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
 		return nil
@@ -67,18 +75,23 @@ func (n *Network) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix
 		}
 	}
 	for _, l := range n.Layers {
-		xs = forwardBatch(l, xs, false)
+		xs = forwardBatch(l, ws, xs, false)
 	}
 	return xs
 }
 
 // PredictBatch classifies B same-shape windows in one fused pass and returns
-// one class index per window, identical to calling Predict on each.
-func (n *Network) PredictBatch(xs []*tensor.Matrix) []int {
-	outs := n.ForwardBatch(xs, false)
-	labels := make([]int, len(outs))
-	for i, out := range outs {
-		labels[i] = tensor.Argmax(out.Row(0))
+// one class index per window, identical to calling Predict on each. The
+// labels are written into dst when it has capacity (pass a reused buffer for
+// an allocation-free call); dst may be nil.
+func (n *Network) PredictBatch(ws *tensor.Workspace, xs []*tensor.Matrix, dst []int) []int {
+	outs := n.ForwardBatch(ws, xs, false)
+	if cap(dst) < len(outs) {
+		dst = make([]int, len(outs))
 	}
-	return labels
+	dst = dst[:len(outs)]
+	for i, out := range outs {
+		dst[i] = tensor.Argmax(out.Row(0))
+	}
+	return dst
 }

@@ -20,27 +20,37 @@ func randWindows(b, rows, cols int, rng *tensor.RNG) []*tensor.Matrix {
 }
 
 // assertBatchMatchesForward demands that l.ForwardBatch equals B independent
-// Forward(x, false) calls bitwise.
+// Forward(x, false) calls bitwise — on the unpooled (nil workspace) path and
+// on a workspace that has already served (and Reset after) a previous batch,
+// so stale scratch contents leaking into results would be caught.
 func assertBatchMatchesForward(t *testing.T, name string, l Layer, xs []*tensor.Matrix) {
 	t.Helper()
 	bf, ok := l.(BatchForwarder)
 	if !ok {
 		t.Fatalf("%s: layer does not implement BatchForwarder", name)
 	}
-	got := bf.ForwardBatch(xs, false)
-	if len(got) != len(xs) {
-		t.Fatalf("%s: batch returned %d outputs for %d windows", name, len(got), len(xs))
-	}
-	for i, x := range xs {
-		want := l.Forward(x, false)
-		g := got[i]
-		if g.Rows != want.Rows || g.Cols != want.Cols {
-			t.Fatalf("%s window %d: shape %dx%d, want %dx%d", name, i, g.Rows, g.Cols, want.Rows, want.Cols)
+	ws := tensor.NewWorkspace()
+	bf.ForwardBatch(ws, xs, false) // warm the buckets with a prior cycle
+	ws.Reset()
+	for _, tc := range []struct {
+		path string
+		ws   *tensor.Workspace
+	}{{"unpooled", nil}, {"workspace-reused", ws}} {
+		got := bf.ForwardBatch(tc.ws, xs, false)
+		if len(got) != len(xs) {
+			t.Fatalf("%s[%s]: batch returned %d outputs for %d windows", name, tc.path, len(got), len(xs))
 		}
-		for j := range want.Data {
-			if g.Data[j] != want.Data[j] {
-				t.Fatalf("%s window %d element %d: batched %v != sequential %v (must be bitwise identical)",
-					name, i, j, g.Data[j], want.Data[j])
+		for i, x := range xs {
+			want := l.Forward(x, false)
+			g := got[i]
+			if g.Rows != want.Rows || g.Cols != want.Cols {
+				t.Fatalf("%s[%s] window %d: shape %dx%d, want %dx%d", name, tc.path, i, g.Rows, g.Cols, want.Rows, want.Cols)
+			}
+			for j := range want.Data {
+				if g.Data[j] != want.Data[j] {
+					t.Fatalf("%s[%s] window %d element %d: batched %v != sequential %v (must be bitwise identical)",
+						name, tc.path, i, j, g.Data[j], want.Data[j])
+				}
 			}
 		}
 	}
@@ -92,8 +102,8 @@ func TestNetworkForwardBatchMatchesPredict(t *testing.T) {
 		NewDense(6, 3, rng),
 	)
 	xs := randWindows(9, 16, 4, rng)
-	outs := net.ForwardBatch(xs, false)
-	labels := net.PredictBatch(xs)
+	outs := net.ForwardBatch(nil, xs, false)
+	labels := net.PredictBatch(nil, xs, nil)
 	for i, x := range xs {
 		if want := net.Predict(x); labels[i] != want {
 			t.Fatalf("window %d: batched label %d != sequential %d", i, labels[i], want)
@@ -116,7 +126,7 @@ func TestForwardBatchTrainPanics(t *testing.T) {
 			t.Fatal("ForwardBatch(train=true) must panic")
 		}
 	}()
-	net.ForwardBatch(randWindows(2, 1, 3, rng), true)
+	net.ForwardBatch(nil, randWindows(2, 1, 3, rng), true)
 }
 
 // TestForwardBatchShapeMismatchPanics pins the same-shape requirement.
@@ -129,17 +139,17 @@ func TestForwardBatchShapeMismatchPanics(t *testing.T) {
 			t.Fatal("mixed window shapes must panic")
 		}
 	}()
-	net.ForwardBatch(xs, false)
+	net.ForwardBatch(nil, xs, false)
 }
 
 // TestForwardBatchEmpty: an empty batch is a no-op, not a panic.
 func TestForwardBatchEmpty(t *testing.T) {
 	rng := tensor.NewRNG(4)
 	net := NewNetwork(NewDense(3, 2, rng))
-	if out := net.ForwardBatch(nil, false); len(out) != 0 {
+	if out := net.ForwardBatch(nil, nil, false); len(out) != 0 {
 		t.Fatalf("empty batch returned %d outputs", len(out))
 	}
-	if out := net.PredictBatch(nil); len(out) != 0 {
+	if out := net.PredictBatch(nil, nil, nil); len(out) != 0 {
 		t.Fatalf("empty PredictBatch returned %d labels", len(out))
 	}
 }

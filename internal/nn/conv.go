@@ -76,7 +76,7 @@ func (c *Conv1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 // concatenate into one (B·T')×(K·Cin) matrix so the whole batch convolves in
 // a single GEMM against the kernel weight — the batched analogue of Forward's
 // im2col + matmul, with the weight streamed once instead of B times.
-func (c *Conv1D) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (c *Conv1D) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
 		return nil
@@ -89,7 +89,7 @@ func (c *Conv1D) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix 
 	if outT <= 0 {
 		panic(fmt.Sprintf("nn: Conv1D input length %d shorter than kernel %d", x0.Rows, c.Kernel))
 	}
-	col := tensor.New(len(xs)*outT, c.Kernel*c.InChannels)
+	col := ws.Uninit(len(xs)*outT, c.Kernel*c.InChannels)
 	for i, x := range xs {
 		for t := 0; t < outT; t++ {
 			dst := col.Row(i*outT + t)
@@ -99,9 +99,9 @@ func (c *Conv1D) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix 
 			}
 		}
 	}
-	y := tensor.MatMulBatched(nil, col, c.Weight.W)
+	y := tensor.MatMulBatched(ws.Uninit(col.Rows, c.OutChannels), col, c.Weight.W)
 	tensor.AddRowVector(y, c.Bias.W.Data)
-	return tensor.SplitRows(y, outT)
+	return tensor.SplitRowsWS(ws, y, outT)
 }
 
 // Backward implements Layer.
@@ -216,8 +216,8 @@ func (p *Pool1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder: the pooling loops run per window
 // (no cross-window arithmetic to fuse) but write into one shared (B·T')×C
-// output, one allocation for the batch.
-func (p *Pool1D) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+// output, one scratch buffer for the batch.
+func (p *Pool1D) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
 		return nil
@@ -227,7 +227,7 @@ func (p *Pool1D) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix 
 	if outT == 0 {
 		outT = 1
 	}
-	y := tensor.New(len(xs)*outT, x0.Cols)
+	y := ws.Uninit(len(xs)*outT, x0.Cols)
 	for i, x := range xs {
 		for t := 0; t < outT; t++ {
 			start := t * p.Window
@@ -256,7 +256,7 @@ func (p *Pool1D) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix 
 			}
 		}
 	}
-	return tensor.SplitRows(y, outT)
+	return tensor.SplitRowsWS(ws, y, outT)
 }
 
 // Backward implements Layer.

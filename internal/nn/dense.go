@@ -38,7 +38,7 @@ func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 // ForwardBatch implements BatchForwarder: B T×In windows stack into one
 // (B·T)×In matrix, fusing the B small matmuls into a single batch×feature
 // GEMM followed by one bias broadcast.
-func (d *Dense) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (d *Dense) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
 		return nil
@@ -46,9 +46,10 @@ func (d *Dense) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	if xs[0].Cols != d.In {
 		panic(fmt.Sprintf("nn: Dense expects %d inputs, got %d", d.In, xs[0].Cols))
 	}
-	y := tensor.MatMulBatched(nil, tensor.Stack(xs), d.Weight.W)
+	x := tensor.StackWS(ws, xs)
+	y := tensor.MatMulBatched(ws.Uninit(x.Rows, d.Out), x, d.Weight.W)
 	tensor.AddRowVector(y, d.Bias.W.Data)
-	return tensor.SplitRows(y, xs[0].Rows)
+	return tensor.SplitRowsWS(ws, y, xs[0].Rows)
 }
 
 // Backward implements Layer.
@@ -103,19 +104,19 @@ func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 }
 
 // ForwardBatch implements BatchForwarder: one clamp pass over a single
-// stacked matrix, so the batch costs one allocation instead of B clones.
-func (r *ReLU) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+// stacked matrix, so the batch costs one scratch buffer instead of B clones.
+func (r *ReLU) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
 		return nil
 	}
-	y := tensor.Stack(xs)
+	y := tensor.StackWS(ws, xs)
 	for i, v := range y.Data {
 		if v <= 0 {
 			y.Data[i] = 0
 		}
 	}
-	return tensor.SplitRows(y, xs[0].Rows)
+	return tensor.SplitRowsWS(ws, y, xs[0].Rows)
 }
 
 // Backward implements Layer.
@@ -179,7 +180,7 @@ func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder. Inference-mode dropout is the
 // identity, so the batch passes through untouched.
-func (d *Dropout) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (d *Dropout) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	return xs
 }
@@ -219,14 +220,14 @@ func (f *Flatten) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder. Row-major windows flatten by
 // reinterpretation: one stacked copy serves all B flattened rows as views.
-func (f *Flatten) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (f *Flatten) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
 		return nil
 	}
-	y := tensor.Stack(xs)
-	flat := tensor.FromSlice(len(xs), xs[0].Rows*xs[0].Cols, y.Data)
-	return tensor.SplitRows(flat, 1)
+	y := tensor.StackWS(ws, xs)
+	flat := ws.View(len(xs), xs[0].Rows*xs[0].Cols, y.Data)
+	return tensor.SplitRowsWS(ws, flat, 1)
 }
 
 // Backward implements Layer.
@@ -260,12 +261,12 @@ func (m *MeanPool) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder: all B pooled rows land in one B×C
 // matrix handed out as views.
-func (m *MeanPool) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (m *MeanPool) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
 		return nil
 	}
-	out := tensor.New(len(xs), xs[0].Cols)
+	out := ws.Uninit(len(xs), xs[0].Cols)
 	for i, x := range xs {
 		row := out.Row(i)
 		tensor.ColSums(row, x)
@@ -274,7 +275,7 @@ func (m *MeanPool) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matri
 			row[j] *= inv
 		}
 	}
-	return tensor.SplitRows(out, 1)
+	return tensor.SplitRowsWS(ws, out, 1)
 }
 
 // Backward implements Layer.

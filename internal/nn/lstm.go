@@ -109,7 +109,7 @@ func (l *LSTM) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 // weight-row-major order — every row of W is streamed once per step for the
 // whole batch instead of once per window — with bias-first, k-ascending
 // accumulation so every gate value matches Forward bitwise.
-func (l *LSTM) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (l *LSTM) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	B := len(xs)
 	if B == 0 {
@@ -119,10 +119,10 @@ func (l *LSTM) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 		panic(fmt.Sprintf("nn: LSTM expects %d inputs, got %d", l.In, xs[0].Cols))
 	}
 	T, H := xs[0].Rows, l.Hidden
-	h := tensor.New(B, H)
-	c := tensor.New(B, H)
-	gates := tensor.New(B, 4*H)
-	out := tensor.New(B*T, H)
+	h := ws.Zeros(B, H)
+	c := ws.Zeros(B, H)
+	gates := ws.Uninit(B, 4*H) // fully overwritten from the bias each step
+	out := ws.Uninit(B*T, H)
 	// accumulate adds in[i]·wrow into window i's gate row for the whole
 	// batch, four windows per pass so wrow loads and loop overhead amortise
 	// (the same micro-kernel shape as tensor.MatMulBatched). Per-element
@@ -181,7 +181,7 @@ func (l *LSTM) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 			}
 		}
 	}
-	return tensor.SplitRows(out, T)
+	return tensor.SplitRowsWS(ws, out, T)
 }
 
 // Backward implements Layer.
@@ -268,16 +268,16 @@ func (s *LastStep) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder: the B final timesteps gather into
 // one B×C matrix handed out as views.
-func (s *LastStep) ForwardBatch(xs []*tensor.Matrix, train bool) []*tensor.Matrix {
+func (s *LastStep) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
 		return nil
 	}
-	out := tensor.New(len(xs), xs[0].Cols)
+	out := ws.Uninit(len(xs), xs[0].Cols)
 	for i, x := range xs {
 		copy(out.Row(i), x.Row(x.Rows-1))
 	}
-	return tensor.SplitRows(out, 1)
+	return tensor.SplitRowsWS(ws, out, 1)
 }
 
 // Backward implements Layer.

@@ -16,9 +16,13 @@
 // LSTM recurrences together. The path is inference-only (train must be
 // false; no layer state is written, so batched calls are safe concurrently
 // with each other and with per-window Predict on a shared trained network)
-// and returns results bitwise identical to per-window Forward. The serving
-// hub (internal/serve) is the main consumer: one shard tick coalesces every
-// ready session window into one ForwardBatch per shared model.
+// and returns results bitwise identical to per-window Forward. Every
+// temporary is drawn from a caller-supplied tensor.Workspace — reset once
+// per serving tick, the whole forward pass is allocation-free at steady
+// state; a nil workspace selects plain allocation with identical results.
+// The serving hub (internal/serve) is the main consumer: one shard tick
+// coalesces every ready session window into one ForwardBatch per shared
+// model, passing its per-shard workspace.
 package nn
 
 import (

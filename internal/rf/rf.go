@@ -255,8 +255,16 @@ func (f *Forest) Predict(x []float64) int {
 // nodes per sample; tree-major amortises those misses over the batch, which
 // is the locality win the serving hub's cross-session batching harvests.
 func (f *Forest) ProbsBatch(X [][]float64) [][]float64 {
-	out := make([][]float64, len(X))
-	flat := make([]float64, len(X)*f.Classes)
+	return f.ProbsBatchWS(nil, X)
+}
+
+// ProbsBatchWS is ProbsBatch with the probability rows and their shared flat
+// backing drawn from ws, so a serving shard that resets one workspace per
+// tick pays no allocations here. A nil ws selects plain allocation; outputs
+// are identical either way and, with a workspace, valid until its next Reset.
+func (f *Forest) ProbsBatchWS(ws *tensor.Workspace, X [][]float64) [][]float64 {
+	out := ws.FloatRows(len(X))
+	flat := ws.Floats(len(X) * f.Classes) // zeroed: accumulates votes below
 	for i := range out {
 		out[i] = flat[i*f.Classes : (i+1)*f.Classes : (i+1)*f.Classes]
 	}
@@ -279,12 +287,21 @@ func (f *Forest) ProbsBatch(X [][]float64) [][]float64 {
 // PredictBatch returns the majority class for every sample via the
 // tree-major path.
 func (f *Forest) PredictBatch(X [][]float64) []int {
-	probs := f.ProbsBatch(X)
-	out := make([]int, len(X))
-	for i, p := range probs {
-		out[i] = tensor.Argmax(p)
+	return f.PredictBatchWS(nil, X, nil)
+}
+
+// PredictBatchWS is PredictBatch drawing every temporary from ws and writing
+// labels into dst when it has capacity (dst may be nil). See ProbsBatchWS.
+func (f *Forest) PredictBatchWS(ws *tensor.Workspace, X [][]float64, dst []int) []int {
+	probs := f.ProbsBatchWS(ws, X)
+	if cap(dst) < len(X) {
+		dst = make([]int, len(X))
 	}
-	return out
+	dst = dst[:len(X)]
+	for i, p := range probs {
+		dst[i] = tensor.Argmax(p)
+	}
+	return dst
 }
 
 // NodeCount totals nodes across all trees — the forest's "parameter count"

@@ -21,6 +21,12 @@ type shardMetrics struct {
 	lat     []float64 // ring of recent tick latencies (seconds)
 	latIdx  int
 	latFull bool
+	// scratch is the reusable sort buffer for the percentile paths: p99()
+	// and snapshot() copy the latency ring into it and sort in place, so
+	// neither allocates once the buffer reaches the ring's size. Guarded by
+	// mu; snapshot hands it out and the slice stays valid only until the
+	// next p99/snapshot call (Hub.Snapshot copies it out immediately).
+	scratch []float64
 
 	// p99Cache memoises the admission-path percentile so bursts of Admit
 	// calls (e.g. an inbound migration) do not re-sort the latency ring per
@@ -62,16 +68,28 @@ func (m *shardMetrics) p99() float64 {
 	if m.p99Valid && m.ticks-m.p99AtTick < refreshEvery {
 		return m.p99Cache
 	}
-	n := m.latIdx
-	if m.latFull {
-		n = len(m.lat)
-	}
-	lat := append([]float64(nil), m.lat[:n]...)
-	sort.Float64s(lat)
+	lat := m.sortedLatenciesLocked()
 	m.p99Cache = metrics.PercentileSorted(lat, 0.99)
 	m.p99AtTick = m.ticks
 	m.p99Valid = true
 	return m.p99Cache
+}
+
+// sortedLatenciesLocked copies the retained latencies into the reusable
+// scratch buffer and sorts it. Callers hold m.mu; the result is valid until
+// the next call.
+func (m *shardMetrics) sortedLatenciesLocked() []float64 {
+	n := m.latIdx
+	if m.latFull {
+		n = len(m.lat)
+	}
+	if cap(m.scratch) < n {
+		m.scratch = make([]float64, n, len(m.lat))
+	}
+	m.scratch = m.scratch[:n]
+	copy(m.scratch, m.lat[:n])
+	sort.Float64s(m.scratch)
+	return m.scratch
 }
 
 func (m *shardMetrics) batch(size int) {
@@ -87,15 +105,13 @@ func (m *shardMetrics) evict() {
 	m.mu.Unlock()
 }
 
-// snapshot returns the counters plus a sorted copy of the retained
-// latencies so the fleet aggregation can pool them.
-func (m *shardMetrics) snapshot() (ShardSnapshot, []float64) {
+// snapshot returns the counters and appends the sorted retained latencies to
+// pool, so the fleet aggregation reuses one pooled buffer instead of every
+// shard allocating a copy. The sort runs in the metrics object's reusable
+// scratch, entirely under the lock — nothing aliasing internal state
+// escapes.
+func (m *shardMetrics) snapshot(pool []float64) (ShardSnapshot, []float64) {
 	m.mu.Lock()
-	n := m.latIdx
-	if m.latFull {
-		n = len(m.lat)
-	}
-	lat := append([]float64(nil), m.lat[:n]...)
 	snap := ShardSnapshot{
 		Ticks:      m.ticks,
 		Inferences: m.inferences,
@@ -103,14 +119,15 @@ func (m *shardMetrics) snapshot() (ShardSnapshot, []float64) {
 		Evictions:  m.evictions,
 		SamplesIn:  m.samplesIn,
 	}
+	lat := m.sortedLatenciesLocked()
+	snap.TickP50Ms = 1e3 * metrics.PercentileSorted(lat, 0.50)
+	snap.TickP99Ms = 1e3 * metrics.PercentileSorted(lat, 0.99)
+	pool = append(pool, lat...)
 	m.mu.Unlock()
 	if snap.Batches > 0 {
 		snap.MeanBatch = float64(snap.Inferences) / float64(snap.Batches)
 	}
-	sort.Float64s(lat)
-	snap.TickP50Ms = 1e3 * metrics.PercentileSorted(lat, 0.50)
-	snap.TickP99Ms = 1e3 * metrics.PercentileSorted(lat, 0.99)
-	return snap, lat
+	return snap, pool
 }
 
 // ShardSnapshot is one shard's point-in-time serving report.

@@ -21,19 +21,43 @@ import (
 // and all serialization and disk I/O happen afterwards on the caller's
 // goroutine, so paced tick loops never stall behind a checkpoint.
 
-// Checkpoint atomically persists the hub's complete serving state as the
-// next checkpoint under root, returning the new checkpoint directory. It is
+// Checkpoint atomically persists the hub's serving state as the next
+// checkpoint under root, returning the new checkpoint directory. It is
 // safe to call while the hub is serving (Start) or between TickAll calls; a
 // session's tick and its capture are serialized by the shard lock, so every
 // persisted session is at a tick boundary.
+//
+// Checkpoints are incremental by default: the previous checkpoint's manifest
+// is consulted, and only sessions whose signal path advanced since (and
+// models not yet on disk) are captured and written — unchanged sessions cost
+// one ~40-byte manifest reference, so checkpoint cost scales with churn, not
+// fleet size. Every checkpoint.DefaultCompactEvery increments (and whenever
+// no usable previous manifest exists) a full rewrite compacts the chain.
+// Incremental and full checkpoints restore bitwise-identically.
 func (h *Hub) Checkpoint(root string) (string, error) {
-	return checkpoint.Save(root, h.CaptureState())
+	prev, err := checkpoint.LatestManifest(root)
+	if err != nil {
+		prev = nil // no (readable) previous checkpoint: write a full one
+	}
+	return checkpoint.Save(root, h.captureState(prev))
 }
 
-// CaptureState snapshots the hub into a checkpoint.FleetState without
-// touching disk — the in-memory half of Checkpoint, exposed for tests and
-// for callers that ship state elsewhere (e.g. a replication stream).
+// CaptureState snapshots the hub's complete state into a self-contained
+// checkpoint.FleetState without touching disk — the in-memory half of a full
+// Checkpoint, exposed for tests and for callers that ship state elsewhere
+// (streamed migration, a replication stream).
 func (h *Hub) CaptureState() *checkpoint.FleetState {
+	return h.captureState(nil)
+}
+
+// captureState snapshots the hub. With a nil prev manifest the capture is
+// full and self-contained; otherwise sessions and models unchanged since
+// prev become references into the directories that already hold them, and
+// only dirty state is deep-copied under the shard locks.
+func (h *Hub) captureState(prev *checkpoint.Manifest) *checkpoint.FleetState {
+	if prev != nil && (prev.Format < checkpoint.DirFormatV2 || prev.Increments+1 >= checkpoint.DefaultCompactEvery) {
+		prev = nil // pre-v2 base or chain at its bound: compact with a full rewrite
+	}
 	h.mu.Lock()
 	state := &checkpoint.FleetState{
 		Manifest: checkpoint.Manifest{
@@ -45,36 +69,99 @@ func (h *Hub) CaptureState() *checkpoint.FleetState {
 				LatencyWindow:       h.cfg.LatencyWindow,
 			},
 			NextID: uint64(h.nextID),
+			Format: checkpoint.DirFormatV2,
 		},
 	}
 	shards := h.shards
 	h.mu.Unlock()
 
+	var prevRefs map[uint64]checkpoint.SessionRef
+	if prev != nil {
+		state.Manifest.Base = prev.Seq
+		state.Manifest.Increments = prev.Increments + 1
+		prevRefs = prev.RefIndex()
+	}
 	for _, s := range shards {
 		state.Manifest.Shards = append(state.Manifest.Shards, s.captureCounters())
-		state.Sessions = append(state.Sessions, s.captureSessions()...)
+		recs, refs := s.captureSessions(prevRefs)
+		state.Sessions = append(state.Sessions, recs...)
+		state.Manifest.Refs = append(state.Manifest.Refs, refs...)
 	}
 	// Resolve models after the session sweep: Admit only places a session
 	// once its model has resolved in the registry, so every model a captured
 	// session references is guaranteed present here — the reverse order
 	// would let a concurrently admitted session reference a model missing
 	// from the snapshot, producing a checkpoint Load rejects whole.
-	state.Models, state.ModelMACs = h.reg.Resolved()
+	clfs, macs := h.reg.Resolved()
+	if prev == nil {
+		state.Models, state.ModelMACs = clfs, macs
+		return state
+	}
+	// Registry models are immutable once resolved (train/deserialize-once),
+	// so any key the previous checkpoint indexed is referenced, not
+	// rewritten; only newly resolved models cost bytes.
+	prevModels := prev.ModelIndex()
+	state.Models = make(map[string]models.Classifier)
+	state.ModelMACs = make(map[string]int64)
+	for key, clf := range clfs {
+		if e, ok := prevModels[key]; ok {
+			state.ModelRefs = append(state.ModelRefs, checkpoint.ModelEntry{
+				Key: key, File: e.File, MACs: macs[key], Seq: e.Seq,
+			})
+			continue
+		}
+		state.Models[key] = clf
+		state.ModelMACs[key] = macs[key]
+	}
+	sort.Slice(state.ModelRefs, func(i, j int) bool { return state.ModelRefs[i].Key < state.ModelRefs[j].Key })
 	return state
 }
 
-// captureSessions deep-copies every session's resumable state under the
-// shard lock (the brief pause a running tick loop sees) and returns records
-// sorted by session ID for deterministic checkpoint bytes.
-func (s *shard) captureSessions() []checkpoint.SessionRecord {
+// captureSessions sweeps the shard under its lock (the brief pause a running
+// tick loop sees), returning full records for dirty sessions — ver moved
+// since prevRefs, pending samples buffered, or no previous record at all —
+// and manifest references for clean ones. Both slices come back sorted by
+// session ID for deterministic checkpoint bytes. A nil prevRefs marks every
+// session dirty (full capture).
+func (s *shard) captureSessions(prevRefs map[uint64]checkpoint.SessionRef) ([]checkpoint.SessionRecord, []checkpoint.SessionRef) {
 	s.mu.Lock()
 	recs := make([]checkpoint.SessionRecord, 0, len(s.sessions))
+	refs := make([]checkpoint.SessionRef, 0, len(s.sessions))
 	for _, sess := range s.sessions {
+		ref := checkpoint.SessionRef{
+			ID:        uint64(sess.id),
+			Ver:       sess.ver,
+			SampleAcc: sess.sampleAcc,
+			IdleTicks: sess.idleTicks,
+		}
+		if pr, ok := prevRefs[ref.ID]; ok && pr.Ver == sess.ver && sessionPending(sess) == 0 {
+			// Clean: the record written at pr.Seq is bitwise this session's
+			// heavy state (same ver ⇒ no ingest ⇒ window/filters/debounce/
+			// counters unchanged and no pending was drained); only the
+			// volatile scheduler fields moved, and those ride in the ref.
+			ref.Seq = pr.Seq
+			refs = append(refs, ref)
+			continue
+		}
 		recs = append(recs, captureSessionLocked(s.id, sess))
+		refs = append(refs, ref) // Seq 0: record written by this checkpoint
 	}
 	s.mu.Unlock()
 	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
-	return recs
+	sort.Slice(refs, func(i, j int) bool { return refs[i].ID < refs[j].ID })
+	return recs, refs
+}
+
+// sessionPending cheaply counts samples buffered in the session's source
+// without copying them. Callers hold the owning shard's lock.
+func sessionPending(sess *session) int {
+	if pl, ok := sess.cfg.Source.(interface{ PendingLen() int }); ok {
+		return pl.PendingLen()
+	}
+	if snap, ok := sess.cfg.Source.(PendingSnapshotter); ok {
+		return len(snap.SnapshotPending())
+	}
+	return 0
 }
 
 // captureSessionLocked deep-copies one session's complete resumable state.
@@ -83,6 +170,7 @@ func captureSessionLocked(shardID int, sess *session) checkpoint.SessionRecord {
 	rec := checkpoint.SessionRecord{
 		ID:           uint64(sess.id),
 		Shard:        shardID,
+		Ver:          sess.ver,
 		ModelKey:     sess.cfg.ModelKey,
 		Tag:          sess.cfg.Tag,
 		Channels:     sess.cfg.Channels,
@@ -273,6 +361,7 @@ func sessionFromRecord(rec *checkpoint.SessionRecord, clf models.Classifier, src
 		},
 		clf:       clf,
 		win:       win,
+		ver:       rec.Ver,
 		sampleAcc: rec.SampleAcc,
 		fed:       rec.Fed,
 		idleTicks: rec.IdleTicks,
@@ -396,6 +485,40 @@ func (p *pendingSource) Read(max int) []stream.Sample {
 	// max-n is negative when max <= 0: the drain-everything case passes
 	// through to the live source unchanged.
 	return append(out, p.src.Read(max-n)...)
+}
+
+// ReadInto implements ReaderInto so a restored session re-enters the
+// allocation-free tick path immediately, replaying pending samples with the
+// same split semantics as Read.
+func (p *pendingSource) ReadInto(dst []stream.Sample, max int) []stream.Sample {
+	if len(p.pending) > 0 {
+		n := len(p.pending)
+		if max > 0 && max < n {
+			n = max
+		}
+		dst = append(dst, p.pending[:n]...)
+		p.pending = p.pending[n:]
+		if max > 0 && n == max {
+			return dst
+		}
+		max -= n // negative when max <= 0: still the drain-everything case
+	}
+	if ri, ok := p.src.(ReaderInto); ok {
+		return ri.ReadInto(dst, max)
+	}
+	return append(dst, p.src.Read(max)...)
+}
+
+// PendingLen counts replay samples plus whatever the wrapped source buffers,
+// without copying either.
+func (p *pendingSource) PendingLen() int {
+	n := len(p.pending)
+	if pl, ok := p.src.(interface{ PendingLen() int }); ok {
+		n += pl.PendingLen()
+	} else if snap, ok := p.src.(PendingSnapshotter); ok {
+		n += len(snap.SnapshotPending())
+	}
+	return n
 }
 
 // SnapshotPending implements PendingSnapshotter, so re-checkpointing before

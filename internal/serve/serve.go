@@ -22,9 +22,13 @@
 //     coalesces every ready window into one batched classifier call per
 //     model — cross-session batching, which turns S per-session Predict
 //     dispatches into one PredictBatch whose tree-major forest traversal
-//     amortises cache misses over the whole batch. Admission control caps
-//     sessions per shard; sessions whose sources go silent are evicted
-//     gracefully after MaxIdleTicks.
+//     amortises cache misses over the whole batch. The entire tick runs out
+//     of a per-shard arena (tickArena: sample pop buffers, ready tables,
+//     classifier groups, label slices, and the tensor.Workspace every
+//     batched kernel draws scratch from), so steady-state serving performs
+//     zero heap allocations per tick — see ARCHITECTURE.md "Memory model".
+//     Admission control caps sessions per shard; sessions whose sources go
+//     silent are evicted gracefully after MaxIdleTicks.
 //
 //   - Metrics (metrics.go) aggregate per-shard and fleet-wide p50/p99 tick
 //     latency, throughput counters and drop/eviction counts, built on
@@ -49,8 +53,13 @@
 // daemon resumes without retraining and emits bitwise-identical labels for
 // the same subsequent input. Capture is copy-on-snapshot: shard locks are
 // held only to deep-copy in-memory state, never across serialization or disk
-// I/O, so paced tick loops do not stall. See ARCHITECTURE.md for the on-disk
-// format specification.
+// I/O, so paced tick loops do not stall. Checkpoints are incremental by
+// default: sessions carry a mutation counter, and only sessions that
+// ingested samples since the previous checkpoint (plus newly resolved
+// models) are deep-copied and written — the rest cost one manifest
+// reference each, so checkpoint cost scales with churn, not fleet size,
+// with a full-rewrite compaction every DefaultCompactEvery increments. See
+// ARCHITECTURE.md for the on-disk format specification.
 package serve
 
 import (
@@ -350,9 +359,9 @@ func (h *Hub) Snapshot() FleetSnapshot {
 	var pooled []float64
 	var fleet FleetSnapshot
 	for _, s := range h.shards {
-		snap, lat := s.snapshot()
+		var snap ShardSnapshot
+		snap, pooled = s.snapshot(pooled)
 		shardSnaps = append(shardSnaps, snap)
-		pooled = append(pooled, lat...)
 		fleet.Sessions += snap.Sessions
 		fleet.Ticks += snap.Ticks
 		fleet.Inferences += snap.Inferences

@@ -17,6 +17,19 @@ type Source interface {
 	Read(max int) []stream.Sample
 }
 
+// ReaderInto is the optional Source extension of the allocation-free tick
+// path: the shard passes one per-shard sample buffer (reset between sessions)
+// and the source appends into it instead of allocating a fresh slice per
+// Read. Implementations may also recycle the Values buffers found in dst's
+// spare capacity (board.SyntheticCyton does), so the returned samples are
+// valid only until the next ReadInto with the same dst — the shard consumes
+// them within the tick, which is the contract.
+type ReaderInto interface {
+	// ReadInto drains up to max buffered samples (oldest first), appending
+	// them to dst.
+	ReadInto(dst []stream.Sample, max int) []stream.Sample
+}
+
 // PendingSnapshotter is the optional Source extension the checkpoint path
 // uses: sources that buffer samples the session has not consumed yet (ring-
 // backed network inlets) expose a non-destructive copy, so a fleet snapshot
@@ -40,8 +53,17 @@ type RingSource struct {
 // Read implements Source.
 func (r RingSource) Read(max int) []stream.Sample { return r.Ring.PopN(max) }
 
+// ReadInto implements ReaderInto via the ring's buffer-reusing bulk pop.
+func (r RingSource) ReadInto(dst []stream.Sample, max int) []stream.Sample {
+	return r.Ring.PopNInto(dst, max)
+}
+
 // SnapshotPending implements PendingSnapshotter.
 func (r RingSource) SnapshotPending() []stream.Sample { return r.Ring.Snapshot() }
+
+// PendingLen reports buffered-but-unread samples without copying them — the
+// cheap dirtiness probe of the incremental checkpoint path.
+func (r RingSource) PendingLen() int { return r.Ring.Len() }
 
 // Close implements io.Closer.
 func (r RingSource) Close() error {
@@ -100,6 +122,15 @@ type session struct {
 	// (e.g. 125 Hz / 15 Hz).
 	sampleAcc float64
 	debounce  control.Debouncer
+	// ver counts signal-path mutations: it increments exactly when a tick
+	// ingests samples for this session (which is also the only way windows,
+	// filter delay lines, debounce state or decode counters change). The
+	// incremental checkpoint path persists it and rewrites a session record
+	// only when ver moved — same ID + same ver ⇒ bitwise-identical heavy
+	// state. Scheduler-only fields that drift every tick regardless
+	// (sampleAcc, idleTicks) ride in the manifest instead, so an idle session
+	// stays checkpoint-clean.
+	ver uint64
 	// fed flips once the source delivers its first sample; idle eviction
 	// only applies afterwards, so a freshly admitted network session gets
 	// an unbounded grace period to connect.

@@ -7,6 +7,7 @@ import (
 
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/stream"
 	"cognitivearm/internal/tensor"
 )
 
@@ -25,12 +26,77 @@ type shard struct {
 	sessions map[SessionID]*session
 	evictq   []SessionID
 
+	// arena is the shard's tick scratch: every per-tick temporary lives here
+	// and is reused across ticks, so steady-state serving allocates nothing.
+	// It is only touched under the shard lock (ticks and captures serialise
+	// on it), never shared between shards.
+	arena tickArena
+
 	loopMu  sync.Mutex
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	running bool
 
 	met shardMetrics
+}
+
+// tickArena owns the buffers one tick churns through: the pop buffer sources
+// drain into, the ready-window tables the batch phase coalesces, the
+// per-classifier grouping, the label output, and the tensor.Workspace every
+// batched kernel draws its matrices from. Reset-by-truncation at the top of
+// each tick recycles all of it; capacity is retained at the fleet's
+// high-water mark.
+type tickArena struct {
+	ws        *tensor.Workspace
+	popBuf    []stream.Sample
+	readySess []*session
+	readyWin  []*tensor.Matrix
+	groups    []clfGroup
+	labels    []int
+}
+
+// clfGroup collects the ready windows of one distinct classifier within a
+// tick. Fleets normally share one model, so the groups slice holds a single
+// reused entry and the linear scan in groupFor is one pointer compare; mixed
+// fleets stay a handful of entries, never a per-tick map allocation.
+type clfGroup struct {
+	clf  models.Classifier
+	idx  []int
+	wins []*tensor.Matrix
+}
+
+// reset prepares the arena for the next tick, keeping every backing array.
+func (a *tickArena) reset() {
+	if a.ws == nil {
+		a.ws = tensor.NewWorkspace()
+	}
+	a.ws.Reset()
+	a.readySess = a.readySess[:0]
+	a.readyWin = a.readyWin[:0]
+	for i := range a.groups {
+		a.groups[i].clf = nil
+		a.groups[i].idx = a.groups[i].idx[:0]
+		a.groups[i].wins = a.groups[i].wins[:0]
+	}
+	a.groups = a.groups[:0]
+}
+
+// groupFor returns the group accumulating windows for clf, reusing a
+// truncated slot when one is free.
+func (a *tickArena) groupFor(clf models.Classifier) *clfGroup {
+	for i := range a.groups {
+		if a.groups[i].clf == clf {
+			return &a.groups[i]
+		}
+	}
+	if len(a.groups) < cap(a.groups) {
+		a.groups = a.groups[:len(a.groups)+1]
+	} else {
+		a.groups = append(a.groups, clfGroup{})
+	}
+	g := &a.groups[len(a.groups)-1]
+	g.clf = clf
+	return g
 }
 
 // closeSource releases an evicted session's source: io.Closer for network
@@ -172,18 +238,30 @@ func (s *shard) run() {
 // into each rolling window, coalesce all ready windows into one batched
 // inference per shared model, then feed labels back through each session's
 // debounce. Sessions silent for MaxIdleTicks are queued for eviction.
+//
+// The whole loop runs out of the shard's arena: sources drain into a reused
+// pop buffer, ready windows are read zero-copy from each session's Windower
+// (safe because every ready window is classified before any session sees
+// further pushes), and the batched classifiers draw all scratch from the
+// shard workspace — at steady state a tick performs no heap allocations.
 func (s *shard) tick() {
 	start := time.Now()
 	s.mu.Lock()
 	s.processEvictionsLocked()
+	s.arena.reset()
+	ar := &s.arena
 
 	// Ingest phase: windows become ready independently per session.
-	var readySess []*session
-	var readyWin []*tensor.Matrix
 	var samplesIn uint64
 	for id, sess := range s.sessions {
 		n := sess.due(s.cfg.TickHz)
-		samples := sess.cfg.Source.Read(n)
+		var samples []stream.Sample
+		if ri, ok := sess.cfg.Source.(ReaderInto); ok {
+			ar.popBuf = ri.ReadInto(ar.popBuf[:0], n)
+			samples = ar.popBuf
+		} else {
+			samples = sess.cfg.Source.Read(n)
+		}
 		if len(samples) == 0 {
 			sess.idleTicks++
 			// Idle eviction only applies to sessions that have streamed
@@ -196,13 +274,14 @@ func (s *shard) tick() {
 		}
 		sess.fed = true
 		sess.idleTicks = 0
+		sess.ver++ // signal-path state advances: session is checkpoint-dirty
 		samplesIn += uint64(len(samples))
 		for _, smp := range samples {
 			sess.win.Push(smp.Values)
 		}
 		if sess.win.Ready() {
-			readySess = append(readySess, sess)
-			readyWin = append(readyWin, sess.win.Window())
+			ar.readySess = append(ar.readySess, sess)
+			ar.readyWin = append(ar.readyWin, sess.win.Window())
 		}
 	}
 
@@ -213,25 +292,17 @@ func (s *shard) tick() {
 	// it tree-major (rf.Forest.PredictBatch) and NN families fuse it into
 	// batch×feature GEMMs (nn.Network.ForwardBatch), so per-inference cost
 	// falls as fleet density rises.
-	if len(readySess) > 0 {
-		type group struct {
-			idx  []int
-			wins []*tensor.Matrix
-		}
-		groups := map[models.Classifier]*group{}
-		for i, sess := range readySess {
-			g := groups[sess.clf]
-			if g == nil {
-				g = &group{}
-				groups[sess.clf] = g
-			}
+	if len(ar.readySess) > 0 {
+		for i, sess := range ar.readySess {
+			g := ar.groupFor(sess.clf)
 			g.idx = append(g.idx, i)
-			g.wins = append(g.wins, readyWin[i])
+			g.wins = append(g.wins, ar.readyWin[i])
 		}
-		for clf, g := range groups {
-			labels := models.PredictBatch(clf, g.wins)
+		for gi := range ar.groups {
+			g := &ar.groups[gi]
+			ar.labels = models.PredictBatchWS(g.clf, ar.ws, g.wins, ar.labels[:0])
 			for j, i := range g.idx {
-				readySess[i].observe(eeg.Action(labels[j]))
+				ar.readySess[i].observe(eeg.Action(ar.labels[j]))
 			}
 			s.met.batch(len(g.wins))
 		}
@@ -242,9 +313,11 @@ func (s *shard) tick() {
 	s.met.tick(time.Since(start).Seconds(), samplesIn)
 }
 
-func (s *shard) snapshot() (ShardSnapshot, []float64) {
-	snap, lat := s.met.snapshot()
+// snapshot reports the shard's counters and appends its sorted recent tick
+// latencies to pool (see shardMetrics.snapshot).
+func (s *shard) snapshot(pool []float64) (ShardSnapshot, []float64) {
+	snap, pool := s.met.snapshot(pool)
 	snap.Shard = s.id
 	snap.Sessions = s.len()
-	return snap, lat
+	return snap, pool
 }

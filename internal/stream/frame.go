@@ -41,6 +41,24 @@ func WriteMsg(w io.Writer, payload []byte) error {
 
 // ReadMsg reads one length-prefixed message, enforcing MaxMsgLen.
 func ReadMsg(r io.Reader) ([]byte, error) {
+	return ReadMsgBuf(r, nil)
+}
+
+// ReadMsgBuf is ReadMsg reading the payload into buf when its capacity
+// suffices, allocating (and growing the caller's buffer for next time) only
+// when it does not. Connection loops pass one per-connection buffer so every
+// inbound frame after the largest-yet stops allocating its payload:
+//
+//	buf := []byte(nil)
+//	for {
+//		msg, err := stream.ReadMsgBuf(conn, buf)
+//		...
+//		buf = msg[:0]
+//	}
+//
+// The returned slice aliases buf; it is valid only until the next
+// ReadMsgBuf call that reuses it.
+func ReadMsgBuf(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -49,7 +67,11 @@ func ReadMsg(r io.Reader) ([]byte, error) {
 	if n > MaxMsgLen {
 		return nil, fmt.Errorf("stream: message length %d exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	payload := buf
+	if cap(payload) < int(n) {
+		payload = make([]byte, n)
+	}
+	payload = payload[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("stream: torn message: %w", err)
 	}

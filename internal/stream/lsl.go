@@ -123,6 +123,7 @@ func (o *LSLOutlet) sampleDelay() time.Duration {
 // packets are small and prioritised).
 func (o *LSLOutlet) serveSync(conn net.Conn) {
 	buf := make([]byte, 9)
+	resp := make([]byte, 17) // reused across probes: one buffer per connection
 	for {
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			return
@@ -130,7 +131,6 @@ func (o *LSLOutlet) serveSync(conn net.Conn) {
 		if buf[0] != msgSyncReq {
 			continue
 		}
-		resp := make([]byte, 17)
 		resp[0] = msgSyncResp
 		copy(resp[1:9], buf[1:9])
 		binary.LittleEndian.PutUint64(resp[9:], math.Float64bits(o.clock.Now()))

@@ -62,18 +62,31 @@ func (r *Ring) Pop() (s Sample, ok bool) {
 // sessions fed from network inlets.
 func (r *Ring) PopN(max int) []Sample {
 	r.mu.Lock()
+	n := r.size
+	if max > 0 && max < n {
+		n = max
+	}
+	r.mu.Unlock()
+	return r.PopNInto(make([]Sample, 0, n), max)
+}
+
+// PopNInto is PopN appending into dst — the allocation-free bulk read of the
+// serving hot path: a shard passes one per-shard buffer (reset to dst[:0]
+// between sessions) so draining a ring costs no heap allocations. The
+// returned slice aliases dst's backing array when capacity suffices.
+func (r *Ring) PopNInto(dst []Sample, max int) []Sample {
+	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := r.size
 	if max > 0 && max < n {
 		n = max
 	}
-	out := make([]Sample, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, r.buf[r.head])
+		dst = append(dst, r.buf[r.head])
 		r.head = (r.head + 1) % len(r.buf)
 		r.size--
 	}
-	return out
+	return dst
 }
 
 // Snapshot returns a deep copy of the buffered samples, oldest first, without
