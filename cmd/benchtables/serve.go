@@ -29,9 +29,14 @@ type serveBenchReport struct {
 }
 
 type serveModelBench struct {
-	UsPerInference float64 `json:"us_per_inference"`
-	AllocsPerTick  float64 `json:"allocs_per_tick"`
-	MeanBatch      float64 `json:"mean_batch"`
+	// UsPerInference is measured with telemetry enabled — the production
+	// shape; UsPerInferenceBare disables it (serve.Config.DisableTelemetry)
+	// so the delta is the measured cost of the instrumentation itself.
+	UsPerInference       float64 `json:"us_per_inference"`
+	UsPerInferenceBare   float64 `json:"us_per_inference_bare"`
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+	AllocsPerTick        float64 `json:"allocs_per_tick"`
+	MeanBatch            float64 `json:"mean_batch"`
 }
 
 type serveCkptBench struct {
@@ -81,29 +86,22 @@ func runServeBench(outPath string) {
 
 	report := serveBenchReport{Sessions: sessions, Shards: shards, Models: map[string]serveModelBench{}}
 	for _, key := range []string{"rf", "cnn"} {
-		hub, boards := buildServeBenchHub(reg, pipe, key, sessions, shards)
-		for i := 0; i < warmup; i++ {
-			hub.TickAll()
-		}
-		before := hub.Snapshot()
-		var ms0, ms1 runtime.MemStats
-		runtime.ReadMemStats(&ms0)
-		start := time.Now()
-		for i := 0; i < ticks; i++ {
-			hub.TickAll()
-		}
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&ms1)
-		after := hub.Snapshot()
-		inf := after.Inferences - before.Inferences
+		// Telemetry-off pass first: same fleet shape, instrumentation
+		// compiled out of the tick path via the nil-handle guard.
+		bareHub, _ := buildServeBenchHub(reg, pipe, key, sessions, shards, true)
+		usBare, _, _ := measureServeTicks(bareHub, warmup, ticks)
+		bareHub.Stop()
+
+		hub, boards := buildServeBenchHub(reg, pipe, key, sessions, shards, false)
+		usOn, allocs, meanBatch := measureServeTicks(hub, warmup, ticks)
 		mb := serveModelBench{
-			AllocsPerTick: float64(ms1.Mallocs-ms0.Mallocs) / float64(ticks),
+			UsPerInference:     usOn,
+			UsPerInferenceBare: usBare,
+			AllocsPerTick:      allocs,
+			MeanBatch:          meanBatch,
 		}
-		if inf > 0 {
-			mb.UsPerInference = float64(elapsed.Microseconds()) / float64(inf)
-		}
-		if batches := after.Batches - before.Batches; batches > 0 {
-			mb.MeanBatch = float64(inf) / float64(batches)
+		if usBare > 0 {
+			mb.TelemetryOverheadPct = 100 * (usOn - usBare) / usBare
 		}
 		report.Models[key] = mb
 
@@ -112,7 +110,7 @@ func runServeBench(outPath string) {
 			if err != nil {
 				log.Fatal(err)
 			}
-			start = time.Now()
+			start := time.Now()
 			fullDir, err := hub.Checkpoint(root)
 			if err != nil {
 				log.Fatal(err)
@@ -150,20 +148,48 @@ func runServeBench(outPath string) {
 	fmt.Printf("== Serving benchmark (%d sessions, %d shards) ==\n", sessions, shards)
 	for _, key := range []string{"rf", "cnn"} {
 		mb := report.Models[key]
-		fmt.Printf("%-4s %8.1f µs/inference  %8.1f allocs/tick  mean batch %.1f\n",
-			key, mb.UsPerInference, mb.AllocsPerTick, mb.MeanBatch)
+		fmt.Printf("%-4s %8.1f µs/inference (telemetry on, %+.1f%% vs %.1f bare)  %8.1f allocs/tick  mean batch %.1f\n",
+			key, mb.UsPerInference, mb.TelemetryOverheadPct, mb.UsPerInferenceBare, mb.AllocsPerTick, mb.MeanBatch)
 	}
 	fmt.Printf("checkpoint: full %.1f ms / %d B, incremental %.1f ms / %d B\n",
 		report.Ckpt.FullMs, report.Ckpt.FullBytes, report.Ckpt.IncrementalMs, report.Ckpt.IncrementalBytes)
 	fmt.Printf("wrote %s\n\n", outPath)
 }
 
-func buildServeBenchHub(reg *serve.Registry, pipe *core.Pipeline, modelKey string, sessions, shards int) (*serve.Hub, []*board.SyntheticCyton) {
+// measureServeTicks warms the hub, then times a fixed tick count, returning
+// µs/inference, allocs/tick, and the realised mean batch size.
+func measureServeTicks(hub *serve.Hub, warmup, ticks int) (usPerInf, allocsPerTick, meanBatch float64) {
+	for i := 0; i < warmup; i++ {
+		hub.TickAll()
+	}
+	before := hub.Snapshot()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < ticks; i++ {
+		hub.TickAll()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	after := hub.Snapshot()
+	inf := after.Inferences - before.Inferences
+	allocsPerTick = float64(ms1.Mallocs-ms0.Mallocs) / float64(ticks)
+	if inf > 0 {
+		usPerInf = float64(elapsed.Microseconds()) / float64(inf)
+	}
+	if batches := after.Batches - before.Batches; batches > 0 {
+		meanBatch = float64(inf) / float64(batches)
+	}
+	return usPerInf, allocsPerTick, meanBatch
+}
+
+func buildServeBenchHub(reg *serve.Registry, pipe *core.Pipeline, modelKey string, sessions, shards int, disableTelemetry bool) (*serve.Hub, []*board.SyntheticCyton) {
 	hub, err := serve.NewHub(serve.Config{
 		Shards:              shards,
 		MaxSessionsPerShard: (sessions + shards - 1) / shards,
 		TickHz:              15,
 		LatencyWindow:       1024,
+		DisableTelemetry:    disableTelemetry,
 	}, reg)
 	if err != nil {
 		log.Fatal(err)

@@ -65,6 +65,7 @@ import (
 	"cognitivearm/internal/core"
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/obs"
 	"cognitivearm/internal/serve"
 	"cognitivearm/internal/stream"
 	"cognitivearm/internal/tensor"
@@ -84,6 +85,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "simulation seed")
 		ckptDir     = flag.String("checkpoint-dir", "", "fleet checkpoint directory (empty = no persistence)")
 		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (needs -checkpoint-dir)")
+		adminAddr   = flag.String("admin", "", "admin-plane HTTP endpoint (/metrics /statusz /healthz /events /debug/pprof); empty = disabled")
 		clusterAddr = flag.String("cluster", "", "inter-node endpoint to bind (e.g. 127.0.0.1:7946); empty = single-node")
 		nodeID      = flag.String("node-id", "", "ring identity of this node (defaults to the bound cluster address)")
 		peers       = flag.String("peers", "", "comma-separated cluster endpoints of existing members to join")
@@ -149,6 +151,25 @@ func main() {
 			log.Fatalf("cogarmd: could not join any of -peers %q", *peers)
 		}
 		log.Printf("cogarmd: %s", node.Snapshot())
+	}
+
+	// Admin plane: metrics scrape, status document, health probe, event log
+	// and live profiling. Started after cluster setup so /statusz carries the
+	// ring view from the first request.
+	if *adminAddr != "" {
+		var clusterStatus func() any
+		if node != nil {
+			clusterStatus = node.Status
+		}
+		srv, bound, err := obs.StartAdmin(*adminAddr, obs.AdminOptions{
+			Health: hub.Health,
+			Status: func() any { return hub.Status(*ckptDir, clusterStatus) },
+		})
+		if err != nil {
+			log.Fatalf("cogarmd: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("cogarmd: admin plane on http://%s (/metrics /statusz /healthz /events /debug/pprof)", bound)
 	}
 
 	sig := make(chan os.Signal, 1)

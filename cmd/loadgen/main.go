@@ -46,6 +46,7 @@ import (
 	"cognitivearm/internal/core"
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/obs"
 	"cognitivearm/internal/serve"
 	"cognitivearm/internal/stream"
 )
@@ -62,23 +63,60 @@ func main() {
 		rate     = flag.Float64("rate", eeg.SampleRate, "udp: per-subject sample rate (Hz)")
 		nodes    = flag.Int("nodes", 2, "cluster: in-process nodes joined over loopback TCP")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		admin    = flag.String("admin", "", "host the admin plane in-process at this address (inproc/cluster; \":0\" picks a port)")
+		scrape   = flag.Bool("scrape", false, "poll own /metrics at 1 Hz during the run and report the tick-stage breakdown (implies -admin 127.0.0.1:0)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime)
 
+	adminAddr := *admin
+	if *scrape && adminAddr == "" {
+		adminAddr = "127.0.0.1:0"
+	}
 	switch *mode {
 	case "inproc":
-		runInproc(*sessions, *shards, *tickHz, *duration, *paced, *seed)
+		runInproc(*sessions, *shards, *tickHz, *duration, *paced, *seed, adminAddr, *scrape)
 	case "udp":
+		if adminAddr != "" {
+			log.Printf("loadgen: -admin/-scrape apply to inproc and cluster modes (udp mode has no local hub; scrape cogarmd's -admin instead)")
+		}
 		runUDP(strings.Split(*targets, ","), *sessions, *rate, *duration, *seed)
 	case "cluster":
-		runCluster(*sessions, *nodes, *shards, *tickHz, *duration, *seed)
+		runCluster(*sessions, *nodes, *shards, *tickHz, *duration, *seed, adminAddr, *scrape)
 	default:
 		log.Fatalf("loadgen: unknown mode %q", *mode)
 	}
 }
 
-func runInproc(sessions, shards int, tickHz float64, duration time.Duration, paced bool, seed uint64) {
+// startAdmin hosts the admin plane in-process (empty addr = disabled) and,
+// when scrape is set, starts the 1 Hz self-scraper against it. The returned
+// stop func tears both down (taking the scraper's final sample); the
+// returned scraper is nil when scraping is off.
+func startAdmin(adminAddr string, scrape bool, hub *serve.Hub, clusterStatus func() any) (*scraper, func()) {
+	if adminAddr == "" {
+		return nil, func() {}
+	}
+	srv, bound, err := obs.StartAdmin(adminAddr, obs.AdminOptions{
+		Health: hub.Health,
+		Status: func() any { return hub.Status("", clusterStatus) },
+	})
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	log.Printf("loadgen: admin plane on http://%s", bound)
+	var sc *scraper
+	if scrape {
+		sc = startScraper(fmt.Sprintf("http://%s/metrics", bound), time.Second)
+	}
+	return sc, func() {
+		if sc != nil {
+			sc.close()
+		}
+		srv.Close()
+	}
+}
+
+func runInproc(sessions, shards int, tickHz float64, duration time.Duration, paced bool, seed uint64, adminAddr string, scrape bool) {
 	log.Printf("loadgen: training shared decoder")
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
@@ -120,6 +158,7 @@ func runInproc(sessions, shards int, tickHz float64, duration time.Duration, pac
 		}
 	}
 	log.Printf("loadgen: %d sessions on %d shards, driving for %v (paced=%v)", sessions, shards, duration, paced)
+	sc, stopAdmin := startAdmin(adminAddr, scrape, hub, nil)
 
 	start := time.Now()
 	if paced {
@@ -135,6 +174,7 @@ func runInproc(sessions, shards int, tickHz float64, duration time.Duration, pac
 	// Snapshot before Stop so the report shows the live fleet, not the
 	// drained one.
 	snap := hub.Snapshot()
+	stopAdmin() // final scrape while the counters still cover the run
 	hub.Stop()
 
 	fmt.Printf("\n%s\n", snap)
@@ -148,6 +188,9 @@ func runInproc(sessions, shards int, tickHz float64, duration time.Duration, pac
 		fmt.Printf("per-inference wall %.2fµs (fleet-wide, incl. ingest+filtering)\n",
 			1e6*secs/float64(snap.Inferences))
 	}
+	if sc != nil {
+		sc.report()
+	}
 }
 
 // runCluster measures multi-node scale-out: -nodes cluster nodes in one
@@ -158,7 +201,7 @@ func runInproc(sessions, shards int, tickHz float64, duration time.Duration, pac
 // the only cross-node traffic is membership and (on join) migration, so
 // aggregate throughput scales with nodes until the machine runs out of
 // cores.
-func runCluster(sessions, nodes, shards int, tickHz float64, duration time.Duration, seed uint64) {
+func runCluster(sessions, nodes, shards int, tickHz float64, duration time.Duration, seed uint64, adminAddr string, scrape bool) {
 	if nodes < 1 {
 		log.Fatal("loadgen: -nodes must be >= 1")
 	}
@@ -239,6 +282,9 @@ func runCluster(sessions, nodes, shards int, tickHz float64, duration time.Durat
 		log.Printf("loadgen: %s", n.Snapshot())
 	}
 	log.Printf("loadgen: %d sessions across %d nodes, driving for %v", sessions, nodes, duration)
+	// The registry and event ring are process-global, so one admin plane
+	// covers all in-process nodes; health and cluster status report node 0.
+	sc, stopAdmin := startAdmin(adminAddr, scrape, hubs[0], ns[0].Status)
 
 	start := time.Now()
 	deadline := start.Add(duration)
@@ -254,6 +300,7 @@ func runCluster(sessions, nodes, shards int, tickHz float64, duration time.Durat
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	stopAdmin() // final scrape while the counters still cover the run
 
 	var totalInf, totalTicks, totalSamples uint64
 	for i, hub := range hubs {
@@ -269,6 +316,9 @@ func runCluster(sessions, nodes, shards int, tickHz float64, duration time.Durat
 		secs, float64(totalTicks)/secs, float64(totalInf)/secs, float64(totalSamples)/secs)
 	if totalInf > 0 {
 		fmt.Printf("per-inference wall %.2fµs (aggregate across %d nodes)\n", 1e6*secs/float64(totalInf), nodes)
+	}
+	if sc != nil {
+		sc.report()
 	}
 }
 

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Self-scrape support (-scrape): loadgen hosts the admin plane in-process
+// (-admin, ":0" picks a port) and polls its own /metrics at 1 Hz over real
+// HTTP for the run's duration — exercising the exact scrape path an external
+// Prometheus would — then prints the per-stage tick breakdown deltas in the
+// final report. The numbers answer where a tick's time actually goes (source
+// drain vs windowing vs batched inference vs decide) under the generated
+// load, not in a microbenchmark.
+
+// scraper polls one /metrics endpoint and retains the first and last parsed
+// snapshots; deltas between them cover exactly the driven interval.
+type scraper struct {
+	url  string
+	stop chan struct{}
+	done chan struct{}
+
+	mu    sync.Mutex
+	first map[string]float64
+	last  map[string]float64
+	polls int
+}
+
+// startScraper begins polling url at the given interval.
+func startScraper(url string, every time.Duration) *scraper {
+	s := &scraper{url: url, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		s.poll()
+		for {
+			select {
+			case <-s.stop:
+				s.poll() // final sample so deltas cover the whole run
+				return
+			case <-tick.C:
+				s.poll()
+			}
+		}
+	}()
+	return s
+}
+
+func (s *scraper) poll() {
+	samples, err := scrapeMetrics(s.url)
+	if err != nil {
+		log.Printf("loadgen: scrape %s: %v", s.url, err)
+		return
+	}
+	s.mu.Lock()
+	if s.first == nil {
+		s.first = samples
+	}
+	s.last = samples
+	s.polls++
+	s.mu.Unlock()
+}
+
+// close stops polling (taking one final sample) and waits for the poller.
+func (s *scraper) close() {
+	close(s.stop)
+	<-s.done
+}
+
+// delta returns last − first for one exposition sample key, e.g.
+// `cogarm_serve_ticks_total` or
+// `cogarm_serve_tick_stage_seconds_sum{stage="drain"}`.
+func (s *scraper) delta(key string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last[key] - s.first[key]
+}
+
+// report prints the scraped stage breakdown: per-tick mean wall time of each
+// stage and its share of the summed stage time.
+func (s *scraper) report() {
+	s.mu.Lock()
+	polls := s.polls
+	s.mu.Unlock()
+	ticks := s.delta("cogarm_serve_ticks_total")
+	if ticks <= 0 {
+		fmt.Printf("\nscrape: no ticks observed across %d polls of %s\n", polls, s.url)
+		return
+	}
+	stages := []string{"drain", "window", "infer", "decide"}
+	var total float64
+	sums := make([]float64, len(stages))
+	for i, st := range stages {
+		sums[i] = s.delta(fmt.Sprintf("cogarm_serve_tick_stage_seconds_sum{stage=%q}", st))
+		total += sums[i]
+	}
+	fmt.Printf("\nscraped stage breakdown (%d polls of %s, %d ticks):\n", polls, s.url, uint64(ticks))
+	for i, st := range stages {
+		share := 0.0
+		if total > 0 {
+			share = 100 * sums[i] / total
+		}
+		fmt.Printf("  %-6s %8.2fµs/tick  %5.1f%%\n", st, 1e6*sums[i]/ticks, share)
+	}
+	if inf := s.delta("cogarm_serve_inferences_total"); inf > 0 {
+		fmt.Printf("  whole tick %.2fµs mean, %.2fµs per inference (scraped)\n",
+			1e6*s.delta("cogarm_serve_tick_seconds_sum")/ticks,
+			1e6*s.delta("cogarm_serve_tick_seconds_sum")/inf)
+	}
+}
+
+// scrapeMetrics fetches and parses one Prometheus text exposition into
+// key → value, keyed by the full sample name including its label set.
+func scrapeMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}

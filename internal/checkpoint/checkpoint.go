@@ -48,6 +48,7 @@ import (
 
 	"cognitivearm/internal/control"
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/obs"
 
 	// Register the ensemble codec so checkpoints holding ensembles load.
 	_ "cognitivearm/internal/ensemble"
@@ -283,6 +284,18 @@ func Save(root string, state *FleetState) (string, error) {
 	if state == nil {
 		return "", fmt.Errorf("checkpoint: nil state")
 	}
+	start := time.Now()
+	dir, err := save(root, state)
+	if err != nil {
+		ckptTel().saveErrs.Inc()
+		return "", err
+	}
+	recordSave(&state.Manifest, dir, start)
+	return dir, nil
+}
+
+// save is Save minus telemetry.
+func save(root string, state *FleetState) (string, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return "", fmt.Errorf("checkpoint: %w", err)
 	}
@@ -384,6 +397,18 @@ func isDirNotEmpty(err error) bool {
 // the volatile overlay — the returned state is always fully self-contained.
 // Errors wrap ErrCorrupt or ErrVersion where applicable.
 func Load(dir string) (*FleetState, error) {
+	state, err := load(dir)
+	if err != nil {
+		ckptTel().loadErrs.Inc()
+		return nil, err
+	}
+	ckptTel().loads.Inc()
+	ckptTel().events.Record(obs.EvCheckpointLoad, -1, 0, int64(len(state.Sessions)), 0)
+	return state, nil
+}
+
+// load is Load minus telemetry.
+func load(dir string) (*FleetState, error) {
 	man, err := readManifest(filepath.Join(dir, manifestFile))
 	if err != nil {
 		return nil, err

@@ -1,0 +1,122 @@
+package checkpoint
+
+import (
+	"io/fs"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cognitivearm/internal/obs"
+)
+
+// Checkpoint telemetry: every Save and Load reports to the process-global
+// obs registry and event ring, labelled by kind (full vs incremental), so an
+// operator can see from /metrics whether the incremental chain is actually
+// saving bytes and from /events when each checkpoint landed and how big it
+// was. Checkpoints are rare, off the tick path, and already dominated by
+// disk I/O, so this is unconditional — there is no DisableTelemetry knob
+// here.
+
+type ckptObs struct {
+	savesFull *obs.Counter
+	savesInc  *obs.Counter
+	saveErrs  *obs.Counter
+	loads     *obs.Counter
+	loadErrs  *obs.Counter
+	bytesFull *obs.Counter
+	bytesInc  *obs.Counter
+	durFull   *obs.Histogram
+	durInc    *obs.Histogram
+	sizeFull  *obs.Histogram
+	sizeInc   *obs.Histogram
+	events    *obs.EventRing
+}
+
+var (
+	ckptTelOnce sync.Once
+	ckptTelVal  *ckptObs
+)
+
+func ckptTel() *ckptObs {
+	ckptTelOnce.Do(func() {
+		reg := obs.Default()
+		// Checkpoint directories run hundreds of bytes (incremental, quiet
+		// fleet) to hundreds of megabytes (full, dense fleet with NN models).
+		sizeBounds := obs.ExponentialBounds(256, 4, 14)
+		saves := func(kind string) *obs.Counter {
+			return reg.Counter("cogarm_checkpoint_saves_total",
+				"Checkpoints written, by kind (full = self-contained compaction, incremental = dirty sessions only).",
+				obs.L("kind", kind))
+		}
+		bytes := func(kind string) *obs.Counter {
+			return reg.Counter("cogarm_checkpoint_bytes_written_total",
+				"Bytes written to published checkpoint directories, by kind.",
+				obs.L("kind", kind))
+		}
+		dur := func(kind string) *obs.Histogram {
+			return reg.Histogram("cogarm_checkpoint_save_seconds",
+				"Wall time of checkpoint.Save (capture excluded), by kind.",
+				obs.DurationBounds(), obs.L("kind", kind))
+		}
+		size := func(kind string) *obs.Histogram {
+			return reg.Histogram("cogarm_checkpoint_size_bytes",
+				"On-disk size of each published checkpoint directory, by kind.",
+				sizeBounds, obs.L("kind", kind))
+		}
+		ckptTelVal = &ckptObs{
+			savesFull: saves("full"),
+			savesInc:  saves("incremental"),
+			saveErrs: reg.Counter("cogarm_checkpoint_save_errors_total",
+				"Checkpoint saves that failed before publishing."),
+			loads: reg.Counter("cogarm_checkpoint_loads_total",
+				"Checkpoint directories loaded successfully (including reference resolution)."),
+			loadErrs: reg.Counter("cogarm_checkpoint_load_errors_total",
+				"Checkpoint loads that failed (corruption, version mismatch, missing references)."),
+			bytesFull: bytes("full"),
+			bytesInc:  bytes("incremental"),
+			durFull:   dur("full"),
+			durInc:    dur("incremental"),
+			sizeFull:  size("full"),
+			sizeInc:   size("incremental"),
+			events:    obs.DefaultEvents(),
+		}
+	})
+	return ckptTelVal
+}
+
+// recordSave reports one published checkpoint: counters, size and duration
+// histograms, and a lifecycle event carrying bytes + duration.
+func recordSave(man *Manifest, dir string, start time.Time) {
+	t := ckptTel()
+	bytes := dirSize(dir)
+	durNs := time.Since(start).Nanoseconds()
+	if man.Base != 0 {
+		t.savesInc.Inc()
+		t.bytesInc.Add(uint64(bytes))
+		t.durInc.ObserveDuration(durNs)
+		t.sizeInc.Observe(float64(bytes))
+		t.events.Record(obs.EvCheckpointIncremental, -1, 0, bytes, durNs)
+		return
+	}
+	t.savesFull.Inc()
+	t.bytesFull.Add(uint64(bytes))
+	t.durFull.ObserveDuration(durNs)
+	t.sizeFull.Observe(float64(bytes))
+	t.events.Record(obs.EvCheckpointFull, -1, 0, bytes, durNs)
+}
+
+// dirSize sums the regular-file bytes under dir (best effort: a racing prune
+// or unreadable entry degrades to a partial sum, never an error).
+func dirSize(dir string) int64 {
+	var total int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}

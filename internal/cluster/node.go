@@ -11,6 +11,7 @@ import (
 
 	"cognitivearm/internal/checkpoint"
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/obs"
 	"cognitivearm/internal/serve"
 )
 
@@ -136,6 +137,7 @@ func NewNode(cfg Config, hub *serve.Hub) (*Node, error) {
 		peers:  map[string]string{},
 	}
 	n.ring.Add(id)
+	clusterTel().members.Set(float64(n.ring.Len()))
 	n.wg.Add(1)
 	go n.serve()
 	return n, nil
@@ -245,6 +247,9 @@ func (n *Node) Drain() error {
 		n.ring.Add(n.id)
 		return fmt.Errorf("cluster: drain: %w", err)
 	}
+	t := clusterTel()
+	t.members.Set(float64(n.ring.Len()))
+	t.events.Record(obs.EvDrain, -1, 0, int64(n.ring.Len()), 0)
 	n.mu.Lock()
 	peers := make(map[string]string, len(n.peers))
 	for id, addr := range n.peers {
@@ -295,6 +300,31 @@ func (n *Node) Snapshot() Snapshot {
 	}
 }
 
+// Status is the node's /statusz section: membership, each member's expected
+// share of the key space, and the migration counters.
+type Status struct {
+	ID      string   `json:"id"`
+	Addr    string   `json:"addr"`
+	Members []string `json:"members"`
+	// Shares maps member → owned fraction of the hash space (expected share
+	// of routing keys); values sum to 1.
+	Shares      map[string]float64 `json:"shares"`
+	MigratedIn  uint64             `json:"migrated_in"`
+	MigratedOut uint64             `json:"migrated_out"`
+}
+
+// Status reports the node's ring view for the admin plane.
+func (n *Node) Status() any {
+	return Status{
+		ID:          n.id,
+		Addr:        n.Addr(),
+		Members:     n.ring.Nodes(),
+		Shares:      n.ring.Shares(),
+		MigratedIn:  n.migratedIn.Load(),
+		MigratedOut: n.migratedOut.Load(),
+	}
+}
+
 // String renders the snapshot as a log line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf("node %s (%s): %d members %v, %d sessions, migrated %d in / %d out",
@@ -305,14 +335,27 @@ func (n *Node) addMember(id, addr string) {
 	n.mu.Lock()
 	n.peers[id] = addr
 	n.mu.Unlock()
+	already := n.ring.Has(id)
 	n.ring.Add(id)
+	if !already {
+		t := clusterTel()
+		t.joins.Inc()
+		t.members.Set(float64(n.ring.Len()))
+		t.events.Record(obs.EvJoin, -1, 0, int64(n.ring.Len()), 0)
+	}
 }
 
 func (n *Node) removeMember(id string) {
 	n.mu.Lock()
 	delete(n.peers, id)
 	n.mu.Unlock()
-	n.ring.Remove(id)
+	if n.ring.Has(id) {
+		n.ring.Remove(id)
+		t := clusterTel()
+		t.leaves.Inc()
+		t.members.Set(float64(n.ring.Len()))
+		t.events.Record(obs.EvLeave, -1, 0, int64(n.ring.Len()), 0)
+	}
 }
 
 // rebalance streams every local session whose ring owner is no longer this
@@ -381,10 +424,16 @@ func (n *Node) migrateTo(owner string, ids []serve.SessionID) error {
 		// restores everything, accepting a possible duplicate over a
 		// certainly lost session.
 		n.migratedOut.Add(uint64(handled))
+		t := clusterTel()
+		t.migrateFails.Inc()
+		t.migrationsOut.Add(uint64(handled))
 		n.restoreLocal(recs[handled:])
 		return fmt.Errorf("cluster: migrate %d sessions to %s (%s): %w", len(recs), owner, addr, err)
 	}
 	n.migratedOut.Add(uint64(len(recs)))
+	t := clusterTel()
+	t.migrationsOut.Add(uint64(len(recs)))
+	t.events.Record(obs.EvMigrateOut, -1, 0, int64(len(recs)), 0)
 	n.logf("cluster: %s migrated %d sessions to %s", n.id, len(recs), owner)
 	return nil
 }
@@ -590,6 +639,7 @@ func (n *Node) receiveMigration(conn net.Conn) (int, error) {
 		})
 		if err != nil {
 			n.migratedIn.Add(uint64(restored))
+			clusterTel().migrationsIn.Add(uint64(restored))
 			return handled, fmt.Errorf("session %d rebind: %w", rec.ID, err)
 		}
 		if src == nil {
@@ -599,12 +649,16 @@ func (n *Node) receiveMigration(conn net.Conn) (int, error) {
 		}
 		if _, err := n.hub.RestoreSession(rec, src); err != nil {
 			n.migratedIn.Add(uint64(restored))
+			clusterTel().migrationsIn.Add(uint64(restored))
 			return handled, err
 		}
 		restored++
 		handled++
 	}
 	n.migratedIn.Add(uint64(restored))
+	t := clusterTel()
+	t.migrationsIn.Add(uint64(restored))
+	t.events.Record(obs.EvMigrateIn, -1, 0, int64(restored), 0)
 	n.logf("cluster: %s accepted %d migrated sessions", n.id, restored)
 	return handled, nil
 }

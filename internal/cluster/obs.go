@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"sync"
+
+	"cognitivearm/internal/obs"
+)
+
+// Cluster telemetry: membership and migration traffic on the process-global
+// obs registry and event ring. Cluster operations are control-plane rare
+// (joins, drains, rebalances), so instrumentation is unconditional. Processes
+// hosting several nodes (tests, loadgen cluster mode) share the series — the
+// counters aggregate across nodes and the members gauge tracks the ring of
+// whichever node last changed membership, which coincide in the one-node-per-
+// process production shape.
+
+type clusterObs struct {
+	members       *obs.Gauge
+	migrationsIn  *obs.Counter
+	migrationsOut *obs.Counter
+	migrateFails  *obs.Counter
+	joins         *obs.Counter
+	leaves        *obs.Counter
+	events        *obs.EventRing
+}
+
+var (
+	clusterTelOnce sync.Once
+	clusterTelVal  *clusterObs
+)
+
+func clusterTel() *clusterObs {
+	clusterTelOnce.Do(func() {
+		reg := obs.Default()
+		clusterTelVal = &clusterObs{
+			members: reg.Gauge("cogarm_cluster_members",
+				"Ring members in this node's membership view."),
+			migrationsIn: reg.Counter("cogarm_cluster_migrated_sessions_total",
+				"Sessions moved by live migration, by direction.",
+				obs.L("direction", "in")),
+			migrationsOut: reg.Counter("cogarm_cluster_migrated_sessions_total",
+				"Sessions moved by live migration, by direction.",
+				obs.L("direction", "out")),
+			migrateFails: reg.Counter("cogarm_cluster_migration_failures_total",
+				"Migration exchanges that failed (sender side; unconsumed sessions were restored locally)."),
+			joins: reg.Counter("cogarm_cluster_member_joins_total",
+				"Members added to this node's ring (own join included)."),
+			leaves: reg.Counter("cogarm_cluster_member_leaves_total",
+				"Members removed from this node's ring (own drain included)."),
+			events: obs.DefaultEvents(),
+		}
+	})
+	return clusterTelVal
+}

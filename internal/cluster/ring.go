@@ -163,6 +163,28 @@ func (r *Ring) Owner(key string) (string, bool) {
 	return r.points[i].node, true
 }
 
+// Shares returns each member's owned fraction of the hash space — the
+// expected share of routing keys it serves. The arc ending at a virtual node
+// belongs to that node's member; shares sum to 1 on a non-empty ring. This
+// is the diagnostic surface for placement skew (/statusz renders it): with
+// DefaultVNodes the spread stays within a few percent of 1/N.
+func (r *Ring) Shares() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return map[string]float64{}
+	}
+	shares := make(map[string]float64, len(r.nodes))
+	const span = float64(1<<63) * 2 // 2^64 as float64
+	prev := r.points[len(r.points)-1].hash
+	for _, p := range r.points {
+		arc := p.hash - prev // wraps correctly in uint64 arithmetic
+		shares[p.node] += float64(arc) / span
+		prev = p.hash
+	}
+	return shares
+}
+
 // String renders the membership for logs.
 func (r *Ring) String() string {
 	return fmt.Sprintf("ring(%d members × %d vnodes)", r.Len(), r.vnodes)

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The admin plane: one http.ServeMux exposing the telemetry core to
+// operators and machines —
+//
+//	/metrics  Prometheus text exposition v0.0.4 of the registry
+//	/statusz  caller-supplied JSON status document (fleet, ring, checkpoints)
+//	/healthz  200/503 from the caller's health probe
+//	/events   the lifecycle event ring as JSON, oldest first
+//	/debug/pprof/*  net/http/pprof live profiling
+//
+// cogarmd binds it behind -admin; loadgen can host it in-process and scrape
+// itself. The mux is also the future failure detector's probe surface:
+// peers poll /healthz.
+
+// AdminOptions configures an admin mux. Zero-value fields fall back to the
+// process-global registry/ring and to trivially healthy/empty documents.
+type AdminOptions struct {
+	// Registry is scraped at /metrics (Default() when nil).
+	Registry *Registry
+	// Events is rendered at /events (DefaultEvents() when nil).
+	Events *EventRing
+	// Health is probed at /healthz: nil error = 200 "ok", non-nil = 503 with
+	// the error text. A nil func is always healthy.
+	Health func() error
+	// Status builds the /statusz document; the result is JSON-marshalled.
+	// A nil func serves an empty object.
+	Status func() any
+}
+
+// AdminMux builds the admin-plane handler. Process-wide runtime metrics
+// (goroutines, heap, GC, uptime) are registered on the target registry as
+// scrape-time gauges.
+func AdminMux(opts AdminOptions) *http.ServeMux {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default()
+	}
+	events := opts.Events
+	if events == nil {
+		events = DefaultEvents()
+	}
+	RegisterProcessMetrics(reg)
+	registerEventMetrics(reg, events)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Health != nil {
+			if err := opts.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		var doc any = struct{}{}
+		if opts.Status != nil {
+			doc = opts.Status()
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(renderEvents(events))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartAdmin binds addr, serves the admin mux on it in a background
+// goroutine, and returns the server (for Shutdown/Close) and the bound
+// address — pass ":0"-style addresses to let the kernel pick a port.
+func StartAdmin(addr string, opts AdminOptions) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: AdminMux(opts)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}
+
+// EventJSON is the wire shape of one /events entry.
+type EventJSON struct {
+	Seq     uint64           `json:"seq"`
+	Time    string           `json:"time"`
+	Type    string           `json:"type"`
+	Shard   *int32           `json:"shard,omitempty"`
+	Session uint64           `json:"session,omitempty"`
+	Args    map[string]int64 `json:"args,omitempty"`
+}
+
+// EventsJSON is the /events response document.
+type EventsJSON struct {
+	// Recorded counts events ever recorded; Overwritten counts events lost
+	// to ring wrap (bounded loss). Events holds the retained window, oldest
+	// first.
+	Recorded    uint64      `json:"recorded"`
+	Overwritten uint64      `json:"overwritten"`
+	Events      []EventJSON `json:"events"`
+}
+
+// renderEvents snapshots the ring into the JSON document.
+func renderEvents(ring *EventRing) EventsJSON {
+	evs := ring.Snapshot(nil)
+	doc := EventsJSON{
+		Recorded:    ring.Recorded(),
+		Overwritten: ring.Overwritten(),
+		Events:      make([]EventJSON, 0, len(evs)),
+	}
+	for _, e := range evs {
+		ej := EventJSON{
+			Seq:     e.Seq,
+			Time:    time.Unix(0, e.Time).UTC().Format(time.RFC3339Nano),
+			Type:    e.Type.String(),
+			Session: e.Session,
+		}
+		if e.Shard >= 0 {
+			sh := e.Shard
+			ej.Shard = &sh
+		}
+		aName, bName := e.Type.ArgNames()
+		if aName != "" || bName != "" {
+			ej.Args = map[string]int64{}
+			if aName != "" {
+				ej.Args[aName] = e.A
+			}
+			if bName != "" {
+				ej.Args[bName] = e.B
+			}
+		}
+		doc.Events = append(doc.Events, ej)
+	}
+	return doc
+}
+
+// registerEventMetrics exposes the ring's bounded-loss accounting on the
+// scrape surface.
+func registerEventMetrics(reg *Registry, ring *EventRing) {
+	reg.GaugeFunc("cogarm_events_recorded_total",
+		"Lifecycle events recorded since process start.",
+		func() float64 { return float64(ring.Recorded()) })
+	reg.GaugeFunc("cogarm_events_overwritten_total",
+		"Lifecycle events lost to event-ring wrap (bounded loss).",
+		func() float64 { return float64(ring.Overwritten()) })
+}
+
+var processStart = time.Now()
+
+// memStatsCache rate-limits runtime.ReadMemStats: a scrape hitting several
+// heap gauges pays one read, and a 1 Hz scraper cannot perturb the serving
+// path with stop-the-world stats reads.
+type memStatsCache struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > 500*time.Millisecond {
+		runtime.ReadMemStats(&c.ms)
+		c.at = time.Now()
+	}
+	return &c.ms
+}
+
+// RegisterProcessMetrics registers process-wide runtime gauges (uptime,
+// goroutines, heap, GC) on reg. It is idempotent per registry.
+func RegisterProcessMetrics(reg *Registry) {
+	cache := &memStatsCache{}
+	reg.GaugeFunc("cogarm_process_uptime_seconds",
+		"Seconds since process start.",
+		func() float64 { return time.Since(processStart).Seconds() })
+	reg.GaugeFunc("cogarm_go_goroutines",
+		"Live goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("cogarm_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(cache.get().HeapAlloc) })
+	reg.GaugeFunc("cogarm_go_heap_sys_bytes",
+		"Heap memory obtained from the OS (runtime.MemStats.HeapSys).",
+		func() float64 { return float64(cache.get().HeapSys) })
+	reg.GaugeFunc("cogarm_go_gc_cycles_total",
+		"Completed GC cycles (runtime.MemStats.NumGC).",
+		func() float64 { return float64(cache.get().NumGC) })
+	reg.GaugeFunc("cogarm_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause (runtime.MemStats.PauseTotalNs).",
+		func() float64 { return float64(cache.get().PauseTotalNs) / 1e9 })
+}

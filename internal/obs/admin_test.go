@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func adminGet(t *testing.T, mux *http.ServeMux, path string) (*http.Response, string) {
+	t.Helper()
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("admin_test_total", "").Add(3)
+	mux := AdminMux(AdminOptions{Registry: reg, Events: NewEventRing(16, 2)})
+	resp, body := adminGet(t, mux, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type %q, want %q", ct, ContentType)
+	}
+	for _, want := range []string{
+		"admin_test_total 3\n",
+		"cogarm_go_goroutines",         // process metrics registered by AdminMux
+		"cogarm_events_recorded_total", // ring accounting registered by AdminMux
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in /metrics:\n%s", want, body)
+		}
+	}
+}
+
+func TestAdminHealthz(t *testing.T) {
+	var failing atomic.Bool
+	mux := AdminMux(AdminOptions{
+		Registry: NewRegistry(),
+		Events:   NewEventRing(16, 2),
+		Health: func() error {
+			if failing.Load() {
+				return errors.New("shard 1 overloaded")
+			}
+			return nil
+		},
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy probe status %d, want 200", resp.StatusCode)
+	}
+
+	failing.Store(true)
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy probe status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "shard 1 overloaded") {
+		t.Fatalf("503 body %q should carry the probe error", body)
+	}
+}
+
+func TestAdminStatuszRoundTrip(t *testing.T) {
+	type doc struct {
+		Name     string  `json:"name"`
+		Sessions int     `json:"sessions"`
+		P99Ms    float64 `json:"p99_ms"`
+	}
+	want := doc{Name: "node-a", Sessions: 42, P99Ms: 1.75}
+	mux := AdminMux(AdminOptions{
+		Registry: NewRegistry(),
+		Events:   NewEventRing(16, 2),
+		Status:   func() any { return want },
+	})
+	resp, body := adminGet(t, mux, "/statusz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var got doc
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("statusz is not valid JSON: %v\n%s", err, body)
+	}
+	if got != want {
+		t.Fatalf("round trip %+v, want %+v", got, want)
+	}
+}
+
+func TestAdminEventsEndpoint(t *testing.T) {
+	ring := NewEventRing(16, 2)
+	ring.Record(EvAdmit, 3, 11, 0, 0)
+	ring.Record(EvCheckpointFull, -1, 0, 2048, 5_000_000)
+	mux := AdminMux(AdminOptions{Registry: NewRegistry(), Events: ring})
+	resp, body := adminGet(t, mux, "/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var doc EventsJSON
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("events JSON: %v\n%s", err, body)
+	}
+	if doc.Recorded != 2 || doc.Overwritten != 0 || len(doc.Events) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	admit := doc.Events[0]
+	if admit.Type != "admit" || admit.Shard == nil || *admit.Shard != 3 || admit.Session != 11 {
+		t.Fatalf("admit event = %+v", admit)
+	}
+	ckpt := doc.Events[1]
+	if ckpt.Type != "checkpoint_full" || ckpt.Shard != nil {
+		t.Fatalf("checkpoint event = %+v", ckpt)
+	}
+	if ckpt.Args["bytes"] != 2048 || ckpt.Args["dur_ns"] != 5_000_000 {
+		t.Fatalf("checkpoint args = %v", ckpt.Args)
+	}
+}
+
+func TestAdminPprofIndex(t *testing.T) {
+	mux := AdminMux(AdminOptions{Registry: NewRegistry(), Events: NewEventRing(16, 2)})
+	resp, body := adminGet(t, mux, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatal("pprof index should list profiles")
+	}
+}
+
+func TestStartAdminBindsAndServes(t *testing.T) {
+	srv, addr, err := StartAdmin("127.0.0.1:0", AdminOptions{
+		Registry: NewRegistry(),
+		Events:   NewEventRing(16, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition format v0.0.4, hand-rolled on the standard
+// library. The format is small and fully specified: per family a # HELP and
+// # TYPE line, then one sample line per series; histograms expand into
+// cumulative le-bucket samples plus _sum and _count. Label values and help
+// text are escaped; families render in name order and series in canonical
+// label order, so output is deterministic — which is what the golden-file
+// test pins.
+
+// ContentType is the HTTP Content-Type of WriteText output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered metric in Prometheus text exposition
+// format v0.0.4.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.sortedFamilies() {
+		if fam.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(fam.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range fam.series {
+			switch fam.kind {
+			case kindCounter:
+				writeSample(bw, fam.name, "", s.labels, "", "", formatUint(s.ctr.Value()))
+			case kindGauge:
+				writeSample(bw, fam.name, "", s.labels, "", "", formatFloat(s.gauge.Value()))
+			case kindGaugeFunc:
+				writeSample(bw, fam.name, "", s.labels, "", "", formatFloat(s.fn()))
+			case kindHistogram:
+				writeHistogram(bw, fam.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative le buckets ending
+// at +Inf, then _sum and _count.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.hist
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		writeSample(bw, name, "_bucket", s.labels, "le", formatFloat(bound), formatUint(cum))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	writeSample(bw, name, "_bucket", s.labels, "le", "+Inf", formatUint(cum))
+	writeSample(bw, name, "_sum", s.labels, "", "", formatFloat(h.Sum()))
+	writeSample(bw, name, "_count", s.labels, "", "", formatUint(h.Count()))
+}
+
+// writeSample renders one line: name[suffix]{labels...[,extraName="extraVal"]} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, extraName, extraVal, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraVal))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel escapes backslash, double quote and newline in label values.
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

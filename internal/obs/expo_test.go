@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteTextGolden pins the exposition output byte-for-byte: family
+// ordering by name, series ordering by canonical label key, HELP and label
+// escaping, cumulative le buckets ending at +Inf, and the _sum/_count pair.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	// Registration order is deliberately scrambled: output must sort by name.
+	reg.Gauge("test_sessions", "Live sessions.").Set(12)
+	reg.Counter("test_requests_total", `Requests with a \ backslash and
+newline in help.`, L("code", "200")).Add(7)
+	reg.Counter("test_requests_total", `Requests with a \ backslash and
+newline in help.`, L("code", "500")).Inc()
+	// Series order is by canonical label key, not registration order; label
+	// values take escaping.
+	reg.Gauge("test_temperature", "", L("site", `lab "A"`), L("unit", "c")).Set(-3.25)
+	reg.Gauge("test_temperature", "", L("site", `lab\B`), L("unit", "c")).Set(0.5)
+	reg.GaugeFunc("test_uptime_seconds", "Seconds up.", func() float64 { return 42.5 })
+
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, L("op", "tick"))
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 3} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "expo.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to write it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteTextHistogramCumulative checks the le-bucket math independently of
+// the golden bytes: buckets must be cumulative and +Inf must equal _count.
+func TestWriteTextHistogramCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("cum_seconds", "", []float64{1, 2})
+	for _, v := range []float64{0.5, 1.5, 1.7, 99} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`cum_seconds_bucket{le="1"} 1`,
+		`cum_seconds_bucket{le="2"} 3`,
+		`cum_seconds_bucket{le="+Inf"} 4`,
+		`cum_seconds_count 4`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("test_total", "help", L("k", "v"))
+	b := reg.Counter("test_total", "help", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := reg.Counter("test_total", "help", L("k", "other"))
+	if c == a {
+		t.Fatal("different label value must be a distinct series")
+	}
+	a.Add(3)
+	b.Inc()
+	if got := a.Value(); got != 4 {
+		t.Fatalf("shared series value = %d, want 4", got)
+	}
+	if c.Value() != 0 {
+		t.Fatal("distinct series must not share state")
+	}
+}
+
+func TestRegistryLabelOrderCanonical(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("canon_total", "", L("b", "2"), L("a", "1"))
+	b := reg.Counter("canon_total", "", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order must not distinguish series")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("conflict_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter family must panic")
+		}
+	}()
+	reg.Gauge("conflict_total", "")
+}
+
+func TestRegistryValidation(t *testing.T) {
+	reg := NewRegistry()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("bad metric name", func() { reg.Counter("9bad", "") })
+	mustPanic("bad label name", func() { reg.Counter("ok_total", "", L("9bad", "v")) })
+	mustPanic("duplicate label", func() { reg.Counter("ok_total", "", L("a", "1"), L("a", "2")) })
+	// Colons are legal in metric names, and label values are unrestricted.
+	reg.Counter("ns:ok_total", "", L("a", `any "value"\n at all`))
+}
+
+func TestGaugeArithmetic(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g", "")
+	g.Set(2.5)
+	g.Add(1.25)
+	g.Dec()
+	if got := g.Value(); got != 2.75 {
+		t.Fatalf("gauge = %v, want 2.75", got)
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return one registry")
+	}
+	if DefaultEvents() != DefaultEvents() {
+		t.Fatal("DefaultEvents must return one ring")
+	}
+}

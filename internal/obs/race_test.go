@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentScrapeUnderLoad hammers every metric kind from many writers
+// while a reader scrapes the registry and snapshots the event ring. Run with
+// -race this doubles as the data-race workout for the lock-free paths.
+func TestConcurrentScrapeUnderLoad(t *testing.T) {
+	reg := NewRegistry()
+	ring := NewEventRing(256, 8)
+	c := reg.Counter("race_total", "", L("w", "shared"))
+	g := reg.Gauge("race_gauge", "")
+	h := reg.Histogram("race_seconds", "", DurationBounds())
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.ObserveDuration(int64(i + 1))
+				ring.Record(EvAdmit, w, uint64(i), 0, 0)
+				if i%100 == 0 {
+					// Concurrent registration of the same series must stay
+					// idempotent under contention.
+					reg.Counter("race_total", "", L("w", "shared")).Inc()
+				}
+			}
+		}(w)
+	}
+
+	// Scrapers run concurrently with the writers.
+	var scrapeWG sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := reg.WriteText(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				ring.Snapshot(nil)
+			}
+		}()
+	}
+
+	close(start)
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	extra := writers * perWriter / 100 // the idempotent re-registrations
+	if got := c.Value(); got != uint64(writers*perWriter+extra) {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter+extra)
+	}
+	if got := h.Count(); got != uint64(writers*perWriter) {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := ring.Recorded(); got != uint64(writers*perWriter) {
+		t.Fatalf("ring recorded = %d, want %d", got, writers*perWriter)
+	}
+	if got, want := g.Value(), float64(writers*perWriter); got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"cognitivearm/internal/metrics"
 )
@@ -17,6 +18,9 @@ type shardMetrics struct {
 	batches    uint64
 	evictions  uint64
 	samplesIn  uint64
+	// lastTickNano is the wall time (UnixNano) of the most recent completed
+	// tick; the health probe uses it to detect a shard that stopped ticking.
+	lastTickNano int64
 
 	lat     []float64 // ring of recent tick latencies (seconds)
 	latIdx  int
@@ -44,6 +48,7 @@ func (m *shardMetrics) tick(latencySec float64, samplesIn uint64) {
 	m.mu.Lock()
 	m.ticks++
 	m.samplesIn += samplesIn
+	m.lastTickNano = time.Now().UnixNano()
 	m.lat[m.latIdx] = latencySec
 	m.latIdx++
 	if m.latIdx == len(m.lat) {
@@ -90,6 +95,14 @@ func (m *shardMetrics) sortedLatenciesLocked() []float64 {
 	copy(m.scratch, m.lat[:n])
 	sort.Float64s(m.scratch)
 	return m.scratch
+}
+
+// lastTickAt reports the UnixNano wall time of the most recent completed
+// tick, 0 if the shard has never ticked.
+func (m *shardMetrics) lastTickAt() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastTickNano
 }
 
 func (m *shardMetrics) batch(size int) {

@@ -409,6 +409,9 @@ func (s *shard) extractSession(id SessionID) (*checkpoint.SessionRecord, bool) {
 	if s.onEvict != nil {
 		s.onEvict(id)
 	}
+	if s.tel != nil {
+		s.tel.sessions.Dec()
+	}
 	s.mu.Unlock()
 	return &rec, true
 }

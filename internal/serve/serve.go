@@ -72,6 +72,7 @@ import (
 	"cognitivearm/internal/control"
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/metrics"
+	"cognitivearm/internal/obs"
 )
 
 // Config sizes a Hub. The zero value is unusable; start from DefaultConfig.
@@ -96,6 +97,12 @@ type Config struct {
 	// state: it is not persisted in checkpoints, and a hub built by
 	// RestoreHub uses the default policy.
 	Placement Placement
+	// DisableTelemetry turns off the hub's process-global instrumentation
+	// (internal/obs counters, tick-stage histograms, lifecycle events) —
+	// including the stage clock reads — so benchmarks can measure the
+	// uninstrumented baseline. Serving behaviour is identical either way;
+	// leave it false in production, the telemetry path is allocation-free.
+	DisableTelemetry bool
 }
 
 // DefaultConfig returns a laptop-scale hub: 4 shards × 256 sessions at the
@@ -121,6 +128,9 @@ type Hub struct {
 	cfg   Config
 	reg   *Registry
 	place Placement
+	// tel is the hub's process-global telemetry handle set (nil when
+	// Config.DisableTelemetry); shards share it for the tick-path series.
+	tel *serveObs
 
 	// refusedFull / refusedOverload count admissions refused at the static
 	// cap and at the latency budget respectively, surfaced in FleetSnapshot.
@@ -161,8 +171,12 @@ func NewHub(cfg Config, reg *Registry) (*Hub, error) {
 		place = LeastLoaded{}
 	}
 	h := &Hub{cfg: cfg, reg: reg, place: place, index: map[SessionID]*shard{}}
+	if !cfg.DisableTelemetry {
+		h.tel = newServeObs()
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := newShard(i, cfg)
+		s.tel = h.tel
 		// Shard-initiated evictions (idle timeout) must also leave the
 		// admission index, or churning clients leak an entry each.
 		s.onEvict = h.dropIndex
@@ -235,8 +249,16 @@ func (h *Hub) admitSession(sess *session) (SessionID, error) {
 		switch {
 		case errors.Is(err, ErrFleetFull):
 			h.refusedFull.Add(1)
+			if h.tel != nil {
+				h.tel.refusedFull.Inc()
+				h.tel.events.Record(obs.EvRefuseFull, -1, 0, 0, 0)
+			}
 		case errors.Is(err, ErrFleetOverloaded):
 			h.refusedOverload.Add(1)
+			if h.tel != nil {
+				h.tel.refusedOverload.Inc()
+				h.tel.events.Record(obs.EvRefuseOverload, -1, 0, 0, 0)
+			}
 		}
 		return 0, err
 	}
@@ -250,6 +272,11 @@ func (h *Hub) admitSession(sess *session) (SessionID, error) {
 	h.idxMu.Lock()
 	h.index[sess.id] = target
 	h.idxMu.Unlock()
+	if h.tel != nil {
+		h.tel.admissions.Inc()
+		h.tel.sessions.Inc()
+		h.tel.events.Record(obs.EvAdmit, idx, uint64(sess.id), 0, 0)
+	}
 	return sess.id, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/obs"
 	"cognitivearm/internal/stream"
 	"cognitivearm/internal/tensor"
 )
@@ -21,6 +22,11 @@ type shard struct {
 	// or close), so the admission index stays in sync. It must only take
 	// leaf locks: it is invoked while the shard lock is held.
 	onEvict func(SessionID)
+	// tel is the hub's shared telemetry handle set (nil = telemetry
+	// disabled). Everything it reaches is lock-free and allocation-free, so
+	// it is safe to touch under the shard lock and on the zero-alloc tick
+	// path.
+	tel *serveObs
 
 	mu       sync.Mutex
 	sessions map[SessionID]*session
@@ -165,6 +171,11 @@ func (s *shard) processEvictionsLocked() {
 			s.onEvict(id)
 		}
 		s.met.evict()
+		if s.tel != nil {
+			s.tel.evictions.Inc()
+			s.tel.sessions.Dec()
+			s.tel.events.Record(obs.EvEvict, s.id, uint64(id), 0, 0)
+		}
 	}
 	s.evictq = s.evictq[:0]
 }
@@ -187,6 +198,9 @@ func (s *shard) closeAll() {
 		delete(s.sessions, id)
 		if s.onEvict != nil {
 			s.onEvict(id)
+		}
+		if s.tel != nil {
+			s.tel.sessions.Dec()
 		}
 	}
 	s.evictq = s.evictq[:0]
@@ -244,7 +258,19 @@ func (s *shard) run() {
 // (safe because every ready window is classified before any session sees
 // further pushes), and the batched classifiers draw all scratch from the
 // shard workspace — at steady state a tick performs no heap allocations.
+//
+// With telemetry enabled (tel != nil) the tick additionally records a
+// per-stage wall-time breakdown — drain (source reads), window (filter +
+// normalise + push), infer (batched classification), decide (debounce +
+// counters) — into process-global lock-free histograms. The stage clocks
+// are monotonic time.Now reads accumulated into locals and observed once
+// per tick, so the instrumented tick stays zero-allocation; the whole
+// telemetry block is skipped when disabled so benchmarks can measure the
+// bare loop.
 func (s *shard) tick() {
+	tel := s.tel
+	var drainNs, windowNs, inferNs, decideNs int64
+	var stamp time.Time
 	start := time.Now()
 	s.mu.Lock()
 	s.processEvictionsLocked()
@@ -255,12 +281,20 @@ func (s *shard) tick() {
 	var samplesIn uint64
 	for id, sess := range s.sessions {
 		n := sess.due(s.cfg.TickHz)
+		if tel != nil {
+			stamp = time.Now()
+		}
 		var samples []stream.Sample
 		if ri, ok := sess.cfg.Source.(ReaderInto); ok {
 			ar.popBuf = ri.ReadInto(ar.popBuf[:0], n)
 			samples = ar.popBuf
 		} else {
 			samples = sess.cfg.Source.Read(n)
+		}
+		if tel != nil {
+			now := time.Now()
+			drainNs += now.Sub(stamp).Nanoseconds()
+			stamp = now
 		}
 		if len(samples) == 0 {
 			sess.idleTicks++
@@ -283,6 +317,9 @@ func (s *shard) tick() {
 			ar.readySess = append(ar.readySess, sess)
 			ar.readyWin = append(ar.readyWin, sess.win.Window())
 		}
+		if tel != nil {
+			windowNs += time.Since(stamp).Nanoseconds()
+		}
 	}
 
 	// Batch phase: one PredictBatch per distinct model. Fleets normally
@@ -300,17 +337,40 @@ func (s *shard) tick() {
 		}
 		for gi := range ar.groups {
 			g := &ar.groups[gi]
+			if tel != nil {
+				stamp = time.Now()
+			}
 			ar.labels = models.PredictBatchWS(g.clf, ar.ws, g.wins, ar.labels[:0])
+			if tel != nil {
+				now := time.Now()
+				inferNs += now.Sub(stamp).Nanoseconds()
+				stamp = now
+			}
 			for j, i := range g.idx {
 				ar.readySess[i].observe(eeg.Action(ar.labels[j]))
 			}
 			s.met.batch(len(g.wins))
+			if tel != nil {
+				decideNs += time.Since(stamp).Nanoseconds()
+				tel.batches.Inc()
+				tel.inferences.Add(uint64(len(g.wins)))
+				tel.batchSize.Observe(float64(len(g.wins)))
+			}
 		}
 	}
 	s.processEvictionsLocked()
 	s.mu.Unlock()
 
 	s.met.tick(time.Since(start).Seconds(), samplesIn)
+	if tel != nil {
+		tel.ticks.Inc()
+		tel.samples.Add(samplesIn)
+		tel.tick.ObserveDuration(time.Since(start).Nanoseconds())
+		tel.stageDrain.ObserveDuration(drainNs)
+		tel.stageWindow.ObserveDuration(windowNs)
+		tel.stageInfer.ObserveDuration(inferNs)
+		tel.stageDecide.ObserveDuration(decideNs)
+	}
 }
 
 // snapshot reports the shard's counters and appends its sorted recent tick

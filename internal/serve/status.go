@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"time"
+
+	"cognitivearm/internal/checkpoint"
+)
+
+// StatusDoc is the /statusz document: one JSON object answering "what is
+// this daemon doing right now" — fleet and per-shard serving state, health,
+// checkpoint chain position, process runtime stats, and (in cluster mode)
+// the ring view. Machines get /metrics; humans hitting /statusz get this.
+type StatusDoc struct {
+	Now        string  `json:"now"`
+	UptimeSec  float64 `json:"uptime_sec"`
+	Goroutines int     `json:"goroutines"`
+	HeapBytes  uint64  `json:"heap_bytes"`
+
+	Healthy bool   `json:"healthy"`
+	Health  string `json:"health,omitempty"` // the failing probe's error text
+
+	Fleet FleetSnapshot `json:"fleet"`
+
+	// Checkpoint reports the newest on-disk checkpoint chain state; nil when
+	// the daemon runs without persistence.
+	Checkpoint *CheckpointStatus `json:"checkpoint,omitempty"`
+
+	// Cluster is the node's ring view; nil on a single-node daemon.
+	Cluster any `json:"cluster,omitempty"`
+}
+
+// CheckpointStatus summarises the newest checkpoint chain under a root.
+type CheckpointStatus struct {
+	Root string `json:"root"`
+	// Seq is the newest checkpoint's sequence number; Base is the full
+	// checkpoint it chains from (0 = it is itself full); Increments is the
+	// chain length since that base.
+	Seq        uint64 `json:"seq"`
+	Base       uint64 `json:"base"`
+	Increments int    `json:"increments"`
+	// Sessions is the fleet size the newest manifest records.
+	Sessions int    `json:"sessions"`
+	Error    string `json:"error,omitempty"` // manifest read failure, if any
+}
+
+var statusStart = time.Now()
+
+// Status assembles the hub's /statusz document. ckptRoot names the
+// checkpoint directory ("" = no persistence section); cluster, when non-nil,
+// supplies the cluster section (e.g. cluster.Node.Status).
+func (h *Hub) Status(ckptRoot string, cluster func() any) StatusDoc {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	doc := StatusDoc{
+		Now:        time.Now().UTC().Format(time.RFC3339Nano),
+		UptimeSec:  time.Since(statusStart).Seconds(),
+		Goroutines: runtime.NumGoroutine(),
+		HeapBytes:  ms.HeapAlloc,
+		Healthy:    true,
+		Fleet:      h.Snapshot(),
+	}
+	if err := h.Health(); err != nil {
+		doc.Healthy = false
+		doc.Health = err.Error()
+	}
+	if ckptRoot != "" {
+		doc.Checkpoint = checkpointStatus(ckptRoot)
+	}
+	if cluster != nil {
+		doc.Cluster = cluster()
+	}
+	return doc
+}
+
+// checkpointStatus reads the newest manifest under root into a status
+// summary. Failures are reported in the document, never returned: /statusz
+// must render while the disk misbehaves.
+func checkpointStatus(root string) *CheckpointStatus {
+	cs := &CheckpointStatus{Root: root}
+	man, err := checkpoint.LatestManifest(root)
+	if err != nil {
+		if !errors.Is(err, checkpoint.ErrNoCheckpoint) {
+			cs.Error = err.Error()
+		}
+		return cs
+	}
+	cs.Seq = man.Seq
+	cs.Base = man.Base
+	cs.Increments = man.Increments
+	cs.Sessions = len(man.Refs)
+	if cs.Sessions == 0 {
+		cs.Sessions = man.Sessions
+	}
+	return cs
+}

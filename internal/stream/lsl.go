@@ -8,8 +8,10 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cognitivearm/internal/obs"
 	"cognitivearm/internal/tensor"
 )
 
@@ -197,14 +199,17 @@ type LSLInlet struct {
 	clock *VirtualClock
 	Ring  *Ring
 
-	mu            sync.Mutex
-	offsets       []float64          // recent clock-offset estimates (outlet − inlet)
-	arrivals      map[uint64]float64 // seq → inlet-clock arrival time
-	bytesRecv     uint64
-	droppedFrames uint64       // malformed frames discarded (see DroppedFrames)
-	syncPending   chan float64 // t0 of in-flight probe (capacity 1)
-	closed        chan struct{}
-	closeOnce     sync.Once
+	mu          sync.Mutex
+	offsets     []float64          // recent clock-offset estimates (outlet − inlet)
+	arrivals    map[uint64]float64 // seq → inlet-clock arrival time
+	syncPending chan float64       // t0 of in-flight probe (capacity 1)
+	closed      chan struct{}
+	closeOnce   sync.Once
+
+	// Lock-free receive accounting: bumped by the reader goroutine on every
+	// frame, read concurrently by scrapers and tests (see UDPInlet).
+	bytesRecv     atomic.Uint64
+	droppedFrames atomic.Uint64 // malformed frames discarded (see DroppedFrames)
 }
 
 // NewLSLInlet dials the outlet and starts the reader and synchronisation
@@ -235,9 +240,8 @@ func (in *LSLInlet) reader() {
 			return
 		}
 		buf = frame
-		in.mu.Lock()
-		in.bytesRecv += uint64(len(frame))
-		in.mu.Unlock()
+		in.bytesRecv.Add(uint64(len(frame)))
+		streamTel().lslBytes.Add(uint64(len(frame)))
 		if len(frame) == 0 {
 			in.drop()
 			continue
@@ -312,17 +316,16 @@ func (in *LSLInlet) probe() {
 
 // drop counts one malformed frame.
 func (in *LSLInlet) drop() {
-	in.mu.Lock()
-	in.droppedFrames++
-	in.mu.Unlock()
+	in.droppedFrames.Add(1)
+	t := streamTel()
+	t.lslDrops.Inc()
+	t.events.Record(obs.EvInletDrop, -1, 0, 1, 0)
 }
 
 // DroppedFrames reports how many malformed frames this inlet has discarded
 // since creation.
 func (in *LSLInlet) DroppedFrames() uint64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.droppedFrames
+	return in.droppedFrames.Load()
 }
 
 // ClockOffset returns the current median offset estimate (outlet clock −
@@ -358,9 +361,7 @@ func (in *LSLInlet) ArrivalTime(seq uint64) (float64, bool) {
 
 // BytesReceived reports total payload bytes received.
 func (in *LSLInlet) BytesReceived() uint64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.bytesRecv
+	return in.bytesRecv.Load()
 }
 
 // Close tears the inlet down.

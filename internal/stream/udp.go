@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cognitivearm/internal/obs"
 	"cognitivearm/internal/tensor"
 )
 
@@ -108,10 +110,14 @@ type UDPInlet struct {
 	clock *VirtualClock
 	Ring  *Ring
 
-	mu            sync.Mutex
-	arrivals      map[uint64]float64
-	bytesRecv     uint64
-	droppedFrames uint64
+	mu       sync.Mutex
+	arrivals map[uint64]float64
+
+	// Lock-free receive accounting: the reader goroutine bumps these on every
+	// datagram while scrapers and tests read them concurrently, so they are
+	// atomics rather than riding the arrivals mutex.
+	bytesRecv     atomic.Uint64
+	droppedFrames atomic.Uint64
 }
 
 // NewUDPInlet binds a loopback UDP socket and starts receiving.
@@ -141,16 +147,18 @@ func (in *UDPInlet) reader() {
 		}
 		s, ok := parseDatagram(buf[:n])
 		if !ok {
-			in.mu.Lock()
-			in.droppedFrames++
-			in.mu.Unlock()
+			in.droppedFrames.Add(1)
+			t := streamTel()
+			t.udpDrops.Inc()
+			t.events.Record(obs.EvInletDrop, -1, 0, 1, 0)
 			continue
 		}
 		now := in.clock.Now()
 		in.mu.Lock()
 		in.arrivals[s.Seq] = now
-		in.bytesRecv += uint64(n)
 		in.mu.Unlock()
+		in.bytesRecv.Add(uint64(n))
+		streamTel().udpBytes.Add(uint64(n))
 		in.Ring.Push(s)
 	}
 }
@@ -176,9 +184,7 @@ func parseDatagram(buf []byte) (Sample, bool) {
 // DroppedFrames reports how many malformed or oversized datagrams this inlet
 // has discarded since creation.
 func (in *UDPInlet) DroppedFrames() uint64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.droppedFrames
+	return in.droppedFrames.Load()
 }
 
 // ArrivalTime returns the inlet-clock arrival time recorded for seq.
@@ -191,9 +197,7 @@ func (in *UDPInlet) ArrivalTime(seq uint64) (float64, bool) {
 
 // BytesReceived reports total payload bytes received.
 func (in *UDPInlet) BytesReceived() uint64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.bytesRecv
+	return in.bytesRecv.Load()
 }
 
 // Close stops the receiver.
