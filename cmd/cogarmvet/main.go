@@ -1,0 +1,24 @@
+// Command cogarmvet mechanically enforces cognitivearm's concurrency and
+// zero-allocation invariants. It runs two ways:
+//
+//	cogarmvet ./...                          standalone, whole module
+//	go vet -vettool=$(which cogarmvet) ./... as a vet tool (CI form;
+//	                                         also covers _test.go files)
+//
+// Analyzers: zeroalloc (functions annotated //cogarm:zeroalloc must not
+// allocate, transitively), atomicfield (no mixed atomic/plain access),
+// nolockblock (no blocking ops or nested locks inside mutex critical
+// sections), obsguard (every telemetry handle use nil-guarded so
+// DisableTelemetry cannot panic). See ARCHITECTURE.md "Static invariants"
+// for the annotation grammar, and //cogarm:allow <analyzer> -- <reason>
+// for sanctioned exceptions.
+package main
+
+import (
+	"cognitivearm/internal/analysis"
+	"cognitivearm/internal/analysis/suite"
+)
+
+func main() {
+	analysis.Main(suite.Analyzers)
+}

@@ -1,0 +1,254 @@
+// Package analysistest runs analyzers over golden fixture packages and
+// checks their diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract the analyzer tests
+// would use under the real framework.
+//
+// Fixtures live under <testdata>/src/<importpath>/. A fixture package may
+// import other fixture packages (resolved from the same tree, analyzed
+// first so object facts flow across the boundary, exactly as the vettool
+// and standalone drivers propagate them) and the standard library
+// (resolved from `go list -export` data). Expectations are written on the
+// line they anchor to:
+//
+//	x := make([]int, n) // want `make allocates`
+//
+// Each // want clause is a double-quoted or backquoted Go string holding a
+// regexp; several clauses may follow one want. Every diagnostic on a line
+// must be matched by a clause and every clause must match a diagnostic, so
+// fixtures pin both the positive and the negative behaviour of an
+// analyzer: deleting it (or breaking its detection) fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cognitivearm/internal/analysis"
+)
+
+// Run loads each fixture package named by paths from testdata/src, runs
+// the analyzers over it (dependencies first), and checks diagnostics
+// against the // want comments of the named packages. Diagnostics in
+// fixture dependencies that are not themselves named are ignored, the same
+// way go vet only prints findings for the packages under analysis.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := &loader{
+		testdata:  testdata,
+		fset:      token.NewFileSet(),
+		analyzers: analyzers,
+		store:     analysis.NewFactStore(),
+		units:     map[string]*analysis.Unit{},
+		diags:     map[string][]analysis.Diagnostic{},
+		loading:   map[string]bool{},
+	}
+	l.external = importer.ForCompiler(l.fset, "gc", l.exportData)
+	for _, path := range paths {
+		if _, err := l.load(path); err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+	}
+	for _, path := range paths {
+		l.check(t, path)
+	}
+}
+
+type loader struct {
+	testdata  string
+	fset      *token.FileSet
+	analyzers []*analysis.Analyzer
+	store     *analysis.FactStore
+	units     map[string]*analysis.Unit
+	diags     map[string][]analysis.Diagnostic
+	loading   map[string]bool
+	external  types.Importer
+	exports   map[string]string
+}
+
+// fixtureDir returns the directory holding fixture package path, or "" if
+// the path is not a fixture.
+func (l *loader) fixtureDir(path string) string {
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// load parses, type-checks, and analyzes one fixture package (and,
+// recursively, its fixture dependencies first).
+func (l *loader) load(path string) (*types.Package, error) {
+	if u, ok := l.units[path]; ok {
+		return u.Pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.fixtureDir(path)
+	if dir == "" {
+		return nil, fmt.Errorf("no fixture directory for %s", path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	files, err := analysis.ParseFiles(l.fset, names)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := analysis.TypeCheck(l.fset, path, files, importerFunc(l.importPkg), "")
+	if err != nil {
+		return nil, err
+	}
+	diags, err := analysis.RunAnalyzers(unit, l.analyzers, l.store)
+	if err != nil {
+		return nil, err
+	}
+	l.units[path] = unit
+	l.diags[path] = diags
+	return unit.Pkg, nil
+}
+
+// importPkg resolves one import during type-checking: fixture packages
+// from the testdata tree, everything else from compiler export data.
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if l.fixtureDir(path) != "" {
+		return l.load(path)
+	}
+	return l.external.Import(path)
+}
+
+// exportData locates export data for a non-fixture import via one cached
+// `go list -deps -export` over the whole standard library.
+func (l *loader) exportData(path string) (io.ReadCloser, error) {
+	if l.exports == nil {
+		l.exports = map[string]string{}
+		pkgs, err := analysis.ListExportData("std")
+		if err != nil {
+			return nil, err
+		}
+		for p, file := range pkgs {
+			l.exports[p] = file
+		}
+	}
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expectation: a regexp anchored to a file line.
+type want struct {
+	pos token.Position
+	re  *regexp.Regexp
+	hit bool
+}
+
+var wantRE = regexp.MustCompile("//[ \t]*want[ \t]+(.*)")
+
+// check compares the collected diagnostics of one package against its
+// // want comments.
+func (l *loader) check(t *testing.T, path string) {
+	t.Helper()
+	unit := l.units[path]
+	var wants []*want
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := l.fset.Position(c.Pos())
+				clauses, err := parseClauses(m[1])
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", pos, err)
+					continue
+				}
+				for _, cl := range clauses {
+					re, err := regexp.Compile(cl)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, cl, err)
+						continue
+					}
+					wants = append(wants, &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range l.diags[path] {
+		pos := l.fset.Position(d.Pos)
+		msg := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.pos.Filename == pos.Filename && w.pos.Line == pos.Line && w.re.MatchString(msg) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic matched want %q", w.pos, w.re)
+		}
+	}
+}
+
+// parseClauses splits the tail of a want comment into its quoted regexps.
+func parseClauses(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			return nil, fmt.Errorf("clause must be a quoted string: %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated clause: %q", s)
+		}
+		raw := s[:end+2]
+		clause, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad clause %q: %v", raw, err)
+		}
+		out = append(out, clause)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no clauses")
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+// Package atomicfield enforces all-or-nothing atomicity: once any code in
+// a package accesses a struct field (or package-level variable) through
+// sync/atomic, every other access to it must be atomic too. A single plain
+// load next to atomic adds is exactly the torn-read/lost-update bug class
+// PR 6 fixed by hand in the UDP/LSL inlet drop counters before converting
+// them to typed atomics — this analyzer makes the conversion mandatory the
+// moment the first atomic call appears.
+//
+// Typed atomics (atomic.Uint64 and friends) are immune by construction and
+// the recommended fix; the analyzer's job is catching the mixed state in
+// between. Composite-literal keys are exempt (pre-publication
+// initialization), and a deliberate pre-goroutine plain access can be
+// waived with //cogarm:allow atomicfield -- <reason>.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cognitivearm/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flag non-atomic accesses to fields that are accessed via sync/atomic elsewhere in the package",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// First sweep: every &v handed to a sync/atomic function marks v as
+	// atomically-accessed.
+	atomicVars := map[*types.Var]token.Pos{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if v := referencedVar(pass.TypesInfo, u.X); v != nil {
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Second sweep: any use of those variables outside a sync/atomic
+	// argument is a racy mixed access.
+	for _, file := range pass.Files {
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			first, tracked := atomicVars[v]
+			if !tracked || allowedUse(pass.TypesInfo, id, stack) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "non-atomic access to %s, which is accessed with sync/atomic at %s — every access must be atomic (or migrate to a typed atomic)",
+				v.Name(), pass.Fset.Position(first))
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := analysis.Callee(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// referencedVar resolves expr (x.f selector chain or plain ident) to the
+// field or package-level variable it denotes.
+func referencedVar(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		if v != nil && v.IsField() {
+			return v
+		}
+		return v
+	}
+	return nil
+}
+
+// allowedUse reports whether the identifier use (whose ancestors are
+// stack, outermost first) is legitimate: the address argument of a
+// sync/atomic call, or a composite-literal key (initialization before
+// publication).
+func allowedUse(info *types.Info, id ast.Node, stack []ast.Node) bool {
+	child := id
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.SelectorExpr, *ast.ParenExpr:
+			child = a.(ast.Expr)
+			continue
+		case *ast.UnaryExpr:
+			if a.Op != token.AND {
+				return false
+			}
+			// &...ident...: fine exactly when handed to sync/atomic.
+			if i > 0 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok {
+					return isAtomicCall(info, call)
+				}
+			}
+			return false
+		case *ast.KeyValueExpr:
+			// Struct-literal initialization key: foo{dropped: 0}.
+			if a.Key == child && i > 0 {
+				_, ok := stack[i-1].(*ast.CompositeLit)
+				return ok
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

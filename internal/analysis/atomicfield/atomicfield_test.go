@@ -1,0 +1,13 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"cognitivearm/internal/analysis"
+	"cognitivearm/internal/analysis/analysistest"
+	"cognitivearm/internal/analysis/atomicfield"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{atomicfield.Analyzer}, "af")
+}

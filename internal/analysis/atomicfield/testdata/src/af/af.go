@@ -1,0 +1,37 @@
+// Fixture for atomicfield: every variable passed by address to a
+// sync/atomic call must be accessed atomically everywhere.
+package af
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	other int64
+}
+
+var global int64
+
+func atomicOnly(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&global, 1)
+	_ = atomic.LoadInt64(&c.hits)
+}
+
+func mixed(c *counter) {
+	c.hits++        // want `atomicfield: non-atomic access to hits`
+	_ = c.hits      // want `atomicfield: non-atomic access to hits`
+	if global > 0 { // want `atomicfield: non-atomic access to global`
+	}
+}
+
+func fine(c *counter) {
+	// other is never touched atomically, so plain access is fine.
+	c.other++
+	// Taking the address for another atomic call is fine.
+	atomic.StoreInt64(&c.hits, 0)
+}
+
+func initialization() counter {
+	// Composite-literal keys name fields, they do not read them.
+	return counter{hits: 0, other: 1}
+}

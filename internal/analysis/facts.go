@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"io"
+	"sort"
+)
+
+// FactStore holds object facts during a driver run. In the vettool
+// protocol one store is loaded from the fact files of the package's
+// dependencies (Config.PackageVetx), populated further by the analyzers,
+// and written back out (Config.VetxOutput); the standalone and test
+// drivers keep a single in-memory store across the whole package graph.
+//
+// Keys are name-based, not identity-based: a fact is addressed by
+// (analyzer, package path, object signature, fact type), where the object
+// signature is objectKey's stable rendering ("Fn", "(T).M", "(*T).M").
+// That makes a fact written while type-checking a package from source
+// resolvable later against the same object re-imported from export data,
+// which object identity would not survive.
+type FactStore struct {
+	m map[factKey][]byte
+}
+
+type factKey struct {
+	analyzer string
+	pkg      string
+	obj      string
+	typ      string
+}
+
+// factRecord is the serialized form of one fact.
+type factRecord struct {
+	Analyzer string
+	Pkg      string
+	Obj      string
+	Type     string
+	Data     []byte
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: map[factKey][]byte{}} }
+
+// objectKey renders a package-level function or method as a stable
+// package-relative signature: "Fn" for functions, "(T).M" / "(*T).M" for
+// methods (including interface methods). Non-functions key by bare name.
+func objectKey(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return obj.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	return "(" + recvKey(sig.Recv().Type()) + ")." + fn.Name()
+}
+
+// recvKey renders a receiver type without its package qualifier.
+func recvKey(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return "*" + recvKey(t.Elem())
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Alias:
+		return recvKey(types.Unalias(t))
+	case *types.Interface:
+		return "interface"
+	default:
+		return t.String()
+	}
+}
+
+func factType(f Fact) string { return fmt.Sprintf("%T", f) }
+
+func (s *FactStore) export(a *Analyzer, obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		panic(fmt.Sprintf("analysis: encoding %s fact %T: %v", a.Name, fact, err))
+	}
+	s.m[factKey{a.Name, obj.Pkg().Path(), objectKey(obj), factType(fact)}] = buf.Bytes()
+}
+
+func (s *FactStore) lookup(a *Analyzer, obj types.Object, ptr Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	data, ok := s.m[factKey{a.Name, obj.Pkg().Path(), objectKey(obj), factType(ptr)}]
+	if !ok {
+		return false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(ptr); err != nil {
+		panic(fmt.Sprintf("analysis: decoding %s fact %T: %v", a.Name, ptr, err))
+	}
+	return true
+}
+
+// Encode writes every fact in the store to w. Facts imported from
+// dependencies are re-exported, so a consumer only needs the fact files of
+// its direct imports to see the whole transitive closure.
+func (s *FactStore) Encode(w io.Writer) error {
+	recs := make([]factRecord, 0, len(s.m))
+	for k, v := range s.m {
+		recs = append(recs, factRecord{k.analyzer, k.pkg, k.obj, k.typ, v})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Type < b.Type
+	})
+	return gob.NewEncoder(w).Encode(recs)
+}
+
+// Decode merges the facts serialized in r into the store.
+func (s *FactStore) Decode(r io.Reader) error {
+	var recs []factRecord
+	if err := gob.NewDecoder(r).Decode(&recs); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		s.m[factKey{rec.Analyzer, rec.Pkg, rec.Obj, rec.Type}] = rec.Data
+	}
+	return nil
+}

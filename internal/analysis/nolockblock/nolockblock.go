@@ -1,0 +1,457 @@
+// Package nolockblock enforces the repo's leaf-lock discipline: a
+// sync.Mutex/RWMutex critical section must not block. While a lock is held
+// (from x.Lock()/x.RLock() to the matching x.Unlock()/x.RUnlock() in the
+// same statement list, or to the end of the scope when the unlock is
+// deferred) the analyzer flags:
+//
+//   - channel sends, receives, range-over-channel, and selects without a
+//     default clause;
+//   - calls to functions that (transitively) sleep, wait, or perform I/O —
+//     time.Sleep, sync.WaitGroup.Wait, sync.Cond.Wait, anything in net,
+//     os, os/exec, or io;
+//   - acquiring a second lock (direct, syntactic acquisitions only — a
+//     callee taking its own short leaf lock, like shardMetrics under the
+//     shard lock, is the sanctioned pattern and is not reported).
+//
+// Blocking-ness propagates through calls: in-package via a fixpoint over
+// function bodies, across packages via BlocksFact object facts, so a
+// helper that hides a Close() three frames down is still caught at the
+// lock site. Function literals are analyzed as independent scopes — a
+// goroutine body does not run under its creator's lock.
+//
+// Intentional violations (a shutdown path that serializes under a lock by
+// design) are waived per line with //cogarm:allow nolockblock -- <reason>.
+package nolockblock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cognitivearm/internal/analysis"
+)
+
+// BlocksFact marks an exported function as potentially blocking, with a
+// human-readable reason chain ("calls X, which sleeps").
+type BlocksFact struct{ Reason string }
+
+func (*BlocksFact) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "nolockblock",
+	Doc:       "flag blocking operations and nested lock acquisitions inside mutex critical sections",
+	FactTypes: []analysis.Fact{(*BlocksFact)(nil)},
+	Run:       run,
+}
+
+// leafBlockers are stdlib calls that block by themselves.
+var leafBlockers = map[string]string{
+	"time.Sleep":             "sleeps",
+	"sync.(*WaitGroup).Wait": "waits on a WaitGroup",
+	"sync.(*Cond).Wait":      "waits on a Cond",
+}
+
+// nonBlockingOS are os-package calls that only touch the process's own
+// state, not the filesystem.
+var nonBlockingOS = map[string]bool{
+	"os.Getenv":          true,
+	"os.LookupEnv":       true,
+	"os.Environ":         true,
+	"os.Getpid":          true,
+	"os.Getppid":         true,
+	"os.Getuid":          true,
+	"os.Geteuid":         true,
+	"os.Getgid":          true,
+	"os.Getegid":         true,
+	"os.Getpagesize":     true,
+	"os.IsNotExist":      true,
+	"os.IsExist":         true,
+	"os.IsPermission":    true,
+	"os.IsTimeout":       true,
+	"os.IsPathSeparator": true,
+	"os.TempDir":         true,
+}
+
+func blockingPkg(path string) bool {
+	switch {
+	case path == "net" || strings.HasPrefix(path, "net/"):
+		return true
+	case path == "os" || path == "os/exec":
+		return true
+	case path == "io":
+		return true
+	}
+	return false
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	order     []*types.Func // declaration order, for deterministic fixpoint
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]string
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:      pass,
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		summaries: map[*types.Func]string{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.order = append(c.order, fn)
+			c.decls[fn] = fd
+		}
+	}
+
+	// Fixpoint over blocking summaries: a function blocks if its body
+	// contains a blocking construct or calls something already known to
+	// block. Declaration-order iteration keeps the reported reason chains
+	// deterministic across runs (go vet caches on output).
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range c.order {
+			if _, done := c.summaries[fn]; done {
+				continue
+			}
+			var reason string
+			c.findBlocking(c.decls[fn].Body, func(_ token.Pos, r string) {
+				if reason == "" {
+					reason = r
+				}
+			})
+			if reason != "" {
+				c.summaries[fn] = reason
+				changed = true
+			}
+		}
+	}
+	for _, fn := range c.order {
+		if r, ok := c.summaries[fn]; ok {
+			pass.ExportObjectFact(fn, &BlocksFact{Reason: r})
+		}
+	}
+
+	// Lock-span pass: every function body and every function literal is an
+	// independent scope (a closure does not run under its creator's lock).
+	for _, fn := range c.order {
+		body := c.decls[fn].Body
+		c.scanList(body.List, nil)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.scanList(lit.Body.List, nil)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callReason returns why calling call would block, or "".
+func (c *checker) callReason(call *ast.CallExpr) string {
+	obj := analysis.Callee(c.pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	fn = fn.Origin() // summaries and facts hang off the generic origin
+	if fn.Pkg() == c.pass.Pkg {
+		if r, ok := c.summaries[fn]; ok {
+			return fmt.Sprintf("calls %s, which %s", fn.Name(), r)
+		}
+		return ""
+	}
+	key := analysis.CalleeKey(fn)
+	if r, ok := leafBlockers[key]; ok {
+		return r
+	}
+	path := fn.Pkg().Path()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		// An interface method says nothing by itself: hash.Hash64 promotes
+		// io.Writer.Write but writes to memory. Attribute the call to the
+		// package that declared the interface the receiver is typed as —
+		// io.Closer is I/O, hash.Hash64 is not.
+		path = ""
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if n := analysis.NamedBase(c.pass.TypesInfo.TypeOf(sel.X)); n != nil && n.Obj().Pkg() != nil {
+				path = n.Obj().Pkg().Path()
+			}
+		}
+	}
+	if blockingPkg(path) && !nonBlockingOS[key] {
+		return fmt.Sprintf("performs I/O (%s)", key)
+	}
+	// Blocking summaries propagate only within this module. Under go vet
+	// the analyzer also visits the stdlib, whose deepest chains bottom out
+	// in runtime scheduling (mallocgc can start a GC cycle that signals
+	// its mark workers over a channel) — importing those facts would mark
+	// essentially every function blocking. Stdlib behaviour is captured by
+	// the curated leafBlockers/blockingPkg lists above instead.
+	if moduleLocal(fn.Pkg().Path()) {
+		var f BlocksFact
+		if c.pass.ImportObjectFact(fn, &f) {
+			return fmt.Sprintf("calls %s, which %s", key, f.Reason)
+		}
+	}
+	return ""
+}
+
+// moduleLocal reports whether path is part of this repository's module.
+func moduleLocal(path string) bool {
+	return path == "cognitivearm" || strings.HasPrefix(path, "cognitivearm/")
+}
+
+// findBlocking walks n — skipping nested function literals and go
+// statements, whose bodies run outside the current goroutine's locks — and
+// reports every blocking construct.
+func (c *checker) findBlocking(n ast.Node, report func(token.Pos, string)) {
+	if n == nil {
+		return
+	}
+	var inspect func(ast.Node)
+	walk := func(n ast.Node) bool {
+		switch x := n.(type) {
+		case nil:
+			return false
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			report(x.Arrow, "sends on a channel")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				report(x.OpPos, "receives from a channel")
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					report(x.For, "ranges over a channel")
+				}
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(x) {
+				report(x.Select, "waits in a select with no default")
+			}
+			// Clause bodies still execute here; the comm operations
+			// themselves are covered by the select-level report (or are
+			// non-blocking when a default exists).
+			for _, cl := range x.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, st := range cc.Body {
+						inspect(st)
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if r := c.callReason(x); r != "" {
+				report(x.Lparen, r)
+			}
+		}
+		return true
+	}
+	inspect = func(n ast.Node) { ast.Inspect(n, walk) }
+	inspect(n)
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+type lockKind int
+
+const (
+	opNone lockKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp recognizes x.Lock()/RLock()/Unlock()/RUnlock() on a
+// sync.Mutex/RWMutex reachable through a plain ident/selector chain, and
+// returns the chain (the lock's identity for span matching).
+func (c *checker) lockOp(call *ast.CallExpr) (ast.Expr, lockKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, opNone
+	}
+	fn, ok := analysis.Callee(c.pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, opNone
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, opNone
+	}
+	recv := analysis.NamedBase(sig.Recv().Type())
+	if recv == nil || (recv.Obj().Name() != "Mutex" && recv.Obj().Name() != "RWMutex") {
+		return nil, opNone
+	}
+	var kind lockKind
+	switch fn.Name() {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return nil, opNone
+	}
+	if analysis.ChainOf(sel.X) == nil {
+		return nil, opNone
+	}
+	return sel.X, kind
+}
+
+type heldLock struct {
+	expr ast.Expr
+	pos  token.Pos
+}
+
+// scanList walks a statement list tracking which locks are held. Nested
+// blocks get a copy of the held set, so a conditional unlock inside an if
+// arm releases the lock for that arm only.
+func (c *checker) scanList(list []ast.Stmt, held []heldLock) {
+	held = append([]heldLock(nil), held...)
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if chain, op := c.lockOp(call); chain != nil {
+					switch op {
+					case opLock:
+						c.reportNested(call, chain, held)
+						held = append(held, heldLock{chain, call.Pos()})
+					case opUnlock:
+						held = c.release(held, chain)
+					}
+					continue
+				}
+			}
+			c.checkHeld(s, held)
+		case *ast.DeferStmt:
+			if chain, op := c.lockOp(s.Call); chain != nil && op == opUnlock {
+				// Deferred unlock: the lock stays held to the end of the
+				// scope, which is already how the span is modeled.
+				continue
+			}
+			c.checkHeld(s.Call, held)
+		case *ast.BlockStmt:
+			c.scanList(s.List, held)
+		case *ast.IfStmt:
+			c.checkHeld(s.Init, held)
+			c.checkHeld(s.Cond, held)
+			c.scanList(s.Body.List, held)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				c.scanList(e.List, held)
+			case *ast.IfStmt:
+				c.scanList([]ast.Stmt{e}, held)
+			}
+		case *ast.ForStmt:
+			c.checkHeld(s.Init, held)
+			c.checkHeld(s.Cond, held)
+			c.checkHeld(s.Post, held)
+			c.scanList(s.Body.List, held)
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				if t := c.pass.TypesInfo.TypeOf(s.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						c.reportHeld(s.For, "ranges over a channel", held)
+					}
+				}
+				c.checkHeld(s.X, held)
+			}
+			c.scanList(s.Body.List, held)
+		case *ast.SelectStmt:
+			if len(held) > 0 && !hasDefault(s) {
+				c.reportHeld(s.Select, "waits in a select with no default", held)
+			}
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					c.scanList(cc.Body, held)
+				}
+			}
+		case *ast.SwitchStmt:
+			c.checkHeld(s.Init, held)
+			c.checkHeld(s.Tag, held)
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						c.checkHeld(e, held)
+					}
+					c.scanList(cc.Body, held)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					c.scanList(cc.Body, held)
+				}
+			}
+		case *ast.LabeledStmt:
+			c.scanList([]ast.Stmt{s.Stmt}, held)
+		case *ast.GoStmt:
+			// Spawning is non-blocking and the goroutine body does not hold
+			// this goroutine's locks.
+		default:
+			c.checkHeld(stmt, held)
+		}
+	}
+}
+
+// checkHeld reports blocking constructs in n when at least one lock is held.
+func (c *checker) checkHeld(n ast.Node, held []heldLock) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	c.findBlocking(n, func(pos token.Pos, reason string) {
+		c.reportHeld(pos, reason, held)
+	})
+}
+
+func (c *checker) reportHeld(pos token.Pos, reason string, held []heldLock) {
+	h := held[len(held)-1]
+	c.pass.Reportf(pos, "%s while %s is held (locked at %s)",
+		reason, types.ExprString(h.expr), c.pass.Fset.Position(h.pos))
+}
+
+// reportNested flags acquiring a lock while another is already held.
+func (c *checker) reportNested(call *ast.CallExpr, chain ast.Expr, held []heldLock) {
+	if len(held) == 0 {
+		return
+	}
+	for _, h := range held {
+		if analysis.SameChain(c.pass.TypesInfo, h.expr, chain) {
+			c.pass.Reportf(call.Pos(), "re-acquires %s, already held (locked at %s) — self-deadlock",
+				types.ExprString(chain), c.pass.Fset.Position(h.pos))
+			return
+		}
+	}
+	h := held[len(held)-1]
+	c.pass.Reportf(call.Pos(), "acquires %s while %s is held (locked at %s) — nested locks risk deadlock; keep critical sections leaf-only",
+		types.ExprString(chain), types.ExprString(h.expr), c.pass.Fset.Position(h.pos))
+}
+
+// release removes the most recent held entry matching chain. An unlock of
+// something not currently held (a conditional-path release) is ignored.
+func (c *checker) release(held []heldLock, chain ast.Expr) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if analysis.SameChain(c.pass.TypesInfo, held[i].expr, chain) {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}

@@ -1,0 +1,17 @@
+package nolockblock_test
+
+import (
+	"testing"
+
+	"cognitivearm/internal/analysis"
+	"cognitivearm/internal/analysis/analysistest"
+	"cognitivearm/internal/analysis/nolockblock"
+)
+
+// TestFixtures covers lock spans (defer-held, per-arm release), direct and
+// transitive blocking, cross-package BlocksFact flow (package b), nested
+// and re-acquired locks, goroutine scoping, and //cogarm:allow waivers.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{nolockblock.Analyzer},
+		"cognitivearm/nlbfix/a", "cognitivearm/nlbfix/b")
+}

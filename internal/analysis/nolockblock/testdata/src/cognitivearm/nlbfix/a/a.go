@@ -1,0 +1,97 @@
+// Fixture for nolockblock: blocking operations and nested lock
+// acquisitions inside mutex critical sections, including transitive
+// in-package chains, cross-package facts, defer-held spans, and waivers.
+package a
+
+import (
+	"sync"
+	"time"
+
+	"cognitivearm/nlbfix/b"
+)
+
+type guarded struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	other sync.Mutex
+	ch    chan int
+	n     int
+}
+
+func direct(g *guarded) {
+	g.mu.Lock()
+	g.ch <- 1                    // want `nolockblock: sends on a channel while g\.mu is held`
+	<-g.ch                       // want `nolockblock: receives from a channel while g\.mu is held`
+	time.Sleep(time.Millisecond) // want `nolockblock: sleeps while g\.mu is held`
+	g.mu.Unlock()
+	<-g.ch // lock released: fine
+}
+
+func deferred(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	<-g.ch // want `nolockblock: receives from a channel while g\.mu is held`
+	return g.n
+}
+
+func nested(g *guarded) {
+	g.mu.Lock()
+	g.other.Lock() // want `nolockblock: acquires g\.other while g\.mu is held`
+	g.other.Unlock()
+	g.mu.Lock() // want `nolockblock: re-acquires g\.mu, already held .* self-deadlock`
+	g.mu.Unlock()
+}
+
+func conditional(g *guarded, flush bool) {
+	g.rw.RLock()
+	if flush {
+		g.rw.RUnlock()
+		<-g.ch // released on this arm: fine
+		return
+	}
+	g.rw.RUnlock()
+}
+
+// sleepy blocks transitively; the in-package summary names the chain.
+func sleepy() { time.Sleep(time.Second) }
+
+func transitive(g *guarded) {
+	g.mu.Lock()
+	sleepy() // want `nolockblock: calls sleepy, which sleeps while g\.mu is held`
+	g.mu.Unlock()
+}
+
+func crossPackage(g *guarded) {
+	g.mu.Lock()
+	_ = b.Fast(1) // verified non-blocking: fine
+	b.Slow()      // want `nolockblock: calls cognitivearm/nlbfix/b\.Slow, which calls nap, which sleeps while g\.mu is held`
+	g.mu.Unlock()
+}
+
+func goroutineBody(g *guarded) {
+	g.mu.Lock()
+	// The goroutine runs outside this critical section.
+	go func() { <-g.ch }()
+	g.mu.Unlock()
+}
+
+func waived(g *guarded) {
+	g.mu.Lock()
+	//cogarm:allow nolockblock -- fixture: documented single-waiter handoff
+	<-g.ch
+	g.mu.Unlock()
+}
+
+func selectDefault(g *guarded) {
+	g.mu.Lock()
+	select { // non-blocking poll: fine
+	case v := <-g.ch:
+		g.n = v
+	default:
+	}
+	select { // want `nolockblock: waits in a select with no default while g\.mu is held`
+	case v := <-g.ch:
+		g.n = v
+	}
+	g.mu.Unlock()
+}

@@ -1,0 +1,13 @@
+// Package b exercises nolockblock's cross-package BlocksFact: Slow blocks
+// (transitively, through nap), Fast does not.
+package b
+
+import "time"
+
+// Slow blocks: it sleeps via nap.
+func Slow() { nap() }
+
+func nap() { time.Sleep(time.Millisecond) }
+
+// Fast is pure computation.
+func Fast(x int) int { return x + 1 }

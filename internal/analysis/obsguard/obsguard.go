@@ -1,0 +1,321 @@
+// Package obsguard proves the telemetry kill-switch safe: with
+// DisableTelemetry, every *obs.Counter/Gauge/Histogram/EventRing handle in
+// a holder struct is nil, and the handle methods deliberately do not
+// nil-check themselves (they sit on the zero-alloc tick path). So every
+// method call on a handle must be dominated by a nil guard:
+//
+//   - an enclosing `if h != nil { ... }` (or `if h == nil { ... } else`)
+//     on the handle or any prefix of its selector chain (the holder),
+//   - an earlier `if h == nil { return }` in a dominating statement list,
+//   - a receiver chain rooted at a call to a function annotated
+//     //cogarm:obsnonnil (the sync.Once accessors — ckptTel, streamTel,
+//     clusterTel, obs.Default — that construct on first use and never
+//     return nil), directly or through a single-assignment local
+//     (t := ckptTel(); t.saves.Inc()).
+//
+// The obs package itself and _test.go files are exempt; a deliberate
+// unguarded use is waived with //cogarm:allow obsguard -- <reason>.
+// Annotations on accessors are exported as NonNilFact object facts, so a
+// handle fetched through another package's accessor is still recognized.
+package obsguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cognitivearm/internal/analysis"
+)
+
+// obsPath is the package whose handle types are guarded.
+const obsPath = "cognitivearm/internal/obs"
+
+var handleTypes = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"EventRing": true,
+}
+
+// NonNilFact marks a function annotated //cogarm:obsnonnil: it never
+// returns a nil handle/holder, so values derived from it need no guard.
+type NonNilFact struct{}
+
+func (*NonNilFact) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "obsguard",
+	Doc:       "require nil guards on every obs telemetry handle use so DisableTelemetry cannot panic",
+	FactTypes: []analysis.Fact{(*NonNilFact)(nil)},
+	Run:       run,
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	nonnil  map[*types.Func]bool
+	curVars map[types.Object]bool // locals assigned from non-nil accessors
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, nonnil: map[*types.Func]bool{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.HasDirective(fd.Doc, "obsnonnil") {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.nonnil[fn] = true
+				pass.ExportObjectFact(fn, &NonNilFact{})
+			}
+		}
+	}
+	if pass.Pkg.Path() == obsPath {
+		// The handle implementation is allowed to touch its own fields.
+		return nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.curVars = map[types.Object]bool{}
+	// Locals bound once from a non-nil accessor are trusted roots.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !c.isNonNilCall(call) {
+			return true
+		}
+		if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+			c.curVars[obj] = true
+		}
+		return true
+	})
+
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := c.pass.TypesInfo.Selections[fun]
+		if !ok || sel.Kind() != types.MethodVal {
+			return true
+		}
+		recv := c.pass.TypesInfo.TypeOf(fun.X)
+		if recv == nil {
+			return true
+		}
+		if _, ok := recv.Underlying().(*types.Pointer); !ok {
+			return true // value handles cannot be nil
+		}
+		base := analysis.NamedBase(recv)
+		if base == nil || base.Obj().Pkg() == nil ||
+			base.Obj().Pkg().Path() != obsPath || !handleTypes[base.Obj().Name()] {
+			return true
+		}
+		if !c.guarded(fun.X, n, stack) {
+			c.pass.Reportf(fun.X.Pos(),
+				"telemetry handle %s used without a nil guard — with DisableTelemetry this panics; wrap in `if %s != nil` or fetch it via a //cogarm:obsnonnil accessor",
+				types.ExprString(fun.X), guardTarget(fun.X))
+		}
+		return true
+	})
+}
+
+// guardTarget names the thing to nil-check in the diagnostic: the root of
+// the receiver chain when there is one, else the receiver itself.
+func guardTarget(expr ast.Expr) string {
+	if chain := analysis.ChainOf(expr); chain != nil {
+		return types.ExprString(chain[0])
+	}
+	return types.ExprString(expr)
+}
+
+// isNonNilCall reports whether call invokes a //cogarm:obsnonnil function.
+func (c *checker) isNonNilCall(call *ast.CallExpr) bool {
+	fn, ok := analysis.Callee(c.pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	fn = fn.Origin() // annotations and facts hang off the generic origin
+	if fn.Pkg() == c.pass.Pkg {
+		return c.nonnil[fn]
+	}
+	var f NonNilFact
+	return c.pass.ImportObjectFact(fn, &f)
+}
+
+// guarded reports whether the receiver expr of a handle call is dominated
+// by a nil guard.
+func (c *checker) guarded(expr ast.Expr, node ast.Node, stack []ast.Node) bool {
+	// Collect the chain prefixes that, if nil-checked, guard this use:
+	// s.tel.events → {s.tel.events, s.tel, s}. A chain rooted at a non-nil
+	// accessor call (ckptTel().saves) or a trusted local is guarded as is.
+	var targets []ast.Expr
+	e := ast.Unparen(expr)
+	for {
+		targets = append(targets, e)
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = ast.Unparen(x.X)
+		case *ast.CallExpr:
+			return c.isNonNilCall(x)
+		case *ast.Ident:
+			if obj := c.pass.TypesInfo.ObjectOf(x); obj != nil && c.curVars[obj] {
+				return true
+			}
+			goto scan
+		default:
+			goto scan
+		}
+	}
+scan:
+	// Walk outward through the ancestors looking for a dominating check.
+	child := node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.IfStmt:
+			if within(a.Body, child) && c.condNotNil(a.Cond, targets) {
+				return true
+			}
+			if a.Else != nil && within(a.Else, child) && c.condIsNil(a.Cond, targets) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if c.earlyGuard(a.List, child, targets) {
+				return true
+			}
+		case *ast.CaseClause:
+			if c.earlyGuard(a.Body, child, targets) {
+				return true
+			}
+		case *ast.CommClause:
+			if c.earlyGuard(a.Body, child, targets) {
+				return true
+			}
+		case *ast.FuncLit:
+			// A closure may run later, when the guard's condition no longer
+			// holds; only guards inside the literal itself count.
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// earlyGuard reports whether a statement before child in list is an
+// `if x == nil { return/panic/... }` for one of targets.
+func (c *checker) earlyGuard(list []ast.Stmt, child ast.Node, targets []ast.Expr) bool {
+	for _, st := range list {
+		if st == child {
+			return false
+		}
+		ifs, ok := st.(*ast.IfStmt)
+		if !ok || ifs.Else != nil || !terminates(ifs.Body) {
+			continue
+		}
+		if c.condIsNil(ifs.Cond, targets) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a block always leaves the enclosing scope.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condNotNil reports whether cond guarantees some target is non-nil when
+// true: a conjunction containing `target != nil`.
+func (c *checker) condNotNil(cond ast.Expr, targets []ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.LAND:
+		return c.condNotNil(b.X, targets) || c.condNotNil(b.Y, targets)
+	case token.NEQ:
+		return c.nilCompare(b, targets)
+	}
+	return false
+}
+
+// condIsNil reports whether cond is true only when some target is nil: a
+// disjunction containing `target == nil`.
+func (c *checker) condIsNil(cond ast.Expr, targets []ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.LOR:
+		return c.condIsNil(b.X, targets) || c.condIsNil(b.Y, targets)
+	case token.EQL:
+		return c.nilCompare(b, targets)
+	}
+	return false
+}
+
+// nilCompare reports whether b compares one of targets against nil.
+func (c *checker) nilCompare(b *ast.BinaryExpr, targets []ast.Expr) bool {
+	var other ast.Expr
+	if tv, ok := c.pass.TypesInfo.Types[b.Y]; ok && tv.IsNil() {
+		other = b.X
+	} else if tv, ok := c.pass.TypesInfo.Types[b.X]; ok && tv.IsNil() {
+		other = b.Y
+	} else {
+		return false
+	}
+	for _, t := range targets {
+		if analysis.SameChain(c.pass.TypesInfo, other, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// within reports whether node n is inside the subtree rooted at root, by
+// position.
+func within(root ast.Node, n ast.Node) bool {
+	return n != nil && root != nil && n.Pos() >= root.Pos() && n.End() <= root.End()
+}

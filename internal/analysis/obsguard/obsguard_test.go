@@ -1,0 +1,17 @@
+package obsguard_test
+
+import (
+	"testing"
+
+	"cognitivearm/internal/analysis"
+	"cognitivearm/internal/analysis/analysistest"
+	"cognitivearm/internal/analysis/obsguard"
+)
+
+// TestFixtures runs against a stub of cognitivearm/internal/obs (same
+// import path, so handle detection resolves) and covers holder-chain
+// guards, early returns, conjunction splitting, obsnonnil accessor roots,
+// the closure boundary, and waivers.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{obsguard.Analyzer}, "cognitivearm/ogfix")
+}

@@ -1,0 +1,39 @@
+// Package obs is a fixture stub of the repository's telemetry handles: the
+// same import path and type names, with the same deliberately unguarded
+// receiver derefs, so obsguard's handle detection resolves against it.
+package obs
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc()         { c.v++ }
+func (c *Counter) Add(d uint64) { c.v += d }
+func (c *Counter) Load() uint64 { return c.v }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) { g.v = v }
+
+type Histogram struct{ sum float64 }
+
+func (h *Histogram) Observe(v float64) { h.sum += v }
+
+type EventRing struct{ n int }
+
+func (r *EventRing) Record(kind uint8, shard int, a, b, c uint64) { r.n++ }
+
+var std Registry
+
+// Registry hands out handles; its accessor never returns nil.
+type Registry struct {
+	requests Counter
+}
+
+// Default returns the process-wide registry.
+//
+//cogarm:obsnonnil
+func Default() *Registry { return &std }
+
+// Requests returns a live counter handle.
+//
+//cogarm:obsnonnil
+func (r *Registry) Requests() *Counter { return &r.requests }

@@ -1,0 +1,82 @@
+// Fixture for obsguard: every method call on a *obs.Counter/Gauge/
+// Histogram/EventRing must be dominated by a nil guard, rooted at a
+// //cogarm:obsnonnil accessor, or waived.
+package ogfix
+
+import "cognitivearm/internal/obs"
+
+type tel struct {
+	hits   *obs.Counter
+	depth  *obs.Gauge
+	lat    *obs.Histogram
+	events *obs.EventRing
+}
+
+type server struct {
+	tel *tel
+}
+
+func unguarded(t *tel) {
+	t.hits.Inc() // want `obsguard: telemetry handle t\.hits used without a nil guard`
+}
+
+func guarded(t *tel) {
+	if t.hits != nil {
+		t.hits.Inc()
+	}
+	if t.lat == nil {
+		return
+	}
+	t.lat.Observe(1) // early return above dominates
+}
+
+func holderGuard(s *server) {
+	// Checking the holder guards every handle hanging off it.
+	if s.tel != nil {
+		s.tel.depth.Set(1)
+		s.tel.events.Record(1, 0, 0, 0, 0)
+	}
+	s.tel.hits.Inc() // want `obsguard: telemetry handle s\.tel\.hits used without a nil guard`
+}
+
+func elseBranch(t *tel) {
+	if t.depth == nil {
+		return
+	} else {
+		t.depth.Set(2)
+	}
+}
+
+func conjunction(t *tel, busy bool) {
+	if busy && t.hits != nil {
+		t.hits.Inc()
+	}
+	if busy || t.hits != nil {
+		t.hits.Inc() // want `obsguard: telemetry handle t\.hits used without a nil guard`
+	}
+}
+
+func accessorRooted() {
+	// A chain rooted at a //cogarm:obsnonnil accessor needs no guard,
+	// directly or through a single-assignment local.
+	obs.Default().Requests().Inc()
+	r := obs.Default()
+	r.Requests().Add(2)
+}
+
+func closureLoses(t *tel) func() {
+	if t.hits == nil {
+		return nil
+	}
+	t.hits.Inc() // dominating early return: fine
+	return func() {
+		// The closure may run after the handle set is swapped out; the
+		// enclosing guard does not carry in.
+		t.hits.Inc() // want `obsguard: telemetry handle t\.hits used without a nil guard`
+	}
+}
+
+func waived(t *tel) {
+	//cogarm:allow obsguard -- fixture: handle provably set by construction here
+	t.hits.Inc()
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// Standalone mode: `cogarmvet ./...` analyzes a whole module in one
+// process without the go command's vet orchestration — the developer-loop
+// complement to the CI `go vet -vettool` form. `go list -deps -export`
+// supplies the package graph in dependency order plus fresh export data,
+// so facts flow through an in-memory store instead of vetx files. Only
+// packages of the main module are analyzed (dependencies contribute
+// export data and, implicitly, nothing else — the repo's invariants live
+// in its own sources); test files are covered by the vettool form, which
+// receives separate test units from the go command.
+
+// listedPackage is the subset of `go list -json` output the driver needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	DepOnly bool
+	Error   *struct{ Err string }
+}
+
+// RunStandalone analyzes the packages matching patterns, printing
+// diagnostics to w, and returns how many were reported.
+func RunStandalone(patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	pkgs, err := listPackages(patterns)
+	if err != nil {
+		return 0, err
+	}
+
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	store := NewFactStore()
+	total := 0
+	// -deps lists dependencies before dependents, so facts a package
+	// exports are in the store before any importer asks for them. Main-
+	// module packages pulled in only as dependencies of the named patterns
+	// are still analyzed — their facts feed the named packages — but their
+	// diagnostics are not reported, mirroring go vet's VetxOnly units.
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil || !p.Module.Main {
+			continue
+		}
+		if p.Error != nil {
+			return total, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			return total, fmt.Errorf("%s: cgo packages are not supported in standalone mode", p.ImportPath)
+		}
+		var names []string
+		for _, f := range p.GoFiles {
+			names = append(names, p.Dir+string(os.PathSeparator)+f)
+		}
+		files, err := ParseFiles(fset, names)
+		if err != nil {
+			return total, err
+		}
+		unit, err := TypeCheck(fset, p.ImportPath, files, imp, "")
+		if err != nil {
+			return total, err
+		}
+		diags, err := RunAnalyzers(unit, analyzers, store)
+		if err != nil {
+			return total, err
+		}
+		if p.DepOnly {
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}
+
+// ListExportData maps every package matching patterns (dependencies
+// included) to its compiled export data file, via `go list -deps -export`.
+// The analysistest harness uses it to resolve fixture imports of the
+// standard library.
+func ListExportData(patterns ...string) (map[string]string, error) {
+	pkgs, err := listPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+func listPackages(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

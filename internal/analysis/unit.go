@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` side of cogarmvet: the same
+// wire protocol x/tools' unitchecker speaks. For every package unit the go
+// command invokes the tool as `cogarmvet <file>.cfg`, where the cfg is a
+// JSON description of the unit (sources, import → export-data map, fact
+// files of dependencies, where to write this unit's facts). Two special
+// invocations precede that: `-V=full` must print a stable tool identity
+// (the go command keys its vet result cache on it), and `-flags` must
+// describe the tool's flags (we have none).
+
+// Config mirrors the JSON the go command writes for each vet unit. Field
+// names and meanings follow cmd/go/internal/work's vetConfig struct —
+// unknown fields are ignored, absent ones zero.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path as written → canonical path
+	PackageFile               map[string]string // canonical path → export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // canonical path → fact file of dependency
+	VetxOnly                  bool              // only facts are wanted (dependency unit)
+	VetxOutput                string            // where to write this unit's facts
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the unit described by cfgPath and returns the
+// diagnostics. Fact files of dependencies are read, and this unit's facts
+// (its own plus re-exported dependency facts) are written to
+// cfg.VetxOutput. A type-check failure is reported as an error unless the
+// config asks for tolerance (cgo-translated units, units the go command
+// knows may not check) — in that case the unit yields no diagnostics and
+// an empty fact file, matching unitchecker.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
+	}
+
+	store := NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		f, err := os.Open(vetx)
+		if err != nil {
+			// A dependency that exported no facts is not an error.
+			continue
+		}
+		err = store.Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading facts %s: %w", vetx, err)
+		}
+	}
+
+	fset := token.NewFileSet()
+	diags, err := analyzeUnit(fset, &cfg, analyzers, store)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+			diags = nil
+		} else {
+			return nil, nil, err
+		}
+	}
+	if cfg.VetxOutput != "" {
+		if err := writeFacts(cfg.VetxOutput, store); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		diags = nil
+	}
+	return diags, fset, nil
+}
+
+func analyzeUnit(fset *token.FileSet, cfg *Config, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
+	files, err := ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	unit, err := TypeCheck(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers(unit, analyzers, store)
+}
+
+func writeFacts(path string, store *FactStore) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := store.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printVersion implements -V=full: a single line starting with the tool's
+// base name and "version", unique per build (the go command hashes it into
+// its vet cache key). The uniqueness comes from a digest of the executable
+// itself.
+func printVersion(w io.Writer) {
+	name := "cogarmvet"
+	if exe, err := os.Executable(); err == nil {
+		name = filepath.Base(exe)
+		h := sha256.New()
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+			fmt.Fprintf(w, "%s version devel buildID=%x\n", name, h.Sum(nil))
+			return
+		}
+	}
+	fmt.Fprintf(w, "%s version devel\n", name)
+}
+
+// Main is the entry point for cmd/cogarmvet: it dispatches between the
+// vettool protocol (-V=full, -flags, a .cfg unit) and the standalone
+// whole-module mode (package patterns), and exits with go vet's
+// conventions — 0 clean, 1 operational error, 2 diagnostics reported.
+func Main(analyzers []*Analyzer) {
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "-V=full" {
+		printVersion(os.Stdout)
+		os.Exit(0)
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No tool flags; an empty JSON list tells the go command so.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, fset, err := RunUnit(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cogarmvet: %v\n", err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		if len(diags) > 0 {
+			os.Exit(2)
+		}
+		os.Exit(0)
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := RunStandalone(patterns, analyzers, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cogarmvet: %v\n", err)
+		os.Exit(1)
+	}
+	if n > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,13 @@
+// Package dep exercises zeroalloc's cross-package facts: Clean carries a
+// VerifiedFact, Dirty does not.
+package dep
+
+var sink []int
+
+// Clean is verified allocation-free and callable from importers' hot paths.
+//
+//cogarm:zeroalloc
+func Clean(x int) int { return x * 2 }
+
+// Dirty allocates and is not annotated.
+func Dirty(n int) []int { return make([]int, n) }

@@ -1,0 +1,17 @@
+package zeroalloc_test
+
+import (
+	"testing"
+
+	"cognitivearm/internal/analysis"
+	"cognitivearm/internal/analysis/analysistest"
+	"cognitivearm/internal/analysis/zeroalloc"
+)
+
+// TestFixtures pins the analyzer's positive and negative behaviour: za
+// holds the flagged constructs and allowed reuse patterns, za/dep the
+// cross-package fact flow (named so its own absence of diagnostics is
+// asserted too).
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{zeroalloc.Analyzer}, "za", "za/dep")
+}

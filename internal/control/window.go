@@ -45,6 +45,8 @@ func NewWindower(sampleRateHz float64, channels, windowSize int, norm dataset.St
 // with fewer values than the window's channel count are dropped (reported
 // false): network-fed sessions receive attacker-controlled channel counts on
 // the wire, and a short sample must not panic the serving shard.
+//
+//cogarm:zeroalloc
 func (w *Windower) Push(values []float64) bool {
 	if len(values) < w.window.Cols {
 		return false
@@ -71,6 +73,8 @@ func (w *Windower) Push(values []float64) bool {
 }
 
 // Ready reports whether enough samples have accumulated to classify.
+//
+//cogarm:zeroalloc
 func (w *Windower) Ready() bool { return w.filled == w.window.Rows }
 
 // Window exposes the rolling buffer for classification without copying. The
@@ -79,6 +83,8 @@ func (w *Windower) Ready() bool { return w.filled == w.window.Rows }
 // The serving shard reads it zero-copy: within one tick, every ready window
 // is classified before any session receives further pushes, so the aliasing
 // is safe (see ARCHITECTURE.md "Memory model").
+//
+//cogarm:zeroalloc
 func (w *Windower) Window() *tensor.Matrix { return w.window }
 
 // WindowInto copies the rolling buffer into dst and returns it, allocating
@@ -112,6 +118,8 @@ type Debouncer struct {
 
 // Observe records one decoded label and reports whether the debounce agrees
 // on it.
+//
+//cogarm:zeroalloc
 func (d *Debouncer) Observe(a eeg.Action) bool {
 	d.recent[d.head] = a
 	d.head++

@@ -245,6 +245,8 @@ func ComputeStats(windows []Window) Stats {
 // Both the training-side Normalize and the live ingest path
 // (control.Windower.Push) divide through this helper, keeping train and
 // serve numerically identical.
+//
+//cogarm:zeroalloc
 func (s Stats) StdFor(ch int) float64 {
 	if ch >= len(s.Std) {
 		return 1
@@ -374,10 +376,13 @@ func FeatureVector(w Window) []float64 {
 // with capacity 5×channels (e.g. from a tensor.Workspace) for an
 // allocation-free call on the serving hot path. The result is identical to
 // FeatureVector.
+//
+//cogarm:zeroalloc
 func FeatureVectorInto(dst []float64, w Window) []float64 {
 	nch := w.Data.Cols
 	out := dst[:0]
 	if cap(out) < 5*nch {
+		//cogarm:allow zeroalloc -- feature-buffer warm-up when dst lacks capacity; steady state reuses it
 		out = make([]float64, 0, 5*nch)
 	}
 	for c := 0; c < nch; c++ {

@@ -190,6 +190,8 @@ type BatchPredictor interface {
 type BatchPredictorWS interface {
 	// PredictBatchWS classifies many windows drawing every temporary from ws
 	// and writing labels into dst when it has capacity.
+	//
+	//cogarm:zeroalloc
 	PredictBatchWS(ws *tensor.Workspace, xs []*tensor.Matrix, dst []int) []int
 }
 
@@ -205,11 +207,14 @@ func PredictBatch(c Classifier, xs []*tensor.Matrix) []int {
 // BatchPredictor next, per-window Predict last. Labels land in dst when it
 // has capacity. It is safe for concurrent use with other inference calls
 // provided ws is not shared across concurrent callers.
+//
+//cogarm:zeroalloc
 func PredictBatchWS(c Classifier, ws *tensor.Workspace, xs []*tensor.Matrix, dst []int) []int {
 	if bp, ok := c.(BatchPredictorWS); ok {
 		return bp.PredictBatchWS(ws, xs, dst)
 	}
 	if bp, ok := c.(BatchPredictor); ok {
+		//cogarm:allow zeroalloc -- legacy batch path for classifiers without workspace support; WS-capable classifiers never reach it
 		out := bp.PredictBatch(xs)
 		if cap(dst) >= len(out) {
 			dst = dst[:len(out)]
@@ -219,10 +224,12 @@ func PredictBatchWS(c Classifier, ws *tensor.Workspace, xs []*tensor.Matrix, dst
 		return out
 	}
 	if cap(dst) < len(xs) {
+		//cogarm:allow zeroalloc -- label-buffer warm-up; a reused dst never grows past its high-water mark
 		dst = make([]int, len(xs))
 	}
 	dst = dst[:len(xs)]
 	for i, x := range xs {
+		//cogarm:allow zeroalloc -- per-window compat path for classifiers with no batched entry point at all
 		dst[i] = c.Predict(x)
 	}
 	return dst
@@ -262,6 +269,8 @@ func (c *NNClassifier) PredictBatch(xs []*tensor.Matrix) []int {
 
 // PredictBatchWS implements BatchPredictorWS: the fused forward pass draws
 // every temporary from ws (nil = plain allocation, bitwise-identical labels).
+//
+//cogarm:zeroalloc
 func (c *NNClassifier) PredictBatchWS(ws *tensor.Workspace, xs []*tensor.Matrix, dst []int) []int {
 	if len(xs) == 0 {
 		return dst[:0]
@@ -270,10 +279,12 @@ func (c *NNClassifier) PredictBatchWS(ws *tensor.Workspace, xs []*tensor.Matrix,
 	for _, x := range xs[1:] {
 		if x.Rows != rows || x.Cols != cols {
 			if cap(dst) < len(xs) {
+				//cogarm:allow zeroalloc -- mixed-shape fallback; the shard's per-tick batches are always same-shape
 				dst = make([]int, len(xs))
 			}
 			dst = dst[:len(xs)]
 			for i, w := range xs {
+				//cogarm:allow zeroalloc -- per-window fallback for the mixed-shape case above
 				dst[i] = c.Net.Predict(w)
 			}
 			return dst
@@ -317,6 +328,8 @@ func (c *RFClassifier) PredictBatch(xs []*tensor.Matrix) []int {
 
 // PredictBatchWS implements BatchPredictorWS: feature rows and the forest's
 // vote accumulators come from ws (nil = plain allocation, identical labels).
+//
+//cogarm:zeroalloc
 func (c *RFClassifier) PredictBatchWS(ws *tensor.Workspace, xs []*tensor.Matrix, dst []int) []int {
 	X := ws.FloatRows(len(xs))
 	for i, x := range xs {

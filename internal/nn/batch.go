@@ -30,6 +30,7 @@ import (
 //   - All windows in one call must share the same shape. Mixed shapes are the
 //     caller's problem (see Network.ForwardBatch, which enforces this).
 type BatchForwarder interface {
+	//cogarm:zeroalloc
 	ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix
 }
 
@@ -51,6 +52,7 @@ func forwardBatch(l Layer, ws *tensor.Workspace, xs []*tensor.Matrix, train bool
 	batchInferenceOnly(train)
 	out := ws.Matrices(len(xs))
 	for i, x := range xs {
+		//cogarm:allow zeroalloc -- generic per-window fallback for layers outside the fused set; every built-in layer implements BatchForwarder
 		out[i] = l.Forward(x, false)
 	}
 	return out
@@ -63,6 +65,8 @@ func forwardBatch(l Layer, ws *tensor.Workspace, xs []*tensor.Matrix, train bool
 // row-wise layers process one stacked matrix. Results are bitwise identical
 // to per-window Forward(x, false), with or without a workspace. See
 // BatchForwarder for the contract (ws may be nil = unpooled).
+//
+//cogarm:zeroalloc
 func (n *Network) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
@@ -84,9 +88,12 @@ func (n *Network) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train 
 // one class index per window, identical to calling Predict on each. The
 // labels are written into dst when it has capacity (pass a reused buffer for
 // an allocation-free call); dst may be nil.
+//
+//cogarm:zeroalloc
 func (n *Network) PredictBatch(ws *tensor.Workspace, xs []*tensor.Matrix, dst []int) []int {
 	outs := n.ForwardBatch(ws, xs, false)
 	if cap(dst) < len(outs) {
+		//cogarm:allow zeroalloc -- label-buffer warm-up; a reused dst never grows past its high-water mark
 		dst = make([]int, len(outs))
 	}
 	dst = dst[:len(outs)]

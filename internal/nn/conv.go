@@ -76,6 +76,8 @@ func (c *Conv1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 // concatenate into one (B·T')×(K·Cin) matrix so the whole batch convolves in
 // a single GEMM against the kernel weight — the batched analogue of Forward's
 // im2col + matmul, with the weight streamed once instead of B times.
+//
+//cogarm:zeroalloc
 func (c *Conv1D) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
@@ -217,6 +219,8 @@ func (p *Pool1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 // ForwardBatch implements BatchForwarder: the pooling loops run per window
 // (no cross-window arithmetic to fuse) but write into one shared (B·T')×C
 // output, one scratch buffer for the batch.
+//
+//cogarm:zeroalloc
 func (p *Pool1D) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {

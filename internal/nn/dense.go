@@ -38,6 +38,8 @@ func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 // ForwardBatch implements BatchForwarder: B T×In windows stack into one
 // (B·T)×In matrix, fusing the B small matmuls into a single batch×feature
 // GEMM followed by one bias broadcast.
+//
+//cogarm:zeroalloc
 func (d *Dense) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
@@ -105,6 +107,8 @@ func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder: one clamp pass over a single
 // stacked matrix, so the batch costs one scratch buffer instead of B clones.
+//
+//cogarm:zeroalloc
 func (r *ReLU) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
@@ -180,6 +184,8 @@ func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder. Inference-mode dropout is the
 // identity, so the batch passes through untouched.
+//
+//cogarm:zeroalloc
 func (d *Dropout) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	return xs
@@ -220,6 +226,8 @@ func (f *Flatten) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder. Row-major windows flatten by
 // reinterpretation: one stacked copy serves all B flattened rows as views.
+//
+//cogarm:zeroalloc
 func (f *Flatten) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {
@@ -261,6 +269,8 @@ func (m *MeanPool) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder: all B pooled rows land in one B×C
 // matrix handed out as views.
+//
+//cogarm:zeroalloc
 func (m *MeanPool) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {

@@ -109,6 +109,8 @@ func (l *LSTM) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 // weight-row-major order — every row of W is streamed once per step for the
 // whole batch instead of once per window — with bias-first, k-ascending
 // accumulation so every gate value matches Forward bitwise.
+//
+//cogarm:zeroalloc
 func (l *LSTM) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	B := len(xs)
@@ -127,6 +129,7 @@ func (l *LSTM) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train boo
 	// batch, four windows per pass so wrow loads and loop overhead amortise
 	// (the same micro-kernel shape as tensor.MatMulBatched). Per-element
 	// accumulation order stays k-ascending, matching Forward bitwise.
+	//cogarm:allow zeroalloc -- accumulate never escapes this frame; its tensor reads go through the annotated At/Row kernels
 	accumulate := func(wrow []float64, in func(i int) float64) {
 		i := 0
 		for ; i+4 <= B; i += 4 {
@@ -159,10 +162,12 @@ func (l *LSTM) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train boo
 		}
 		for k := 0; k < l.In; k++ {
 			wrow := l.Weight.W.Row(k)
+			//cogarm:allow zeroalloc -- non-escaping closure call; the stack-allocated in() thunk reads one matrix cell
 			accumulate(wrow, func(i int) float64 { return xs[i].At(t, k) })
 		}
 		for k := 0; k < H; k++ {
 			wrow := l.Weight.W.Row(l.In + k)
+			//cogarm:allow zeroalloc -- non-escaping closure call; the stack-allocated in() thunk reads one matrix cell
 			accumulate(wrow, func(i int) float64 { return h.At(i, k) })
 		}
 		for i := 0; i < B; i++ {
@@ -268,6 +273,8 @@ func (s *LastStep) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder: the B final timesteps gather into
 // one B×C matrix handed out as views.
+//
+//cogarm:zeroalloc
 func (s *LastStep) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
 	if len(xs) == 0 {

@@ -61,9 +61,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//cogarm:zeroalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//cogarm:zeroalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -75,9 +79,13 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//cogarm:zeroalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add increments by delta (CAS loop; lock-free).
+//
+//cogarm:zeroalloc
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -89,9 +97,13 @@ func (g *Gauge) Add(delta float64) {
 }
 
 // Inc adds one.
+//
+//cogarm:zeroalloc
 func (g *Gauge) Inc() { g.Add(1) }
 
 // Dec subtracts one.
+//
+//cogarm:zeroalloc
 func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current value.
@@ -163,13 +175,18 @@ func initDefaults() {
 }
 
 // Default returns the process-global registry the serving stack instruments
-// itself against.
+// itself against. It never returns nil.
+//
+//cogarm:obsnonnil
 func Default() *Registry {
 	defaultOnce.Do(initDefaults)
 	return defaultReg
 }
 
-// DefaultEvents returns the process-global lifecycle event ring.
+// DefaultEvents returns the process-global lifecycle event ring. It never
+// returns nil.
+//
+//cogarm:obsnonnil
 func DefaultEvents() *EventRing {
 	defaultOnce.Do(initDefaults)
 	return defaultEvents

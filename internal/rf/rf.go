@@ -262,6 +262,8 @@ func (f *Forest) ProbsBatch(X [][]float64) [][]float64 {
 // backing drawn from ws, so a serving shard that resets one workspace per
 // tick pays no allocations here. A nil ws selects plain allocation; outputs
 // are identical either way and, with a workspace, valid until its next Reset.
+//
+//cogarm:zeroalloc
 func (f *Forest) ProbsBatchWS(ws *tensor.Workspace, X [][]float64) [][]float64 {
 	out := ws.FloatRows(len(X))
 	flat := ws.Floats(len(X) * f.Classes) // zeroed: accumulates votes below
@@ -292,9 +294,12 @@ func (f *Forest) PredictBatch(X [][]float64) []int {
 
 // PredictBatchWS is PredictBatch drawing every temporary from ws and writing
 // labels into dst when it has capacity (dst may be nil). See ProbsBatchWS.
+//
+//cogarm:zeroalloc
 func (f *Forest) PredictBatchWS(ws *tensor.Workspace, X [][]float64, dst []int) []int {
 	probs := f.ProbsBatchWS(ws, X)
 	if cap(dst) < len(X) {
+		//cogarm:allow zeroalloc -- label-buffer warm-up; a reused dst never grows past its high-water mark
 		dst = make([]int, len(X))
 	}
 	dst = dst[:len(X)]

@@ -405,7 +405,6 @@ func (s *shard) extractSession(id SessionID) (*checkpoint.SessionRecord, bool) {
 	}
 	rec := captureSessionLocked(s.id, sess)
 	delete(s.sessions, id)
-	closeSource(sess.cfg.Source)
 	if s.onEvict != nil {
 		s.onEvict(id)
 	}
@@ -413,6 +412,8 @@ func (s *shard) extractSession(id SessionID) (*checkpoint.SessionRecord, bool) {
 		s.tel.sessions.Dec()
 	}
 	s.mu.Unlock()
+	// Source teardown can block on network close; do it off the lock.
+	closeSource(sess.cfg.Source)
 	return &rec, true
 }
 

@@ -27,6 +27,8 @@ type Source interface {
 type ReaderInto interface {
 	// ReadInto drains up to max buffered samples (oldest first), appending
 	// them to dst.
+	//
+	//cogarm:zeroalloc
 	ReadInto(dst []stream.Sample, max int) []stream.Sample
 }
 
@@ -54,6 +56,8 @@ type RingSource struct {
 func (r RingSource) Read(max int) []stream.Sample { return r.Ring.PopN(max) }
 
 // ReadInto implements ReaderInto via the ring's buffer-reusing bulk pop.
+//
+//cogarm:zeroalloc
 func (r RingSource) ReadInto(dst []stream.Sample, max int) []stream.Sample {
 	return r.Ring.PopNInto(dst, max)
 }
@@ -143,6 +147,8 @@ type session struct {
 }
 
 // due returns how many samples this tick should consume from the source.
+//
+//cogarm:zeroalloc
 func (s *session) due(tickHz float64) int {
 	s.sampleAcc += s.cfg.SampleRateHz / tickHz
 	n := int(s.sampleAcc)
@@ -151,6 +157,8 @@ func (s *session) due(tickHz float64) int {
 }
 
 // observe feeds one decoded label through the counters and the debounce.
+//
+//cogarm:zeroalloc
 func (s *session) observe(a eeg.Action) {
 	s.decoded++
 	if int(a) >= 0 && int(a) < len(s.actions) {

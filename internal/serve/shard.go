@@ -74,6 +74,7 @@ type clfGroup struct {
 // reset prepares the arena for the next tick, keeping every backing array.
 func (a *tickArena) reset() {
 	if a.ws == nil {
+		//cogarm:allow zeroalloc -- lazy arena init on the first tick; every later tick reuses it
 		a.ws = tensor.NewWorkspace()
 	}
 	a.ws.Reset()
@@ -116,6 +117,16 @@ func closeSource(src Source) {
 	}
 }
 
+// closeSources releases a batch of evicted sessions' sources. Closing can
+// block (network inlets flush on Close), so callers must have dropped the
+// shard lock first — eviction collects sources under the lock and this
+// runs after it.
+func closeSources(srcs []Source) {
+	for _, src := range srcs {
+		closeSource(src)
+	}
+}
+
 func newShard(id int, cfg Config) *shard {
 	return &shard{
 		id:       id,
@@ -145,9 +156,11 @@ func (s *shard) requestEvict(id SessionID) {
 	running := s.isRunning()
 	s.mu.Unlock()
 	if !running {
+		var toClose []Source
 		s.mu.Lock()
-		s.processEvictionsLocked()
+		toClose = s.processEvictionsLocked(toClose)
 		s.mu.Unlock()
+		closeSources(toClose)
 	}
 }
 
@@ -157,17 +170,20 @@ func (s *shard) isRunning() bool {
 	return s.running
 }
 
-// processEvictionsLocked removes queued sessions and closes their sources.
-// Callers hold s.mu.
-func (s *shard) processEvictionsLocked() {
+// processEvictionsLocked removes queued sessions, appending their sources
+// to toClose for the caller to release after dropping the lock (source
+// Close can block on network teardown, which must not happen inside the
+// critical section). Callers hold s.mu.
+func (s *shard) processEvictionsLocked(toClose []Source) []Source {
 	for _, id := range s.evictq {
 		sess, ok := s.sessions[id]
 		if !ok {
 			continue
 		}
 		delete(s.sessions, id)
-		closeSource(sess.cfg.Source)
+		toClose = append(toClose, sess.cfg.Source)
 		if s.onEvict != nil {
+			//cogarm:allow zeroalloc -- eviction is off the steady-state path; the hub callback only prunes its admission index
 			s.onEvict(id)
 		}
 		s.met.evict()
@@ -178,6 +194,7 @@ func (s *shard) processEvictionsLocked() {
 		}
 	}
 	s.evictq = s.evictq[:0]
+	return toClose
 }
 
 func (s *shard) sessionStats(id SessionID) (SessionStats, bool) {
@@ -191,10 +208,10 @@ func (s *shard) sessionStats(id SessionID) (SessionStats, bool) {
 }
 
 func (s *shard) closeAll() {
+	var toClose []Source
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for id, sess := range s.sessions {
-		closeSource(sess.cfg.Source)
+		toClose = append(toClose, sess.cfg.Source)
 		delete(s.sessions, id)
 		if s.onEvict != nil {
 			s.onEvict(id)
@@ -204,6 +221,8 @@ func (s *shard) closeAll() {
 		}
 	}
 	s.evictq = s.evictq[:0]
+	s.mu.Unlock()
+	closeSources(toClose)
 }
 
 func (s *shard) start() {
@@ -267,13 +286,16 @@ func (s *shard) run() {
 // per tick, so the instrumented tick stays zero-allocation; the whole
 // telemetry block is skipped when disabled so benchmarks can measure the
 // bare loop.
+//
+//cogarm:zeroalloc
 func (s *shard) tick() {
 	tel := s.tel
 	var drainNs, windowNs, inferNs, decideNs int64
 	var stamp time.Time
+	var toClose []Source
 	start := time.Now()
 	s.mu.Lock()
-	s.processEvictionsLocked()
+	toClose = s.processEvictionsLocked(toClose)
 	s.arena.reset()
 	ar := &s.arena
 
@@ -289,6 +311,7 @@ func (s *shard) tick() {
 			ar.popBuf = ri.ReadInto(ar.popBuf[:0], n)
 			samples = ar.popBuf
 		} else {
+			//cogarm:allow zeroalloc -- compat path for sources without ReadInto; in-tree sources all implement it
 			samples = sess.cfg.Source.Read(n)
 		}
 		if tel != nil {
@@ -358,8 +381,10 @@ func (s *shard) tick() {
 			}
 		}
 	}
-	s.processEvictionsLocked()
+	toClose = s.processEvictionsLocked(toClose)
 	s.mu.Unlock()
+	//cogarm:allow zeroalloc -- eviction teardown is off the steady-state path and runs off the lock
+	closeSources(toClose)
 
 	s.met.tick(time.Since(start).Seconds(), samplesIn)
 	if tel != nil {

@@ -137,6 +137,7 @@ func (o *LSLOutlet) serveSync(conn net.Conn) {
 		copy(resp[1:9], buf[1:9])
 		binary.LittleEndian.PutUint64(resp[9:], math.Float64bits(o.clock.Now()))
 		o.mu.Lock()
+		//cogarm:allow nolockblock -- o.mu deliberately serializes frame writes on the shared conn; sync replies must interleave whole-frame with the data pump
 		err := writeFrame(conn, resp)
 		o.mu.Unlock()
 		if err != nil {

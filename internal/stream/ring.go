@@ -25,6 +25,8 @@ func NewRing(capacity int) *Ring {
 
 // Push appends a sample, overwriting the oldest if full. It reports whether
 // an old sample was overwritten.
+//
+//cogarm:zeroalloc
 func (r *Ring) Push(s Sample) (overwrote bool) {
 	r.mu.Lock()
 	if r.size == len(r.buf) {
@@ -74,6 +76,8 @@ func (r *Ring) PopN(max int) []Sample {
 // serving hot path: a shard passes one per-shard buffer (reset to dst[:0]
 // between sessions) so draining a ring costs no heap allocations. The
 // returned slice aliases dst's backing array when capacity suffices.
+//
+//cogarm:zeroalloc
 func (r *Ring) PopNInto(dst []Sample, max int) []Sample {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -106,6 +110,8 @@ func (r *Ring) Snapshot() []Sample {
 }
 
 // Len returns the number of buffered samples.
+//
+//cogarm:zeroalloc
 func (r *Ring) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

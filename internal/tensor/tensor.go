@@ -37,12 +37,18 @@ func FromSlice(rows, cols int, data []float64) *Matrix {
 }
 
 // At returns the element at row i, column j.
+//
+//cogarm:zeroalloc
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
 // Set assigns the element at row i, column j.
+//
+//cogarm:zeroalloc
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
 // Row returns the i-th row as a sub-slice (shared storage).
+//
+//cogarm:zeroalloc
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Clone returns a deep copy of the matrix.
@@ -53,6 +59,8 @@ func (m *Matrix) Clone() *Matrix {
 }
 
 // Zero sets every element to zero in place.
+//
+//cogarm:zeroalloc
 func (m *Matrix) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
@@ -60,6 +68,8 @@ func (m *Matrix) Zero() {
 }
 
 // Fill sets every element to v in place.
+//
+//cogarm:zeroalloc
 func (m *Matrix) Fill(v float64) {
 	for i := range m.Data {
 		m.Data[i] = v
@@ -76,11 +86,14 @@ func (m *Matrix) String() string {
 
 // MatMul computes dst = a·b. dst may be nil, in which case a fresh matrix is
 // allocated. dst must not alias a or b.
+//
+//cogarm:zeroalloc
 func MatMul(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if dst == nil {
+		//cogarm:allow zeroalloc -- nil dst selects the unpooled heap path by contract
 		dst = New(a.Rows, b.Cols)
 	} else {
 		if dst.Rows != a.Rows || dst.Cols != b.Cols {
@@ -114,11 +127,14 @@ func MatMul(dst, a, b *Matrix) *Matrix {
 // order per output element is identical to MatMul (k-ascending); the only
 // representable difference is the sign of exact zeros, because zero inputs
 // are only skipped when a whole column block is zero.
+//
+//cogarm:zeroalloc
 func MatMulBatched(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if dst == nil {
+		//cogarm:allow zeroalloc -- nil dst selects the unpooled heap path by contract
 		dst = New(a.Rows, b.Cols)
 	} else {
 		if dst.Rows != a.Rows || dst.Cols != b.Cols {
@@ -161,11 +177,14 @@ func MatMulBatched(dst, a, b *Matrix) *Matrix {
 }
 
 // MatMulTransB computes dst = a·bᵀ without materialising the transpose.
+//
+//cogarm:zeroalloc
 func MatMulTransB(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if dst == nil {
+		//cogarm:allow zeroalloc -- nil dst selects the unpooled heap path by contract
 		dst = New(a.Rows, b.Rows)
 	} else {
 		if dst.Rows != a.Rows || dst.Cols != b.Rows {
@@ -188,11 +207,14 @@ func MatMulTransB(dst, a, b *Matrix) *Matrix {
 }
 
 // MatMulTransA computes dst = aᵀ·b without materialising the transpose.
+//
+//cogarm:zeroalloc
 func MatMulTransA(dst, a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if dst == nil {
+		//cogarm:allow zeroalloc -- nil dst selects the unpooled heap path by contract
 		dst = New(a.Cols, b.Cols)
 	} else {
 		if dst.Rows != a.Cols || dst.Cols != b.Cols {
@@ -263,9 +285,12 @@ func Transpose(m *Matrix) *Matrix {
 }
 
 // Add computes dst = a + b element-wise. dst may alias a or b or be nil.
+//
+//cogarm:zeroalloc
 func Add(dst, a, b *Matrix) *Matrix {
 	checkSameShape("Add", a, b)
 	if dst == nil {
+		//cogarm:allow zeroalloc -- nil dst selects the unpooled heap path by contract
 		dst = New(a.Rows, a.Cols)
 	}
 	checkSameShape("Add dst", dst, a)
@@ -276,9 +301,12 @@ func Add(dst, a, b *Matrix) *Matrix {
 }
 
 // Sub computes dst = a − b element-wise. dst may alias a or b or be nil.
+//
+//cogarm:zeroalloc
 func Sub(dst, a, b *Matrix) *Matrix {
 	checkSameShape("Sub", a, b)
 	if dst == nil {
+		//cogarm:allow zeroalloc -- nil dst selects the unpooled heap path by contract
 		dst = New(a.Rows, a.Cols)
 	}
 	checkSameShape("Sub dst", dst, a)
@@ -289,9 +317,12 @@ func Sub(dst, a, b *Matrix) *Matrix {
 }
 
 // Mul computes dst = a ⊙ b (Hadamard product). dst may alias a or b or be nil.
+//
+//cogarm:zeroalloc
 func Mul(dst, a, b *Matrix) *Matrix {
 	checkSameShape("Mul", a, b)
 	if dst == nil {
+		//cogarm:allow zeroalloc -- nil dst selects the unpooled heap path by contract
 		dst = New(a.Rows, a.Cols)
 	}
 	checkSameShape("Mul dst", dst, a)
@@ -302,6 +333,8 @@ func Mul(dst, a, b *Matrix) *Matrix {
 }
 
 // Scale multiplies every element of m by s in place and returns m.
+//
+//cogarm:zeroalloc
 func Scale(m *Matrix, s float64) *Matrix {
 	for i := range m.Data {
 		m.Data[i] *= s
@@ -310,6 +343,8 @@ func Scale(m *Matrix, s float64) *Matrix {
 }
 
 // AddRowVector adds vector v (length Cols) to every row of m in place.
+//
+//cogarm:zeroalloc
 func AddRowVector(m *Matrix, v []float64) {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVector length %d != cols %d", len(v), m.Cols))
@@ -323,6 +358,8 @@ func AddRowVector(m *Matrix, v []float64) {
 }
 
 // ColSums accumulates the column sums of m into dst (length Cols).
+//
+//cogarm:zeroalloc
 func ColSums(dst []float64, m *Matrix) {
 	if len(dst) != m.Cols {
 		panic("tensor: ColSums dst length mismatch")
@@ -339,6 +376,8 @@ func ColSums(dst []float64, m *Matrix) {
 }
 
 // Dot returns the inner product of two equal-length vectors.
+//
+//cogarm:zeroalloc
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("tensor: Dot length mismatch")
@@ -351,6 +390,8 @@ func Dot(a, b []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of v.
+//
+//cogarm:zeroalloc
 func Norm2(v []float64) float64 {
 	var s float64
 	for _, x := range v {
@@ -361,6 +402,8 @@ func Norm2(v []float64) float64 {
 
 // Softmax writes the softmax of src into dst (same length). It is numerically
 // stabilised by subtracting the maximum.
+//
+//cogarm:zeroalloc
 func Softmax(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("tensor: Softmax length mismatch")
@@ -391,6 +434,8 @@ func Softmax(dst, src []float64) {
 }
 
 // SoftmaxRows applies Softmax to each row of m in place.
+//
+//cogarm:zeroalloc
 func SoftmaxRows(m *Matrix) {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
@@ -400,6 +445,8 @@ func SoftmaxRows(m *Matrix) {
 
 // Argmax returns the index of the maximum element of v (first on ties), or -1
 // for an empty slice.
+//
+//cogarm:zeroalloc
 func Argmax(v []float64) int {
 	if len(v) == 0 {
 		return -1
@@ -414,6 +461,8 @@ func Argmax(v []float64) int {
 }
 
 // Mean returns the arithmetic mean of v (0 for empty input).
+//
+//cogarm:zeroalloc
 func Mean(v []float64) float64 {
 	if len(v) == 0 {
 		return 0

@@ -42,6 +42,8 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 // Reset recycles every outstanding slice and header for the next cycle. It
 // never frees memory: the high-water footprint of one cycle is retained so
 // the next identical cycle allocates nothing.
+//
+//cogarm:zeroalloc
 func (ws *Workspace) Reset() {
 	if ws == nil {
 		return
@@ -54,8 +56,11 @@ func (ws *Workspace) Reset() {
 }
 
 // Floats returns a zeroed float64 slice of length n, valid until Reset.
+//
+//cogarm:zeroalloc
 func (ws *Workspace) Floats(n int) []float64 {
 	if ws == nil {
+		//cogarm:allow zeroalloc -- nil workspace selects the unpooled heap path by contract
 		return make([]float64, n)
 	}
 	s := ws.f64.get(n)
@@ -64,8 +69,11 @@ func (ws *Workspace) Floats(n int) []float64 {
 }
 
 // Ints returns a zeroed int slice of length n, valid until Reset.
+//
+//cogarm:zeroalloc
 func (ws *Workspace) Ints(n int) []int {
 	if ws == nil {
+		//cogarm:allow zeroalloc -- nil workspace selects the unpooled heap path by contract
 		return make([]int, n)
 	}
 	s := ws.ints.get(n)
@@ -75,8 +83,11 @@ func (ws *Workspace) Ints(n int) []int {
 
 // FloatRows returns a nil-initialised [][]float64 of length n, valid until
 // Reset — the row-pointer table batched feature extraction fills in.
+//
+//cogarm:zeroalloc
 func (ws *Workspace) FloatRows(n int) [][]float64 {
 	if ws == nil {
+		//cogarm:allow zeroalloc -- nil workspace selects the unpooled heap path by contract
 		return make([][]float64, n)
 	}
 	s := ws.rows.get(n)
@@ -86,8 +97,11 @@ func (ws *Workspace) FloatRows(n int) [][]float64 {
 
 // Matrices returns a nil-initialised []*Matrix of length n, valid until
 // Reset — the per-window output table of a batched kernel.
+//
+//cogarm:zeroalloc
 func (ws *Workspace) Matrices(n int) []*Matrix {
 	if ws == nil {
+		//cogarm:allow zeroalloc -- nil workspace selects the unpooled heap path by contract
 		return make([]*Matrix, n)
 	}
 	s := ws.mats.get(n)
@@ -98,6 +112,8 @@ func (ws *Workspace) Matrices(n int) []*Matrix {
 // Zeros returns a zero-filled rows×cols matrix valid until Reset — the
 // workspace analogue of New, for accumulators that rely on zero initial
 // contents (e.g. LSTM hidden/cell state).
+//
+//cogarm:zeroalloc
 func (ws *Workspace) Zeros(rows, cols int) *Matrix {
 	m := ws.Uninit(rows, cols)
 	clear(m.Data)
@@ -107,8 +123,11 @@ func (ws *Workspace) Zeros(rows, cols int) *Matrix {
 // Uninit returns a rows×cols matrix with unspecified contents, valid until
 // Reset. Callers must overwrite every element (or hand it to a kernel that
 // does, like MatMul's dst path, which zeroes before accumulating).
+//
+//cogarm:zeroalloc
 func (ws *Workspace) Uninit(rows, cols int) *Matrix {
 	if ws == nil {
+		//cogarm:allow zeroalloc -- nil workspace selects the unpooled heap path by contract
 		return New(rows, cols)
 	}
 	h := ws.header()
@@ -119,8 +138,11 @@ func (ws *Workspace) Uninit(rows, cols int) *Matrix {
 
 // View wraps data (length must equal rows*cols) in a workspace-owned header
 // without copying — the pooled analogue of FromSlice.
+//
+//cogarm:zeroalloc
 func (ws *Workspace) View(rows, cols int, data []float64) *Matrix {
 	if ws == nil {
+		//cogarm:allow zeroalloc -- nil workspace selects the unpooled heap path by contract
 		return FromSlice(rows, cols, data)
 	}
 	if len(data) != rows*cols {
@@ -136,6 +158,7 @@ func (ws *Workspace) View(rows, cols int, data []float64) *Matrix {
 // chunks so steady state touches only the bump cursor.
 func (ws *Workspace) header() *Matrix {
 	if ws.hoff == len(ws.hdrs) {
+		//cogarm:allow zeroalloc -- chunked header growth is retained at high-water mark; steady state only bumps the cursor
 		chunk := make([]Matrix, 32)
 		for i := range chunk {
 			ws.hdrs = append(ws.hdrs, &chunk[i])
@@ -147,6 +170,8 @@ func (ws *Workspace) header() *Matrix {
 }
 
 // StackWS is Stack with the output drawn from ws (nil ws = Stack).
+//
+//cogarm:zeroalloc
 func StackWS(ws *Workspace, xs []*Matrix) *Matrix {
 	if len(xs) == 0 {
 		panic("tensor: Stack of empty batch")
@@ -164,6 +189,8 @@ func StackWS(ws *Workspace, xs []*Matrix) *Matrix {
 
 // SplitRowsWS is SplitRows with the view headers and the view table drawn
 // from ws (nil ws = SplitRows). The views share m's storage either way.
+//
+//cogarm:zeroalloc
 func SplitRowsWS(ws *Workspace, m *Matrix, rowsPer int) []*Matrix {
 	if rowsPer < 1 || m.Rows%rowsPer != 0 {
 		panic("tensor: SplitRows does not divide rows")
@@ -196,6 +223,7 @@ func (p *wsPool[T]) get(n int) []T {
 		s = p.free[c][l-1][:n]
 		p.free[c] = p.free[c][:l-1]
 	} else {
+		//cogarm:allow zeroalloc -- bucket warm-up: the pool keeps this slice, so a warm cycle never reaches here
 		s = make([]T, n, 1<<c)
 	}
 	p.used = append(p.used, s)
@@ -205,6 +233,7 @@ func (p *wsPool[T]) get(n int) []T {
 func (p *wsPool[T]) reset() {
 	for i, s := range p.used {
 		c := bits.TrailingZeros(uint(cap(s))) // cap is exactly 1<<c
+		//cogarm:allow zeroalloc -- returns the slice to its free-list bucket; bucket capacity amortises to the cycle's demand
 		p.free[c] = append(p.free[c], s[:0])
 		p.used[i] = nil
 	}

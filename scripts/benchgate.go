@@ -1,0 +1,122 @@
+// Command benchgate is the CI perf-regression gate: it runs a fresh
+// `benchtables -serve` and diffs the result against the committed
+// BENCH_serve.json baseline. The gate fails (exit 1) when any model's
+// µs/inference grows more than -tolerance (default 15%) or its
+// allocs/tick grows at all.
+//
+// The two thresholds are deliberately asymmetric. µs/inference is
+// hardware- and load-dependent — CI runners are noisy, so only a gross
+// regression beyond the tolerance band is actionable, and the committed
+// baseline should itself be refreshed on dedicated hardware (see
+// OPERATIONS.md "Performance baselines"). allocs/tick is a structural
+// property of the code: PRs 5–6 made steady-state serving
+// allocation-free up to a fixed per-tick overhead, cogarmvet proves the
+// annotated kernels stay that way, and this gate catches whatever the
+// static analysis cannot see (interface boxing through dynamic dispatch,
+// stdlib changes). A real leak allocates on every tick and shows up as
+// growth of at least one whole alloc/tick; anything below that is a
+// one-off (GC assist, lazy map growth) amortized across the run, so the
+// gate fails only on growth >= 1.
+//
+// Usage:
+//
+//	go run ./scripts/benchgate.go [-baseline BENCH_serve.json] [-tolerance 15]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+type report struct {
+	Models map[string]struct {
+		UsPerInference float64 `json:"us_per_inference"`
+		AllocsPerTick  float64 `json:"allocs_per_tick"`
+	} `json:"models"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_serve.json", "committed baseline report")
+	tolerance := flag.Float64("tolerance", 15, "allowed µs/inference growth, percent")
+	keep := flag.String("out", "", "also write the fresh report here (default: discard)")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fatalf("reading baseline: %v", err)
+	}
+
+	freshPath := *keep
+	if freshPath == "" {
+		dir, err := os.MkdirTemp("", "benchgate")
+		if err != nil {
+			fatalf("tempdir: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		freshPath = filepath.Join(dir, "serve.json")
+	}
+	cmd := exec.Command("go", "run", "./cmd/benchtables", "-serve", "-serve-out", freshPath)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatalf("benchtables -serve: %v", err)
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		fatalf("reading fresh report: %v", err)
+	}
+
+	failed := false
+	for name, b := range base.Models {
+		f, ok := fresh.Models[name]
+		if !ok {
+			fmt.Printf("benchgate: FAIL %s: model missing from fresh report\n", name)
+			failed = true
+			continue
+		}
+		growth := 100 * (f.UsPerInference - b.UsPerInference) / b.UsPerInference
+		if growth > *tolerance {
+			fmt.Printf("benchgate: FAIL %s: µs/inference %.2f -> %.2f (%+.1f%% > %.0f%% tolerance)\n",
+				name, b.UsPerInference, f.UsPerInference, growth, *tolerance)
+			failed = true
+		} else {
+			fmt.Printf("benchgate: ok   %s: µs/inference %.2f -> %.2f (%+.1f%%)\n",
+				name, b.UsPerInference, f.UsPerInference, growth)
+		}
+		if f.AllocsPerTick >= b.AllocsPerTick+1 {
+			fmt.Printf("benchgate: FAIL %s: allocs/tick %.2f -> %.2f (steady state must not allocate more)\n",
+				name, b.AllocsPerTick, f.AllocsPerTick)
+			failed = true
+		} else {
+			fmt.Printf("benchgate: ok   %s: allocs/tick %.2f -> %.2f\n",
+				name, b.AllocsPerTick, f.AllocsPerTick)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Models) == 0 {
+		return nil, fmt.Errorf("%s: no models in report", path)
+	}
+	return &r, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
