@@ -29,9 +29,13 @@
 // inter-node endpoint (the migration endpoint peers stream checkpoint
 // records to), joins the members named by -peers, and takes over the
 // sessions the consistent-hash ring routes to it — live, mid-window, with
-// bitwise-identical subsequent predictions. With -drain a terminating daemon
-// first hands its sessions off to the surviving members instead of taking
-// them down with it:
+// bitwise-identical subsequent predictions. Each node replicates its dirty
+// session records to -replicas ring successors every -replicate-every, and a
+// phi-accrual failure detector (tuned by -heartbeat, -suspect, -phi) reaps
+// members that go silent: the first live successor promotes its warm replicas
+// in place, losing at most one replication interval of decoder state. With
+// -drain a terminating daemon first hands its sessions off to the surviving
+// members instead of taking them down with it:
 //
 //	cogarmd -cluster 127.0.0.1:7946 -node-id a -subjects 32
 //	cogarmd -cluster 127.0.0.1:7947 -node-id b -subjects 0 -peers 127.0.0.1:7946 -drain
@@ -90,6 +94,11 @@ func main() {
 		nodeID      = flag.String("node-id", "", "ring identity of this node (defaults to the bound cluster address)")
 		peers       = flag.String("peers", "", "comma-separated cluster endpoints of existing members to join")
 		drain       = flag.Bool("drain", false, "on shutdown, migrate live sessions to surviving peers before exiting")
+		replicas    = flag.Int("replicas", 1, "warm-standby count: ring successors this node replicates its sessions to (0 = no HA)")
+		replEvery   = flag.Duration("replicate-every", cluster.DefaultReplicateEvery, "replication interval — the staleness bound a failover can lose")
+		heartbeat   = flag.Duration("heartbeat", cluster.DefaultHeartbeatEvery, "peer heartbeat interval (0 = no failure detection)")
+		suspect     = flag.Duration("suspect", cluster.DefaultSuspectAfter, "silence floor before a peer may be declared dead")
+		phi         = flag.Float64("phi", cluster.DefaultPhiThreshold, "suspicion threshold: silence as a multiple of a peer's mean heartbeat interval")
 	)
 	flag.Parse()
 
@@ -123,9 +132,14 @@ func main() {
 	if *clusterAddr != "" {
 		var err error
 		node, err = cluster.NewNode(cluster.Config{
-			ID:         *nodeID,
-			ListenAddr: *clusterAddr,
-			Logf:       log.Printf,
+			ID:             *nodeID,
+			ListenAddr:     *clusterAddr,
+			Logf:           log.Printf,
+			Replicas:       *replicas,
+			ReplicateEvery: *replEvery,
+			HeartbeatEvery: *heartbeat,
+			SuspectAfter:   *suspect,
+			PhiThreshold:   *phi,
 			Rebind: func(rec serve.RestoredSession) (serve.Source, error) {
 				return rebindSource(rec, rcfg, stopStreaming)
 			},

@@ -21,7 +21,10 @@
 //     multi-node scaling answer. Compare aggregate inferences/s at -nodes 1
 //     and -nodes 2 on an otherwise idle machine to see the near-linear
 //     scale-out (the model trains once and is shared, so only serving work
-//     multiplies).
+//     multiplies). With -kill it becomes a chaos drill: the HA stack runs
+//     (warm-standby replication, heartbeats, failure detection), one node is
+//     killed mid-drive without drain, and the report shows how long the
+//     survivors took to reap it and promote its sessions.
 //
 // The report includes fleet and per-shard snapshots: sessions, ticks,
 // inference throughput, realised batch size, and p50/p99 tick latency.
@@ -31,6 +34,7 @@
 //	loadgen -sessions 100 -shards 4 -duration 10s
 //	loadgen -mode udp -targets 127.0.0.1:40001,127.0.0.1:40002 -duration 30s
 //	loadgen -mode cluster -nodes 2 -sessions 200 -duration 10s
+//	loadgen -mode cluster -nodes 3 -sessions 90 -duration 20s -kill 5s
 package main
 
 import (
@@ -62,6 +66,7 @@ func main() {
 		targets  = flag.String("targets", "", "udp: comma-separated inlet addresses from cogarmd -listen")
 		rate     = flag.Float64("rate", eeg.SampleRate, "udp: per-subject sample rate (Hz)")
 		nodes    = flag.Int("nodes", 2, "cluster: in-process nodes joined over loopback TCP")
+		kill     = flag.Duration("kill", 0, "cluster: kill the last node this long into the drive and measure automatic failover (needs -nodes >= 2)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		admin    = flag.String("admin", "", "host the admin plane in-process at this address (inproc/cluster; \":0\" picks a port)")
 		scrape   = flag.Bool("scrape", false, "poll own /metrics at 1 Hz during the run and report the tick-stage breakdown (implies -admin 127.0.0.1:0)")
@@ -82,7 +87,7 @@ func main() {
 		}
 		runUDP(strings.Split(*targets, ","), *sessions, *rate, *duration, *seed)
 	case "cluster":
-		runCluster(*sessions, *nodes, *shards, *tickHz, *duration, *seed, adminAddr, *scrape)
+		runCluster(*sessions, *nodes, *shards, *tickHz, *duration, *kill, *seed, adminAddr, *scrape)
 	default:
 		log.Fatalf("loadgen: unknown mode %q", *mode)
 	}
@@ -201,9 +206,15 @@ func runInproc(sessions, shards int, tickHz float64, duration time.Duration, pac
 // the only cross-node traffic is membership and (on join) migration, so
 // aggregate throughput scales with nodes until the machine runs out of
 // cores.
-func runCluster(sessions, nodes, shards int, tickHz float64, duration time.Duration, seed uint64, adminAddr string, scrape bool) {
+func runCluster(sessions, nodes, shards int, tickHz float64, duration, kill time.Duration, seed uint64, adminAddr string, scrape bool) {
 	if nodes < 1 {
 		log.Fatal("loadgen: -nodes must be >= 1")
+	}
+	if kill > 0 && nodes < 2 {
+		log.Fatal("loadgen: -kill needs -nodes >= 2 (someone has to survive)")
+	}
+	if kill >= duration {
+		kill = 0
 	}
 	log.Printf("loadgen: training shared decoder (once, for all %d nodes)", nodes)
 	cfg := core.DefaultConfig()
@@ -243,7 +254,15 @@ func runCluster(sessions, nodes, shards int, tickHz float64, duration time.Durat
 		if err != nil {
 			log.Fatal(err)
 		}
-		node, err := cluster.NewNode(cluster.Config{ID: fmt.Sprintf("node-%d", i), Rebind: rebind}, hub)
+		ncfg := cluster.Config{ID: fmt.Sprintf("node-%d", i), Rebind: rebind}
+		if kill > 0 {
+			// Chaos mode runs the full HA stack: warm-standby replication plus
+			// heartbeat-driven failure detection, exactly the cogarmd shape.
+			ncfg.Replicas = 1
+			ncfg.ReplicateEvery = cluster.DefaultReplicateEvery
+			ncfg.HeartbeatEvery = cluster.DefaultHeartbeatEvery
+		}
+		node, err := cluster.NewNode(ncfg, hub)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -288,15 +307,68 @@ func runCluster(sessions, nodes, shards int, tickHz float64, duration time.Durat
 
 	start := time.Now()
 	deadline := start.Add(duration)
+	vi := len(hubs) - 1 // chaos victim: the last-joined node
+	killCh := make(chan struct{})
+	victimDone := make(chan struct{})
 	var wg sync.WaitGroup
-	for _, hub := range hubs {
+	for i, hub := range hubs {
 		wg.Add(1)
-		go func(hub *serve.Hub) {
+		go func(i int, hub *serve.Hub) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
+				if kill > 0 && i == vi {
+					select {
+					case <-killCh:
+						close(victimDone)
+						return
+					default:
+					}
+				}
 				hub.TickAll()
 			}
-		}(hub)
+			if kill > 0 && i == vi {
+				close(victimDone)
+			}
+		}(i, hub)
+	}
+	killed := false
+	if kill > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(kill)
+			lost := hubs[vi].Sessions()
+			survivors := 0
+			for i, h := range hubs {
+				if i != vi {
+					survivors += h.Sessions()
+				}
+			}
+			log.Printf("loadgen: chaos: killing %s (%d sessions) without drain", ns[vi].ID(), lost)
+			close(killCh)
+			<-victimDone
+			t0 := time.Now()
+			ns[vi].Close()
+			hubs[vi].Stop()
+			killed = true
+			// The survivors' detectors now have to notice the silence, reap
+			// the member, and promote its warm replicas — unassisted. Poll the
+			// surviving hubs until the fleet is whole again.
+			for time.Now().Before(deadline) {
+				cur := 0
+				for i, h := range hubs {
+					if i != vi {
+						cur += h.Sessions()
+					}
+				}
+				if cur >= survivors+lost {
+					log.Printf("loadgen: chaos: failover complete, %d sessions promoted after %v", lost, time.Since(t0).Round(time.Millisecond))
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			log.Printf("loadgen: chaos: failover incomplete at deadline (raise -duration or lower -suspect)")
+		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -305,7 +377,9 @@ func runCluster(sessions, nodes, shards int, tickHz float64, duration time.Durat
 	var totalInf, totalTicks, totalSamples uint64
 	for i, hub := range hubs {
 		snap := hub.Snapshot()
-		hub.Stop()
+		if !(killed && i == vi) {
+			hub.Stop()
+		}
 		fmt.Printf("\nnode-%d %s\n", i, snap)
 		totalInf += snap.Inferences
 		totalTicks += snap.Ticks

@@ -4,6 +4,7 @@
 package a
 
 import (
+	"net"
 	"sync"
 	"time"
 
@@ -80,6 +81,33 @@ func waived(g *guarded) {
 	//cogarm:allow nolockblock -- fixture: documented single-waiter handoff
 	<-g.ch
 	g.mu.Unlock()
+}
+
+// links mirrors the replica-link shape: a conn registry guarded by a mutex.
+// Writing to the network while holding it stalls every other linker behind
+// one slow peer.
+type links struct {
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+func shipUnderLock(l *links, buf []byte) {
+	l.mu.Lock()
+	for _, c := range l.conns {
+		c.Write(buf) // want `nolockblock: performs I/O .* while l\.mu is held`
+	}
+	l.mu.Unlock()
+}
+
+func shipOutsideLock(l *links, id string, buf []byte) error {
+	l.mu.Lock()
+	c := l.conns[id]
+	l.mu.Unlock()
+	if c == nil {
+		return nil
+	}
+	_, err := c.Write(buf) // lock released: fine
+	return err
 }
 
 func selectDefault(g *guarded) {

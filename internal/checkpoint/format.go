@@ -45,6 +45,12 @@ const (
 	// replication). Record order: manifest, models (manifest order),
 	// sessions.
 	KindStream = uint16(4)
+	// KindReplica frames a replication tail: one header followed by an
+	// unbounded sequence of batches, each a manifest record (epoch in Seq,
+	// full live-session reference view in Refs) + the models not yet shipped
+	// on this tail + the session records dirty since the previous batch.
+	// Written by TailWriter, consumed batch-by-batch by TailReader.
+	KindReplica = uint16(5)
 )
 
 // Record types.

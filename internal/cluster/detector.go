@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The failure detector: a phi-accrual-style suspicion score over observed
+// heartbeat arrivals, floored by a hard deadline. Every time value is passed
+// in by the caller — the detector holds no clock of its own — which is what
+// lets failover tests drive "two seconds of silence" as an argument instead
+// of a sleep.
+//
+// Suspicion combines two signals:
+//
+//   - phi, the elapsed silence divided by the peer's observed mean heartbeat
+//     interval. A peer that has been beating every 100 ms and then goes quiet
+//     for 800 ms scores phi = 8 — strong evidence relative to its own
+//     history, the phi-accrual idea (Hayashibara et al.) reduced to its
+//     deadline-over-mean core.
+//   - a hard floor: no peer is suspected before SuspectAfter of silence, no
+//     matter how regular its beats were, so one GC pause or scheduler stall
+//     on a fast-beating fleet cannot trigger a reap.
+//
+// A peer with no observed intervals yet (just added to the ring) falls back
+// to an assumed mean of floor/threshold, which makes suspicion begin exactly
+// at the floor — a member that never beats once is reaped as soon as the
+// deadline alone justifies it.
+const (
+	// DefaultSuspectAfter is the hard silence floor before any member may be
+	// suspected. At the default 500 ms heartbeat interval this tolerates
+	// three consecutive lost beats plus scheduling jitter.
+	DefaultSuspectAfter = 2 * time.Second
+	// DefaultPhiThreshold is the suspicion score at which a silent member is
+	// declared dead.
+	DefaultPhiThreshold = 8.0
+	// detectorWindow bounds the per-peer interval history. A small window
+	// adapts within seconds when an operator retunes the heartbeat interval.
+	detectorWindow = 16
+)
+
+// beatHistory is one peer's arrival record.
+type beatHistory struct {
+	last      time.Time
+	intervals [detectorWindow]float64 // seconds between consecutive beats
+	n         int                     // filled entries (≤ detectorWindow)
+	idx       int                     // next write position
+}
+
+// detector scores peer liveness from heartbeat arrivals. All methods are
+// safe for concurrent use; the mutex guards pure map/array bookkeeping only.
+type detector struct {
+	mu        sync.Mutex
+	floor     time.Duration
+	threshold float64
+	peers     map[string]*beatHistory
+}
+
+func newDetector(floor time.Duration, threshold float64) *detector {
+	if floor <= 0 {
+		floor = DefaultSuspectAfter
+	}
+	if threshold <= 0 {
+		threshold = DefaultPhiThreshold
+	}
+	return &detector{floor: floor, threshold: threshold, peers: map[string]*beatHistory{}}
+}
+
+// Expect starts (or restarts) liveness tracking for a peer, seeding its
+// clock at now. Seeding at membership time is load-bearing for ghost
+// reaping: a member that joins the ring and never beats once accrues
+// silence from the moment it was added, not from some first beat that never
+// comes.
+func (d *detector) Expect(peer string, now time.Time) {
+	d.mu.Lock()
+	if _, ok := d.peers[peer]; !ok {
+		d.peers[peer] = &beatHistory{last: now}
+	}
+	d.mu.Unlock()
+}
+
+// Beat records a liveness proof from peer — an answered ping, a received
+// ping, or an acknowledged replication batch all count.
+func (d *detector) Beat(peer string, now time.Time) {
+	d.mu.Lock()
+	h, ok := d.peers[peer]
+	if !ok {
+		h = &beatHistory{last: now}
+		d.peers[peer] = h
+	} else if dt := now.Sub(h.last).Seconds(); dt > 0 {
+		h.intervals[h.idx] = dt
+		h.idx = (h.idx + 1) % detectorWindow
+		if h.n < detectorWindow {
+			h.n++
+		}
+		h.last = now
+	}
+	d.mu.Unlock()
+}
+
+// Forget stops tracking a peer (clean leave, completed reap).
+func (d *detector) Forget(peer string) {
+	d.mu.Lock()
+	delete(d.peers, peer)
+	d.mu.Unlock()
+}
+
+// Phi returns the peer's current suspicion score at now: elapsed silence
+// over observed mean beat interval. Untracked peers score 0.
+func (d *detector) Phi(peer string, now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.peers[peer]
+	if !ok {
+		return 0
+	}
+	return d.phiLocked(h, now)
+}
+
+func (d *detector) phiLocked(h *beatHistory, now time.Time) float64 {
+	mean := d.floor.Seconds() / d.threshold // no-history fallback: suspicion begins at the floor
+	if h.n > 0 {
+		sum := 0.0
+		for i := 0; i < h.n; i++ {
+			sum += h.intervals[i]
+		}
+		mean = sum / float64(h.n)
+	}
+	if mean <= 0 {
+		return 0
+	}
+	return now.Sub(h.last).Seconds() / mean
+}
+
+// Suspects returns the peers whose silence has crossed both the hard floor
+// and the phi threshold at now, in sorted order. The caller reaps them and
+// then Forgets each.
+func (d *detector) Suspects(now time.Time) []string {
+	d.mu.Lock()
+	var out []string
+	for peer, h := range d.peers {
+		if now.Sub(h.last) >= d.floor && d.phiLocked(h, now) >= d.threshold {
+			out = append(out, peer)
+		}
+	}
+	d.mu.Unlock()
+	sort.Strings(out)
+	return out
+}

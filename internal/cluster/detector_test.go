@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// Detector unit tests. Every time value is an explicit instant — the
+// detector holds no clock — so each case states "after exactly this much
+// silence" as an argument, never as a sleep.
+
+func TestDetectorFloorGatesSuspicion(t *testing.T) {
+	d := newDetector(2*time.Second, 8)
+	t0 := time.Unix(1000, 0)
+	d.Expect("peer", t0)
+	// Regular fast beats: mean interval 100 ms.
+	now := t0
+	for i := 0; i < 10; i++ {
+		now = now.Add(100 * time.Millisecond)
+		d.Beat("peer", now)
+	}
+	// 1.5 s of silence scores phi = 15 — far past the threshold — but stays
+	// under the 2 s floor: one stall on a fast-beating peer must not reap.
+	if phi := d.Phi("peer", now.Add(1500*time.Millisecond)); phi < 8 {
+		t.Fatalf("phi after 1.5s of silence = %.1f, expected to exceed the threshold", phi)
+	}
+	if got := d.Suspects(now.Add(1500 * time.Millisecond)); len(got) != 0 {
+		t.Fatalf("suspected %v before the hard floor", got)
+	}
+	// Past the floor, both conditions hold.
+	if got := d.Suspects(now.Add(2 * time.Second)); len(got) != 1 || got[0] != "peer" {
+		t.Fatalf("suspects past the floor = %v, want [peer]", got)
+	}
+}
+
+func TestDetectorNoHistoryFallsBackToFloor(t *testing.T) {
+	d := newDetector(2*time.Second, 8)
+	t0 := time.Unix(1000, 0)
+	// Expected at membership time, never beat once: the fallback mean
+	// (floor/threshold) makes suspicion begin exactly at the floor.
+	d.Expect("ghost", t0)
+	if got := d.Suspects(t0.Add(2*time.Second - time.Millisecond)); len(got) != 0 {
+		t.Fatalf("suspected %v a hair before the floor", got)
+	}
+	if got := d.Suspects(t0.Add(2 * time.Second)); len(got) != 1 || got[0] != "ghost" {
+		t.Fatalf("suspects at the floor = %v, want [ghost]", got)
+	}
+}
+
+func TestDetectorSlowBeaterToleratesProportionalSilence(t *testing.T) {
+	d := newDetector(2*time.Second, 8)
+	t0 := time.Unix(1000, 0)
+	now := t0
+	d.Expect("slow", now)
+	// Mean interval 1 s: at 4 s of silence, phi = 4 — past the floor but
+	// under the threshold, so a slow-beating peer is given proportionally
+	// more slack than a fast one.
+	for i := 0; i < 8; i++ {
+		now = now.Add(time.Second)
+		d.Beat("slow", now)
+	}
+	if got := d.Suspects(now.Add(4 * time.Second)); len(got) != 0 {
+		t.Fatalf("suspected %v at phi 4 with threshold 8", got)
+	}
+	if got := d.Suspects(now.Add(8 * time.Second)); len(got) != 1 {
+		t.Fatalf("suspects at phi 8 = %v, want [slow]", got)
+	}
+}
+
+func TestDetectorWindowAdaptsToRetunedInterval(t *testing.T) {
+	d := newDetector(100*time.Millisecond, 8)
+	t0 := time.Unix(1000, 0)
+	now := t0
+	d.Expect("peer", now)
+	// Long-interval history first…
+	for i := 0; i < detectorWindow; i++ {
+		now = now.Add(time.Second)
+		d.Beat("peer", now)
+	}
+	slowPhi := d.Phi("peer", now.Add(2*time.Second))
+	// …then the operator retunes to 100 ms beats. Once the window has
+	// cycled, the same absolute silence scores ten times the suspicion.
+	for i := 0; i < detectorWindow; i++ {
+		now = now.Add(100 * time.Millisecond)
+		d.Beat("peer", now)
+	}
+	fastPhi := d.Phi("peer", now.Add(2*time.Second))
+	if fastPhi < slowPhi*9 {
+		t.Fatalf("phi did not adapt to the retuned interval: slow %.2f, fast %.2f", slowPhi, fastPhi)
+	}
+}
+
+func TestDetectorForgetStopsTracking(t *testing.T) {
+	d := newDetector(time.Second, 8)
+	t0 := time.Unix(1000, 0)
+	d.Expect("gone", t0)
+	d.Forget("gone")
+	if got := d.Suspects(t0.Add(time.Hour)); len(got) != 0 {
+		t.Fatalf("forgotten peer still suspected: %v", got)
+	}
+	if phi := d.Phi("gone", t0.Add(time.Hour)); phi != 0 {
+		t.Fatalf("forgotten peer scores phi %.1f, want 0", phi)
+	}
+}
+
+func TestDetectorSuspectsSorted(t *testing.T) {
+	d := newDetector(time.Second, 8)
+	t0 := time.Unix(1000, 0)
+	for _, p := range []string{"c", "a", "b"} {
+		d.Expect(p, t0)
+	}
+	got := d.Suspects(t0.Add(time.Hour))
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("suspects = %v, want sorted [a b c]", got)
+	}
+}

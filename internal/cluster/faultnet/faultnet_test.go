@@ -1,0 +1,205 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// connPair builds a real loopback TCP connection pair, the faulted side
+// wrapped with plan.
+func connPair(t *testing.T, plan *Plan) (faulted, peer net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	dialed, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	t.Cleanup(func() {
+		dialed.Close()
+		acc.conn.Close()
+	})
+	return Wrap(dialed, plan), acc.conn
+}
+
+func TestCutWritesAtExactOffset(t *testing.T) {
+	plan := NewPlan()
+	plan.CutWritesAfter(10)
+	faulted, peer := connPair(t, plan)
+
+	// First write fits the budget entirely.
+	if n, err := faulted.Write([]byte("1234567")); err != nil || n != 7 {
+		t.Fatalf("write within budget returned (%d, %v)", n, err)
+	}
+	// Second write crosses it mid-buffer: exactly 3 more bytes make it out,
+	// then the connection is hard-closed.
+	n, err := faulted.Write([]byte("abcdefgh"))
+	if err == nil || !strings.Contains(err.Error(), "cut after 10 bytes") {
+		t.Fatalf("write across the cut returned (%d, %v), want a cut error", n, err)
+	}
+	if n != 3 {
+		t.Fatalf("cut wrote %d bytes of the crossing buffer, want exactly 3", n)
+	}
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, err := io.ReadAll(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "1234567abc" {
+		t.Fatalf("peer received %q, want the exact 10-byte prefix", got)
+	}
+	if plan.Written() != 10 {
+		t.Fatalf("plan counted %d bytes written, want 10", plan.Written())
+	}
+	// The connection is dead: further writes fail too.
+	if _, err := faulted.Write([]byte("x")); err == nil {
+		t.Fatal("write after the cut succeeded")
+	}
+}
+
+func TestCutReadsAtExactOffset(t *testing.T) {
+	plan := NewPlan()
+	plan.CutReadsAfter(5)
+	faulted, peer := connPair(t, plan)
+	if _, err := peer.Write([]byte("abcdefghij")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := io.ReadFull(faulted, buf[:5])
+	if err != nil || n != 5 || string(buf[:5]) != "abcde" {
+		t.Fatalf("read within budget returned (%d, %v, %q)", n, err, buf[:n])
+	}
+	if _, err := faulted.Read(buf); err == nil || !strings.Contains(err.Error(), "cut after 5 bytes") {
+		t.Fatalf("read past budget returned %v, want a cut error", err)
+	}
+}
+
+func TestBlackholeReportsSuccessDeliversNothing(t *testing.T) {
+	plan := NewPlan()
+	plan.BlackholeWrites(true)
+	faulted, peer := connPair(t, plan)
+	if n, err := faulted.Write([]byte("into the void")); err != nil || n != 13 {
+		t.Fatalf("blackholed write returned (%d, %v), want silent success", n, err)
+	}
+	if plan.Written() != 13 {
+		t.Fatalf("plan counted %d bytes, want 13 (blackholed bytes count)", plan.Written())
+	}
+	faulted.Close()
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if got, err := io.ReadAll(peer); err != nil || len(got) != 0 {
+		t.Fatalf("peer received %q (%v), want nothing", got, err)
+	}
+}
+
+func TestDialBudgets(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	addr := ln.Addr().String()
+
+	nw := NewNetwork(1)
+	plan := nw.Plan(addr)
+	dial := func() error {
+		c, err := nw.Dial("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+		}
+		return err
+	}
+
+	// FailNextDials: exactly n transient failures, then clear.
+	plan.FailNextDials(2)
+	for i := 0; i < 2; i++ {
+		if err := dial(); err == nil {
+			t.Fatalf("dial %d succeeded inside the transient-failure window", i)
+		}
+	}
+	if err := dial(); err != nil {
+		t.Fatalf("dial after the transient window failed: %v", err)
+	}
+
+	// AllowDials: exactly n admitted, every later dial refused.
+	plan.AllowDials(1)
+	if err := dial(); err != nil {
+		t.Fatalf("budgeted dial refused: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := dial(); err == nil {
+			t.Fatal("dial beyond the budget succeeded")
+		}
+	}
+
+	// RefuseDials wins over any remaining budget.
+	plan.AllowDials(-1)
+	plan.RefuseDials(true)
+	if err := dial(); err == nil {
+		t.Fatal("dial through a refusing plan succeeded")
+	}
+	plan.RefuseDials(false)
+	if err := dial(); err != nil {
+		t.Fatalf("dial after lifting the refusal failed: %v", err)
+	}
+
+	if plan.Dials() != 9 {
+		t.Fatalf("plan counted %d dials, want 9 (refused ones included)", plan.Dials())
+	}
+}
+
+func TestNetworkDefaultPlanAppliesToUnknownAddrs(t *testing.T) {
+	nw := NewNetwork(1)
+	nw.Default().RefuseDials(true)
+	if _, err := nw.Dial("tcp", "127.0.0.1:1", time.Second); err == nil {
+		t.Fatal("default-plan refusal did not apply to an unplanned address")
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	a, b := NewNetwork(42), NewNetwork(42)
+	other := NewNetwork(43)
+	var diverged bool
+	for i := 0; i < 100; i++ {
+		x, y := a.Rand(), b.Rand()
+		if x != y {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, x, y)
+		}
+		if x < 0 || x >= 1 {
+			t.Fatalf("draw %d out of [0,1): %v", i, x)
+		}
+		if x != other.Rand() {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}

@@ -21,20 +21,29 @@ import (
 // stream.WriteMsg; a migrate body is a raw checkpoint stream
 // (checkpoint.WriteStream), self-delimiting via its manifest.
 const (
-	verbJoin     = byte(1) // memberMsg → ack with full membership
-	verbAnnounce = byte(2) // memberMsg → ack (add member + rebalance)
-	verbLeave    = byte(3) // memberMsg → ack (remove member)
-	verbMigrate  = byte(4) // checkpoint stream → ack with restored count
+	verbJoin      = byte(1) // memberMsg → ack with full membership
+	verbAnnounce  = byte(2) // memberMsg → ack (add member + rebalance)
+	verbLeave     = byte(3) // memberMsg → ack (remove member)
+	verbMigrate   = byte(4) // checkpoint stream → ack with restored count
+	verbPing      = byte(5) // memberMsg → ack (heartbeat; also beats the detector)
+	verbReplicate = byte(6) // memberMsg handshake, then a replication tail with one ack per batch
+	verbLocate    = byte(7) // locateMsg → ack with owner, owner addr, ingest addr
 )
 
 // ioTimeout bounds one inter-node exchange; migrations carry whole models,
-// so this is generous next to the control-message round trips.
+// so this is generous next to the control-message round trips. A replication
+// tail — the one long-lived connection — extends it per batch.
 const ioTimeout = 60 * time.Second
 
 // memberMsg is the control-plane body: the sender's identity.
 type memberMsg struct {
 	ID   string
 	Addr string
+}
+
+// locateMsg asks which member owns a routing key (verbLocate body).
+type locateMsg struct {
+	Key string
 }
 
 // ackMsg is every request's response.
@@ -46,8 +55,15 @@ type ackMsg struct {
 	// Handled is how many of a migrate stream's sessions the receiver fully
 	// consumed (restored or deliberately dropped), in stream order. On a
 	// failed migration the sender restores only the remainder locally, so a
-	// partial failure never leaves one session live on both nodes.
+	// partial failure never leaves one session live on both nodes. On a
+	// replication batch ack it is the standby's live replica count.
 	Handled int
+	// Owner, OwnerAddr and Source answer a locate: the owning member, its
+	// cluster endpoint, and — when the key's session is live on the answering
+	// node — the session's ingest address for re-homing streamers.
+	Owner     string
+	OwnerAddr string
+	Source    string
 }
 
 // NotOwnerError reports that a session key routes to another node; callers
@@ -74,10 +90,35 @@ type Config struct {
 	VNodes int
 	// Rebind attaches a live sample source to each migrated-in session, by
 	// the same contract as serve.SourceFactory on checkpoint restore:
-	// (nil, nil) drops the session, an error rejects the migration.
+	// (nil, nil) drops the session, an error rejects the migration. Failover
+	// promotion rebinds replica sessions through the same factory.
 	Rebind serve.SourceFactory
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
+
+	// Replicas is the warm-standby count: how many ring successors this node
+	// tails its dirty-session records to. 0 disables replication and
+	// promotion entirely (the pre-HA shape); cogarmd defaults to 1.
+	Replicas int
+	// ReplicateEvery is the replication interval — the staleness bound a
+	// promoted session can lose. 0 runs no loop: tests (and embedders that
+	// pace replication themselves) call ReplicateOnce directly.
+	ReplicateEvery time.Duration
+	// HeartbeatEvery is the ping interval. 0 runs no loop: tests call
+	// SendHeartbeats and DetectFailures directly with explicit clocks.
+	HeartbeatEvery time.Duration
+	// SuspectAfter and PhiThreshold tune the failure detector
+	// (DefaultSuspectAfter / DefaultPhiThreshold when zero): a member is
+	// reaped once it has been silent for SuspectAfter AND its silence is
+	// PhiThreshold times its observed mean heartbeat interval.
+	SuspectAfter time.Duration
+	PhiThreshold float64
+
+	// Dial overrides outbound connection establishment and WrapListener the
+	// inbound side — the fault-injection seams (faultnet.Network.Dial,
+	// faultnet.Listener). Nil means plain TCP.
+	Dial         func(network, addr string, timeout time.Duration) (net.Conn, error)
+	WrapListener func(net.Listener) net.Listener
 }
 
 // Node wraps one serving hub with a cluster endpoint: consistent-hash
@@ -90,13 +131,26 @@ type Node struct {
 	ring   *Ring
 	rebind serve.SourceFactory
 	logf   func(string, ...any)
+	dial   func(network, addr string, timeout time.Duration) (net.Conn, error)
 
 	ln        net.Listener
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+	stop      chan struct{}
 
 	mu    sync.Mutex
 	peers map[string]string // member id → addr, excluding self
+
+	// High-availability plane. det scores peer liveness; replicas holds the
+	// warm-standby images other members tail to this node; replMu serializes
+	// replication sweeps and owns links (one tail per standby) — it is the
+	// replication worker's private lock, never taken by serving paths.
+	det        *detector
+	replicaN   int
+	replicas   *replicaStore
+	replMu     sync.Mutex
+	links      map[string]*replLink
+	lastReplOK atomic.Int64 // unix nanos of the last fully acknowledged sweep
 
 	migratedIn  atomic.Uint64
 	migratedOut atomic.Uint64
@@ -123,24 +177,80 @@ func NewNode(cfg Config, hub *serve.Hub) (*Node, error) {
 	if id == "" {
 		id = ln.Addr().String()
 	}
+	if cfg.WrapListener != nil {
+		ln = cfg.WrapListener(ln)
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
 	n := &Node{
-		id:     id,
-		hub:    hub,
-		ring:   NewRing(cfg.VNodes),
-		rebind: cfg.Rebind,
-		logf:   logf,
-		ln:     ln,
-		peers:  map[string]string{},
+		id:       id,
+		hub:      hub,
+		ring:     NewRing(cfg.VNodes),
+		rebind:   cfg.Rebind,
+		logf:     logf,
+		dial:     dial,
+		ln:       ln,
+		stop:     make(chan struct{}),
+		peers:    map[string]string{},
+		det:      newDetector(cfg.SuspectAfter, cfg.PhiThreshold),
+		replicaN: cfg.Replicas,
+		replicas: newReplicaStore(),
+		links:    map[string]*replLink{},
 	}
 	n.ring.Add(id)
 	clusterTel().members.Set(float64(n.ring.Len()))
 	n.wg.Add(1)
 	go n.serve()
+	if cfg.HeartbeatEvery > 0 {
+		n.wg.Add(1)
+		go n.heartbeatLoop(cfg.HeartbeatEvery)
+	}
+	if cfg.Replicas > 0 && cfg.ReplicateEvery > 0 {
+		n.wg.Add(1)
+		go n.replicateLoop(cfg.ReplicateEvery)
+	}
 	return n, nil
+}
+
+// heartbeatLoop pings peers and reaps detected failures on a fixed cadence.
+func (n *Node) heartbeatLoop(every time.Duration) {
+	defer n.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+			n.SendHeartbeats()
+			n.DetectFailures(time.Now())
+		}
+	}
+}
+
+// replicateLoop ships a dirty-delta batch to every standby on a fixed
+// cadence. Errors are logged and retried next interval — the tail reconnects
+// and full-resyncs on its own.
+func (n *Node) replicateLoop(every time.Duration) {
+	defer n.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+			if err := n.ReplicateOnce(); err != nil {
+				n.logf("cluster: %s: %v", n.id, err)
+			}
+		}
+	}
 }
 
 // ID returns the node's ring identity.
@@ -155,13 +265,23 @@ func (n *Node) Hub() *serve.Hub { return n.hub }
 // Ring exposes the node's membership view (for diagnostics and drivers).
 func (n *Node) Ring() *Ring { return n.ring }
 
-// Close stops the cluster endpoint. It does not stop the hub (the caller
-// owns it) and does not migrate sessions away — use Drain first for a
-// graceful departure.
+// Close stops the cluster endpoint, the heartbeat/replication loops, and any
+// open replication tails. It does not stop the hub (the caller owns it) and
+// does not migrate sessions away — use Drain first for a graceful departure.
 func (n *Node) Close() error {
 	var err error
-	n.closeOnce.Do(func() { err = n.ln.Close() })
+	n.closeOnce.Do(func() {
+		close(n.stop)
+		err = n.ln.Close()
+	})
 	n.wg.Wait()
+	n.replMu.Lock()
+	for id, link := range n.links {
+		//cogarm:allow nolockblock -- final teardown: loops are joined, nothing else can want replMu
+		link.conn.Close()
+		delete(n.links, id)
+	}
+	n.replMu.Unlock()
 	return err
 }
 
@@ -269,7 +389,7 @@ func (n *Node) Drain() error {
 			time.Sleep(time.Duration(attempt+1) * 100 * time.Millisecond)
 		}
 		if err != nil {
-			n.logf("cluster: leave notification to %s failed after retries: %v — %s must be removed from its ring manually (restart it without this peer)", id, err, id)
+			n.logf("cluster: leave notification to %s failed after retries: %v — its failure detector will reap this node once it stops heartbeating", id, err)
 		}
 	}
 	n.logf("cluster: %s drained", n.id)
@@ -311,17 +431,26 @@ type Status struct {
 	Shares      map[string]float64 `json:"shares"`
 	MigratedIn  uint64             `json:"migrated_in"`
 	MigratedOut uint64             `json:"migrated_out"`
+	// Standbys lists the members this node replicates to; ReplicaOf the
+	// members whose warm-standby images this node holds; ReplicaSessions the
+	// session records in those images.
+	Standbys        []string `json:"standbys,omitempty"`
+	ReplicaOf       []string `json:"replica_of,omitempty"`
+	ReplicaSessions int      `json:"replica_sessions"`
 }
 
 // Status reports the node's ring view for the admin plane.
 func (n *Node) Status() any {
 	return Status{
-		ID:          n.id,
-		Addr:        n.Addr(),
-		Members:     n.ring.Nodes(),
-		Shares:      n.ring.Shares(),
-		MigratedIn:  n.migratedIn.Load(),
-		MigratedOut: n.migratedOut.Load(),
+		ID:              n.id,
+		Addr:            n.Addr(),
+		Members:         n.ring.Nodes(),
+		Shares:          n.ring.Shares(),
+		MigratedIn:      n.migratedIn.Load(),
+		MigratedOut:     n.migratedOut.Load(),
+		Standbys:        n.Standbys(),
+		ReplicaOf:       n.replicas.sources(),
+		ReplicaSessions: n.replicas.total(),
 	}
 }
 
@@ -337,6 +466,9 @@ func (n *Node) addMember(id, addr string) {
 	n.mu.Unlock()
 	already := n.ring.Has(id)
 	n.ring.Add(id)
+	// Liveness accounting starts at membership, not at first beat: a member
+	// that joins and never answers a single ping is reaped by deadline alone.
+	n.det.Expect(id, time.Now())
 	if !already {
 		t := clusterTel()
 		t.joins.Inc()
@@ -349,6 +481,7 @@ func (n *Node) removeMember(id string) {
 	n.mu.Lock()
 	delete(n.peers, id)
 	n.mu.Unlock()
+	n.det.Forget(id)
 	if n.ring.Has(id) {
 		n.ring.Remove(id)
 		t := clusterTel()
@@ -480,7 +613,7 @@ func (n *Node) migrationState(recs []checkpoint.SessionRecord) (*checkpoint.Flee
 // on failure (ack carrying an error) tells the caller where to resume local
 // restoration; without an ack at all it returns 0.
 func (n *Node) sendMigration(addr string, state *checkpoint.FleetState) (int, error) {
-	conn, err := net.DialTimeout("tcp", addr, ioTimeout)
+	conn, err := n.dial("tcp", addr, ioTimeout)
 	if err != nil {
 		return 0, err
 	}
@@ -587,9 +720,57 @@ func (n *Node) handle(conn net.Conn) {
 			}
 			writeAck(conn, ackMsg{})
 		case verbLeave:
+			// A clean leave also clears any replica image of the departing
+			// member: it drained its sessions away, so promoting a stale
+			// replica later would resurrect duplicates.
 			n.removeMember(msg.ID)
+			n.replicas.drop(msg.ID)
+			clusterTel().replicaSessions.Set(float64(n.replicas.total()))
 			writeAck(conn, ackMsg{})
 		}
+	case verbPing:
+		msg, _, err := readMemberMsg(conn, nil)
+		if err != nil {
+			writeAck(conn, ackMsg{Err: err.Error()})
+			return
+		}
+		if !n.ring.Has(msg.ID) {
+			// A reaped member still pinging gets a loud refusal, not a beat:
+			// its Drain-less restart must re-Join, not linger as a ghost.
+			writeAck(conn, ackMsg{Err: fmt.Sprintf("unknown member %s", msg.ID)})
+			return
+		}
+		n.det.Beat(msg.ID, time.Now())
+		writeAck(conn, ackMsg{})
+	case verbReplicate:
+		// An inbound tail is the one long-lived connection, and closing the
+		// listener does not close conns it already accepted — so tie the tail
+		// to node shutdown, or Close would wait out a full read deadline on
+		// every live tail.
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-n.stop:
+				conn.Close()
+			case <-done:
+			}
+		}()
+		n.handleReplicate(conn)
+		close(done)
+	case verbLocate:
+		msg, _, err := readLocateMsg(conn, nil)
+		if err != nil {
+			writeAck(conn, ackMsg{Err: err.Error()})
+			return
+		}
+		owner, addr, local := n.Owner(msg.Key)
+		ack := ackMsg{Owner: owner, OwnerAddr: addr}
+		if local {
+			if sa, ok := n.hub.SourceAddrByTag(msg.Key); ok {
+				ack.Source = sa
+			}
+		}
+		writeAck(conn, ack)
 	case verbMigrate:
 		handled, err := n.receiveMigration(conn)
 		if err != nil {
@@ -667,12 +848,18 @@ func (n *Node) receiveMigration(conn net.Conn) (int, error) {
 // buffer for the ack payload (stream.ReadMsgBuf); loops over many peers pass
 // one buffer across iterations and get the grown buffer back.
 func (n *Node) call(addr string, verb byte, msg memberMsg, buf []byte) (*ackMsg, []byte, error) {
-	conn, err := net.DialTimeout("tcp", addr, ioTimeout)
+	return n.callTimeout(addr, verb, msg, buf, ioTimeout)
+}
+
+// callTimeout is call with an explicit exchange bound — heartbeats use a
+// tight one so a dead peer costs pingTimeout, not a migration timeout.
+func (n *Node) callTimeout(addr string, verb byte, msg memberMsg, buf []byte, timeout time.Duration) (*ackMsg, []byte, error) {
+	conn, err := n.dial("tcp", addr, timeout)
 	if err != nil {
 		return nil, buf, err
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(ioTimeout))
+	conn.SetDeadline(time.Now().Add(timeout))
 	if _, err := conn.Write([]byte{verb}); err != nil {
 		return nil, buf, err
 	}

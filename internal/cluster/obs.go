@@ -21,7 +21,22 @@ type clusterObs struct {
 	migrateFails  *obs.Counter
 	joins         *obs.Counter
 	leaves        *obs.Counter
-	events        *obs.EventRing
+
+	// High-availability plane: heartbeat outcomes, detector reaps, failover
+	// promotions, and the replication tail's traffic and health.
+	hbOK            *obs.Counter
+	hbFail          *obs.Counter
+	reaps           *obs.Counter
+	failovers       *obs.Counter
+	promoted        *obs.Counter
+	replBatchesOut  *obs.Counter
+	replBatchesIn   *obs.Counter
+	replRecords     *obs.Counter
+	replFails       *obs.Counter
+	replLag         *obs.Gauge
+	replicaSessions *obs.Gauge
+
+	events *obs.EventRing
 }
 
 var (
@@ -52,6 +67,32 @@ func clusterTel() *clusterObs {
 				"Members added to this node's ring (own join included)."),
 			leaves: reg.Counter("cogarm_cluster_member_leaves_total",
 				"Members removed from this node's ring (own drain included)."),
+			hbOK: reg.Counter("cogarm_cluster_heartbeats_total",
+				"Heartbeat exchanges by result.",
+				obs.L("result", "ok")),
+			hbFail: reg.Counter("cogarm_cluster_heartbeats_total",
+				"Heartbeat exchanges by result.",
+				obs.L("result", "fail")),
+			reaps: reg.Counter("cogarm_cluster_member_reaps_total",
+				"Members removed by the failure detector (missed heartbeats), ghost members from failed leave notifications included."),
+			failovers: reg.Counter("cogarm_cluster_failovers_total",
+				"Failovers performed by this node (replica sets promoted to live serving)."),
+			promoted: reg.Counter("cogarm_cluster_promoted_sessions_total",
+				"Replica sessions promoted to live serving on failover."),
+			replBatchesOut: reg.Counter("cogarm_cluster_replication_batches_total",
+				"Replication tail batches, by direction.",
+				obs.L("direction", "out")),
+			replBatchesIn: reg.Counter("cogarm_cluster_replication_batches_total",
+				"Replication tail batches, by direction.",
+				obs.L("direction", "in")),
+			replRecords: reg.Counter("cogarm_cluster_replicated_session_records_total",
+				"Dirty session records shipped on replication tails (sender side)."),
+			replFails: reg.Counter("cogarm_cluster_replication_failures_total",
+				"Replication batches that failed (sender side; the tail reconnects and full-resyncs)."),
+			replLag: reg.Gauge("cogarm_cluster_replication_lag_seconds",
+				"Seconds since every standby last acknowledged a replication batch (0 = fully replicated this interval)."),
+			replicaSessions: reg.Gauge("cogarm_cluster_replica_sessions",
+				"Warm-standby session records this node holds for other members."),
 			events: obs.DefaultEvents(),
 		}
 	})

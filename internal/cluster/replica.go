@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"cognitivearm/internal/checkpoint"
+	"cognitivearm/internal/models"
+)
+
+// Warm-standby replication. The sender half (Node.ReplicateOnce) captures
+// the hub's dirty-session delta — the same records an incremental checkpoint
+// writes — and tails it to this node's ring successors over long-lived
+// verbReplicate connections, one checkpoint.TailWriter per standby. The
+// receiver half (Node.handleReplicate) folds each batch into a replicaStore:
+// an in-memory, always-promotable image of the primary's sessions, at most
+// one replication interval stale. Promotion (failover.go) turns that image
+// into live serving sessions via serve.Hub.PromoteSession.
+
+// replicaSet is the accumulated replica image of one primary.
+type replicaSet struct {
+	// hub is the primary's serving configuration, kept for diagnostics; the
+	// standby promotes into its own hub, not a reconstruction of the
+	// primary's.
+	hub checkpoint.HubConfig
+	// epoch is the last applied batch's per-connection sequence number.
+	// Batches must arrive gap-free (epoch+1); anything else means a batch
+	// was lost or a stale connection is still writing, and the tail is torn
+	// down so the next connection full-resyncs.
+	epoch uint64
+	// models and macs accumulate across tails: model weights are immutable
+	// once resolved, so an image from an earlier connection stays valid.
+	models map[string]models.Classifier
+	macs   map[string]int64
+	// sessions is the promotable image: every live session's latest
+	// replicated record, volatile scheduler fields already overlaid.
+	sessions map[uint64]checkpoint.SessionRecord
+	batches  uint64
+	lastAt   time.Time
+}
+
+// replicaStore holds one replicaSet per primary replicating to this node.
+// Its mutex is a leaf lock guarding pure map bookkeeping: batches are
+// decoded from the network and sessions are promoted strictly outside it
+// (take removes the whole set first), so no network, disk, or hub call ever
+// runs under it.
+type replicaStore struct {
+	mu  sync.Mutex
+	set map[string]*replicaSet
+}
+
+func newReplicaStore() *replicaStore {
+	return &replicaStore{set: map[string]*replicaSet{}}
+}
+
+// beginTail resets the session image for a primary opening a fresh
+// replication connection. Models survive the reset (immutable), the session
+// image does not: the new tail's first batch is a full resync, and stale
+// records must not outlive the connection that shipped them.
+func (s *replicaStore) beginTail(src string) {
+	s.mu.Lock()
+	rs, ok := s.set[src]
+	if !ok {
+		rs = &replicaSet{
+			models: map[string]models.Classifier{},
+			macs:   map[string]int64{},
+		}
+		s.set[src] = rs
+	}
+	rs.sessions = map[uint64]checkpoint.SessionRecord{}
+	rs.epoch = 0
+	s.mu.Unlock()
+}
+
+// apply folds one decoded batch into src's image and returns the live
+// session count afterwards. Any error means the image can no longer be
+// trusted — the caller tears the connection down and the next one resyncs
+// from scratch.
+func (s *replicaStore) apply(src string, batch *checkpoint.FleetState, now time.Time) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs, ok := s.set[src]
+	if !ok {
+		return 0, fmt.Errorf("cluster: replication batch from %s without an open tail", src)
+	}
+	if batch.Manifest.Seq != rs.epoch+1 {
+		return 0, fmt.Errorf("cluster: replication batch epoch %d from %s, want %d (stale connection?)", batch.Manifest.Seq, src, rs.epoch+1)
+	}
+	rs.epoch = batch.Manifest.Seq
+	rs.hub = batch.Manifest.Hub
+	for key, clf := range batch.Models {
+		rs.models[key] = clf
+		rs.macs[key] = batch.ModelMACs[key]
+	}
+	for i := range batch.Sessions {
+		rec := batch.Sessions[i]
+		rs.sessions[rec.ID] = rec
+	}
+	// The manifest's Refs are the primary's complete live view: prune
+	// departures, overlay the volatile scheduler fields onto clean records,
+	// and verify every ref resolves to a record at the right version — a
+	// mismatch means this tail missed state and must resync.
+	keep := make(map[uint64]checkpoint.SessionRef, len(batch.Manifest.Refs))
+	for _, ref := range batch.Manifest.Refs {
+		keep[ref.ID] = ref
+	}
+	for id := range rs.sessions {
+		if _, live := keep[id]; !live {
+			delete(rs.sessions, id)
+		}
+	}
+	for id, ref := range keep {
+		rec, ok := rs.sessions[id]
+		if !ok {
+			return 0, fmt.Errorf("cluster: replica of %s out of sync: no record for live session %d", src, id)
+		}
+		if rec.Ver != ref.Ver {
+			return 0, fmt.Errorf("cluster: replica of %s out of sync: session %d at ver %d, primary at %d", src, id, rec.Ver, ref.Ver)
+		}
+		rec.SampleAcc = ref.SampleAcc
+		rec.IdleTicks = ref.IdleTicks
+		rs.sessions[id] = rec
+	}
+	rs.batches++
+	rs.lastAt = now
+	return len(rs.sessions), nil
+}
+
+// take removes and returns src's image — the promotion handoff. Promotion
+// happens on the returned copy outside the store lock.
+func (s *replicaStore) take(src string) (*replicaSet, bool) {
+	s.mu.Lock()
+	rs, ok := s.set[src]
+	delete(s.set, src)
+	s.mu.Unlock()
+	return rs, ok
+}
+
+// drop discards src's image (clean leave, or a reap another member handles).
+func (s *replicaStore) drop(src string) {
+	s.mu.Lock()
+	delete(s.set, src)
+	s.mu.Unlock()
+}
+
+// total counts replica session records across all primaries (gauge feed).
+func (s *replicaStore) total() int {
+	s.mu.Lock()
+	n := 0
+	for _, rs := range s.set {
+		n += len(rs.sessions)
+	}
+	s.mu.Unlock()
+	return n
+}
+
+// sources lists the primaries with open images, sorted.
+func (s *replicaStore) sources() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.set))
+	for src := range s.set {
+		out = append(out, src)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// replLink is one live replication tail to a standby.
+type replLink struct {
+	target   string
+	conn     net.Conn
+	tw       *checkpoint.TailWriter
+	lastRefs map[uint64]checkpoint.SessionRef
+	ackBuf   []byte
+}
+
+// Standbys returns this node's current replication targets: its ring
+// successors, replicaN deep.
+func (n *Node) Standbys() []string {
+	if n.replicaN <= 0 {
+		return nil
+	}
+	return n.ring.Successors(n.id, n.replicaN)
+}
+
+// ReplicateOnce ships one dirty-delta batch to every standby, opening or
+// reopening tails as needed. It is the body of the replication loop and the
+// manual drive of deterministic tests. Links to members that are no longer
+// standbys (membership changed) are torn down; a failed batch tears its link
+// down and the next call reconnects with a full resync. Returns the first
+// error encountered; the other standbys are still attempted.
+func (n *Node) ReplicateOnce() error {
+	if n.replicaN <= 0 {
+		return nil
+	}
+	// replMu serializes replication sweeps and owns n.links; network writes
+	// happen while it is held by design — it is the replication worker's
+	// private state, never taken by the serving or membership paths.
+	n.replMu.Lock()
+	defer n.replMu.Unlock()
+	targets := n.Standbys()
+	want := make(map[string]struct{}, len(targets))
+	for _, t := range targets {
+		want[t] = struct{}{}
+	}
+	for id, link := range n.links {
+		if _, still := want[id]; !still {
+			//cogarm:allow nolockblock -- replMu is the sweep's private lock (see above); Close here cannot stall serving
+			link.conn.Close()
+			delete(n.links, id)
+		}
+	}
+	t := clusterTel()
+	if len(targets) == 0 {
+		// Singleton fleet: nothing to replicate to is not staleness — a
+		// climbing lag gauge here would page on every one-node deployment.
+		t.replLag.Set(0)
+		return nil
+	}
+	var firstErr error
+	allOK := len(targets) > 0
+	for _, target := range targets {
+		link, ok := n.links[target]
+		if !ok {
+			var err error
+			//cogarm:allow nolockblock -- dialing under replMu serializes sweeps by design; no serving path waits on it
+			if link, err = n.linkTo(target); err != nil {
+				t.replFails.Inc()
+				allOK = false
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cluster: replication tail to %s: %w", target, err)
+				}
+				continue
+			}
+			n.links[target] = link
+		}
+		//cogarm:allow nolockblock -- shipping under replMu serializes sweeps by design; no serving path waits on it
+		if err := n.shipBatch(link); err != nil {
+			//cogarm:allow nolockblock -- tearing down the failed link, same private-lock argument
+			link.conn.Close()
+			delete(n.links, target)
+			t.replFails.Inc()
+			allOK = false
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: replication batch to %s: %w", target, err)
+			}
+		}
+	}
+	now := time.Now()
+	if allOK {
+		n.lastReplOK.Store(now.UnixNano())
+		t.replLag.Set(0)
+	} else if last := n.lastReplOK.Load(); last > 0 {
+		t.replLag.Set(now.Sub(time.Unix(0, last)).Seconds())
+	}
+	return firstErr
+}
+
+// linkTo opens a replication tail to a standby: dial, verb, identity
+// handshake, tail header. The handshake ack proves the standby recognises
+// this node as a ring member before any state is shipped.
+func (n *Node) linkTo(target string) (*replLink, error) {
+	n.mu.Lock()
+	addr, ok := n.peers[target]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("no address for member %s", target)
+	}
+	conn, err := n.dial("tcp", addr, ioTimeout)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*replLink, error) {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(ioTimeout))
+	if _, err := conn.Write([]byte{verbReplicate}); err != nil {
+		return fail(err)
+	}
+	if err := writeMemberMsg(conn, memberMsg{ID: n.id, Addr: n.Addr()}); err != nil {
+		return fail(err)
+	}
+	ack, _, err := readAck(conn, nil)
+	if err != nil {
+		return fail(err)
+	}
+	if ack.Err != "" {
+		return fail(fmt.Errorf("remote: %s", ack.Err))
+	}
+	tw, err := checkpoint.NewTailWriter(conn)
+	if err != nil {
+		return fail(err)
+	}
+	return &replLink{target: target, conn: conn, tw: tw}, nil
+}
+
+// shipBatch captures the dirty delta since the link's last acknowledged
+// batch and writes it down the tail, waiting for the standby's ack. Only an
+// acknowledged batch advances lastRefs, so a batch the standby never
+// applied is recaptured (as still-dirty sessions) by the next connection.
+func (n *Node) shipBatch(link *replLink) error {
+	delta := n.hub.CaptureDelta(link.lastRefs)
+	link.conn.SetDeadline(time.Now().Add(ioTimeout))
+	_, sessions, err := link.tw.WriteBatch(delta)
+	if err != nil {
+		return err
+	}
+	ack, buf, err := readAck(link.conn, link.ackBuf)
+	link.ackBuf = buf
+	if err != nil {
+		return err
+	}
+	if ack.Err != "" {
+		return fmt.Errorf("remote: %s", ack.Err)
+	}
+	link.lastRefs = delta.Manifest.RefIndex()
+	t := clusterTel()
+	t.replBatchesOut.Inc()
+	t.replRecords.Add(uint64(sessions))
+	return nil
+}
+
+// handleReplicate serves the receiving half of one replication tail: an
+// identity handshake, then batches applied to the replica store until the
+// connection closes. This is the one long-lived verb — the per-batch ack
+// doubles as flow control, and every applied batch also counts as a
+// heartbeat from the primary (a node that is replicating is alive).
+func (n *Node) handleReplicate(conn net.Conn) {
+	msg, _, err := readMemberMsg(conn, nil)
+	if err != nil {
+		writeAck(conn, ackMsg{Err: err.Error()})
+		return
+	}
+	if !n.ring.Has(msg.ID) {
+		writeAck(conn, ackMsg{Err: fmt.Sprintf("unknown member %s", msg.ID)})
+		return
+	}
+	if err := writeAck(conn, ackMsg{}); err != nil {
+		return
+	}
+	n.replicas.beginTail(msg.ID)
+	tr, err := checkpoint.NewTailReader(conn)
+	if err != nil {
+		n.logf("cluster: replication tail from %s: %v", msg.ID, err)
+		return
+	}
+	t := clusterTel()
+	for {
+		conn.SetDeadline(time.Now().Add(ioTimeout))
+		batch, err := tr.ReadBatch()
+		if err != nil {
+			if err != io.EOF {
+				n.logf("cluster: replication tail from %s: %v", msg.ID, err)
+			}
+			return
+		}
+		live, err := n.replicas.apply(msg.ID, batch, time.Now())
+		if err != nil {
+			n.logf("cluster: replication tail from %s: %v", msg.ID, err)
+			writeAck(conn, ackMsg{Err: err.Error()})
+			return
+		}
+		n.det.Beat(msg.ID, time.Now())
+		t.replBatchesIn.Inc()
+		t.replicaSessions.Set(float64(n.replicas.total()))
+		if err := writeAck(conn, ackMsg{Handled: live}); err != nil {
+			return
+		}
+	}
+}

@@ -24,10 +24,20 @@
 //     capture-and-remove) on the sending side and Hub.RestoreSession on the
 //     receiving side.
 //
-// The package deliberately has no consensus layer: membership is operator
-// driven (-peers, Join, Drain), matching the deployment shape of a serving
-// fleet behind a provisioning system, and every node converges to the same
-// ring because the hash is deterministic.
+//   - High availability (detector.go, replica.go, failover.go) keeps the
+//     fleet serving through node death: each node tails its dirty-session
+//     records to ring-successor standbys (the same records incremental
+//     checkpoints compute), heartbeats feed a phi/deadline failure detector,
+//     and a member that stops answering is reaped from the ring with its
+//     replica sessions promoted in place on the standby — bitwise-exact
+//     continuation from the last replicated record.
+//
+// The package deliberately has no consensus layer: membership converges
+// because the hash is deterministic and reaping is local — each node removes
+// a dead member from its own ring view when its own detector fires, so a
+// partitioned minority can diverge until the partition heals (documented in
+// OPERATIONS.md). This matches the deployment shape of a serving fleet
+// behind a provisioning system.
 package cluster
 
 import (
@@ -161,6 +171,32 @@ func (r *Ring) Owner(key string) (string, bool) {
 		i = 0 // wrap past the highest point
 	}
 	return r.points[i].node, true
+}
+
+// Successors returns up to n distinct members clockwise of node's first
+// virtual point, excluding node itself — the deterministic standby order for
+// warm-standby replication. Every member that agrees on the ring computes
+// the same successor list without coordination, which is what lets the
+// survivors of a node death agree on who promotes its replicas.
+func (r *Ring) Successors(node string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	h := hashKey(node + "#0")
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash > h })
+	out := make([]string, 0, n)
+	seen := map[string]struct{}{node: {}}
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
 }
 
 // Shares returns each member's owned fraction of the hash space — the

@@ -44,6 +44,29 @@ func readMemberMsg(r io.Reader, buf []byte) (memberMsg, []byte, error) {
 	return msg, payload, nil
 }
 
+func writeLocateMsg(w io.Writer, msg locateMsg) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
+		return err
+	}
+	return stream.WriteMsg(w, buf.Bytes())
+}
+
+func readLocateMsg(r io.Reader, buf []byte) (locateMsg, []byte, error) {
+	payload, err := stream.ReadMsgBuf(r, buf)
+	if err != nil {
+		return locateMsg{}, buf, err
+	}
+	var msg locateMsg
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
+		return locateMsg{}, payload, fmt.Errorf("cluster: malformed locate message: %w", err)
+	}
+	if msg.Key == "" {
+		return locateMsg{}, payload, fmt.Errorf("cluster: locate message without key")
+	}
+	return msg, payload, nil
+}
+
 func writeAck(w io.Writer, ack ackMsg) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&ack); err != nil {

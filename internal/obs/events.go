@@ -41,6 +41,11 @@ const (
 	EvDrain
 	// EvInletDrop: a network inlet discarded a malformed frame.
 	EvInletDrop
+	// EvReap: the failure detector removed an unresponsive member (members, 0).
+	EvReap
+	// EvFailover: replica sessions of a dead member were promoted to live
+	// serving here (sessions, 0).
+	EvFailover
 	evSentinel // keep last
 )
 
@@ -58,6 +63,8 @@ var eventNames = [...]string{
 	EvLeave:                 "leave",
 	EvDrain:                 "drain",
 	EvInletDrop:             "inlet_drop",
+	EvReap:                  "reap",
+	EvFailover:              "failover",
 }
 
 // argNames maps each type's A/B arguments to JSON field names; an empty name
@@ -71,6 +78,8 @@ var argNames = [...][2]string{
 	EvJoin:                  {"members", ""},
 	EvLeave:                 {"members", ""},
 	EvDrain:                 {"members", ""},
+	EvReap:                  {"members", ""},
+	EvFailover:              {"sessions", ""},
 	evSentinel:              {},
 }
 

@@ -117,6 +117,44 @@ func (h *Hub) captureState(prev *checkpoint.Manifest) *checkpoint.FleetState {
 	return state
 }
 
+// CaptureDelta snapshots the hub's dirty state since prev — the same
+// dirty-record sweep an incremental checkpoint performs, aimed at a
+// replication tail instead of a directory. The returned state carries full
+// records only for sessions whose signal path advanced since prev (or that
+// prev does not know), the complete live view in Manifest.Refs (so the
+// receiver prunes departures and overlays the volatile scheduler fields),
+// and every resolved model in Models — checkpoint.TailWriter deduplicates
+// models per connection, so resending the map costs nothing after the first
+// batch. A nil prev marks everything dirty: the full-resync first batch of a
+// fresh replication connection.
+//
+// Shard counter baselines deliberately stay home, exactly as in migration:
+// a promoted replica is a new serving fleet, not a metrics continuation.
+func (h *Hub) CaptureDelta(prev map[uint64]checkpoint.SessionRef) *checkpoint.FleetState {
+	h.mu.Lock()
+	state := &checkpoint.FleetState{
+		Manifest: checkpoint.Manifest{
+			Hub: checkpoint.HubConfig{
+				Shards:              h.cfg.Shards,
+				MaxSessionsPerShard: h.cfg.MaxSessionsPerShard,
+				TickHz:              h.cfg.TickHz,
+				MaxIdleTicks:        h.cfg.MaxIdleTicks,
+				LatencyWindow:       h.cfg.LatencyWindow,
+			},
+			NextID: uint64(h.nextID),
+		},
+	}
+	shards := h.shards
+	h.mu.Unlock()
+	for _, s := range shards {
+		recs, refs := s.captureSessions(prev)
+		state.Sessions = append(state.Sessions, recs...)
+		state.Manifest.Refs = append(state.Manifest.Refs, refs...)
+	}
+	state.Models, state.ModelMACs = h.reg.Resolved()
+	return state
+}
+
 // captureSessions sweeps the shard under its lock (the brief pause a running
 // tick loop sees), returning full records for dirty sessions — ver moved
 // since prevRefs, pending samples buffered, or no previous record at all —
@@ -445,6 +483,34 @@ func (h *Hub) RestoreSession(rec *checkpoint.SessionRecord, src Source) (Session
 	return id, nil
 }
 
+// PromoteSession admits a replica session during failover. It is
+// RestoreSession with the placement policy's latency backpressure disabled:
+// a promotion refused for a transiently hot p99 would lose the session
+// outright, which is strictly worse than serving it on a busy shard — so
+// only the hard per-shard capacity bound can refuse a promotion. Everything
+// else matches migration-in exactly: fresh local ID, local placement,
+// bitwise signal-path resume from the record.
+func (h *Hub) PromoteSession(rec *checkpoint.SessionRecord, src Source) (SessionID, error) {
+	if src == nil {
+		return 0, fmt.Errorf("serve: promote session %d: nil source", rec.ID)
+	}
+	clf, _, ok := h.reg.Get(rec.ModelKey)
+	if !ok {
+		closeSource(src)
+		return 0, fmt.Errorf("serve: promote session %d: model %q not in registry", rec.ID, rec.ModelKey)
+	}
+	sess, err := sessionFromRecord(rec, clf, src)
+	if err != nil {
+		return 0, err
+	}
+	id, err := h.admitSessionWith(sess, LeastLoaded{MaxP99Frac: -1})
+	if err != nil {
+		closeSource(sess.cfg.Source)
+		return 0, err
+	}
+	return id, nil
+}
+
 // RestoreHubDir loads the newest valid checkpoint under root and restores a
 // hub from it — the one-call resume path for daemons. It returns
 // checkpoint.ErrNoCheckpoint (wrapped) when root holds no checkpoint yet.
@@ -537,6 +603,16 @@ func (p *pendingSource) SnapshotPending() []stream.Sample {
 		out = append(out, snap.SnapshotPending()...)
 	}
 	return out
+}
+
+// SourceAddr forwards AddrSource through the replay wrapper, so a freshly
+// promoted session's inlet address is discoverable before its pending
+// samples drain.
+func (p *pendingSource) SourceAddr() string {
+	if a, ok := p.src.(AddrSource); ok {
+		return a.SourceAddr()
+	}
+	return ""
 }
 
 // Close implements io.Closer, forwarding to the wrapped source.

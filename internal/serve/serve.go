@@ -228,9 +228,16 @@ func (h *Hub) Admit(sc SessionConfig) (SessionID, error) {
 }
 
 // admitSession assigns a fresh ID to a fully built session and registers it
-// on the shard chosen by the placement policy. It is the shared tail of
-// Admit and RestoreSession (migration-in).
+// on the shard chosen by the hub's placement policy. It is the shared tail
+// of Admit and RestoreSession (migration-in).
 func (h *Hub) admitSession(sess *session) (SessionID, error) {
+	return h.admitSessionWith(sess, h.place)
+}
+
+// admitSessionWith is admitSession under an explicit placement policy —
+// PromoteSession substitutes one that ignores latency backpressure, because
+// refusing a failover promotion loses the session outright.
+func (h *Hub) admitSessionWith(sess *session, place Placement) (SessionID, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	infos := make([]ShardInfo, len(h.shards))
@@ -244,7 +251,7 @@ func (h *Hub) admitSession(sess *session) (SessionID, error) {
 			TickBudget: budget,
 		}
 	}
-	idx, err := h.place.Place(infos)
+	idx, err := place.Place(infos)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrFleetFull):
@@ -279,6 +286,38 @@ func (h *Hub) admitSession(sess *session) (SessionID, error) {
 		h.tel.events.Record(obs.EvAdmit, idx, uint64(sess.id), 0, 0)
 	}
 	return sess.id, nil
+}
+
+// SourceAddrByTag reports the local ingest address (e.g. a UDP inlet's bound
+// address) of the live session carrying tag, when its source exposes one via
+// AddrSource. The cluster redirect protocol serves this to re-homing
+// streamers so they can re-point at the promoted session's inlet without
+// operator involvement. The address is read outside the shard lock — sources
+// may consult sockets to answer.
+func (h *Hub) SourceAddrByTag(tag string) (string, bool) {
+	var src Source
+	for _, s := range h.shards {
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			if sess.cfg.Tag == tag {
+				src = sess.cfg.Source
+				break
+			}
+		}
+		s.mu.Unlock()
+		if src != nil {
+			break
+		}
+	}
+	if src == nil {
+		return "", false
+	}
+	if as, ok := src.(AddrSource); ok {
+		if addr := as.SourceAddr(); addr != "" {
+			return addr, true
+		}
+	}
+	return "", false
 }
 
 // SessionKeys returns a point-in-time map of live session IDs to their Tags —

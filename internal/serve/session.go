@@ -43,6 +43,15 @@ type PendingSnapshotter interface {
 	SnapshotPending() []stream.Sample
 }
 
+// AddrSource is the optional Source extension of the cluster redirect
+// protocol: sources fed by a locally bound socket (UDP/LSL inlets) report
+// the address a remote streamer should send to, so a re-homing client can
+// discover the promoted session's new inlet instead of being re-pointed by
+// hand. An empty string means "no routable ingest address".
+type AddrSource interface {
+	SourceAddr() string
+}
+
 // RingSource adapts a *stream.Ring — e.g. the receive buffer of a
 // stream.UDPInlet or stream.LSLInlet — to the Source interface.
 type RingSource struct {
@@ -68,6 +77,15 @@ func (r RingSource) SnapshotPending() []stream.Sample { return r.Ring.Snapshot()
 // PendingLen reports buffered-but-unread samples without copying them — the
 // cheap dirtiness probe of the incremental checkpoint path.
 func (r RingSource) PendingLen() int { return r.Ring.Len() }
+
+// SourceAddr implements AddrSource when the attached Closer is an inlet that
+// knows its bound address (stream.UDPInlet, stream.LSLOutlet-style Addr).
+func (r RingSource) SourceAddr() string {
+	if a, ok := r.Closer.(interface{ Addr() string }); ok {
+		return a.Addr()
+	}
+	return ""
+}
 
 // Close implements io.Closer.
 func (r RingSource) Close() error {
