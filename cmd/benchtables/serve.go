@@ -6,6 +6,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"cognitivearm/internal/board"
@@ -19,24 +20,42 @@ import (
 // BENCH_serve.json, so the fleet path's perf trajectory (µs/inference,
 // allocs/op, checkpoint latency at 100 sessions) is tracked across PRs by a
 // machine-readable artefact instead of buried bench logs.
+//
+// Telemetry-on and telemetry-off fleets are measured in interleaved repeats
+// (alternating order, median of serveBenchRepeats chunks each) so slow drift
+// — CPU frequency scaling, cache warmth, background load — cancels instead
+// of landing entirely on whichever pass ran second; sequential passes once
+// produced a nonsensical negative "telemetry overhead".
 
-// serveBenchReport is the schema of BENCH_serve.json.
+// serveBenchReport is the schema of BENCH_serve.json. us_per_inference and
+// allocs_per_tick are the benchgate contract (scripts/benchgate.go) and keep
+// their meaning: telemetry on, serial kernels.
 type serveBenchReport struct {
-	Sessions int                        `json:"sessions"`
-	Shards   int                        `json:"shards"`
-	Models   map[string]serveModelBench `json:"models"`
-	Ckpt     serveCkptBench             `json:"checkpoint"`
+	Sessions   int                        `json:"sessions"`
+	Shards     int                        `json:"shards"`
+	GoMaxProcs int                        `json:"gomaxprocs"`
+	Models     map[string]serveModelBench `json:"models"`
+	Ckpt       serveCkptBench             `json:"checkpoint"`
 }
 
 type serveModelBench struct {
 	// UsPerInference is measured with telemetry enabled — the production
 	// shape; UsPerInferenceBare disables it (serve.Config.DisableTelemetry)
-	// so the delta is the measured cost of the instrumentation itself.
+	// so the delta is the measured cost of the instrumentation itself. Both
+	// are medians of interleaved repeats on the serial kernel path.
 	UsPerInference       float64 `json:"us_per_inference"`
 	UsPerInferenceBare   float64 `json:"us_per_inference_bare"`
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
-	AllocsPerTick        float64 `json:"allocs_per_tick"`
-	MeanBatch            float64 `json:"mean_batch"`
+	// UsPerInferenceSerial repeats us_per_inference under its explicit name;
+	// UsPerInferenceParallel is the same fleet with the kernel pool at
+	// KernelThreads workers; UsPerInferenceQuantized serves the int8/int16
+	// twin (0 when the model has no quantized form or the gate rejected it).
+	UsPerInferenceSerial    float64 `json:"us_per_inference_serial"`
+	UsPerInferenceParallel  float64 `json:"us_per_inference_parallel"`
+	UsPerInferenceQuantized float64 `json:"us_per_inference_quantized"`
+	KernelThreads           int     `json:"kernel_threads"`
+	AllocsPerTick           float64 `json:"allocs_per_tick"`
+	MeanBatch               float64 `json:"mean_batch"`
 }
 
 type serveCkptBench struct {
@@ -46,16 +65,18 @@ type serveCkptBench struct {
 	IncrementalBytes int64   `json:"incremental_bytes"`
 }
 
+const (
+	serveBenchSessions = 100
+	serveBenchShards   = 4
+	serveBenchWarmup   = 25
+	serveBenchRepeats  = 5
+	serveBenchChunk    = 30 // ticks per measured chunk
+)
+
 // runServeBench builds a 100-session fleet per decoder family, measures the
-// steady-state tick loop, times a full and an incremental checkpoint, and
-// writes the report to outPath.
+// steady-state tick loop on the serial, parallel, and quantized paths, times
+// a full and an incremental checkpoint, and writes the report to outPath.
 func runServeBench(outPath string) {
-	const (
-		sessions = 100
-		shards   = 4
-		warmup   = 25
-		ticks    = 150
-	)
 	cfg := core.DefaultConfig()
 	cfg.SubjectIDs = []int{0}
 	cfg.SessionSeconds = 24
@@ -84,24 +105,63 @@ func runServeBench(outPath string) {
 		log.Fatal(err)
 	}
 
-	report := serveBenchReport{Sessions: sessions, Shards: shards, Models: map[string]serveModelBench{}}
+	// A second registry serves the same trained models through their
+	// quantized twins (gate at 0.7 on synthetic calibration: the benchmark
+	// measures kernel cost, not decoder accuracy).
+	qreg := serve.NewRegistry()
+	qreg.EnableQuantization(serve.QuantPolicy{MinAgreement: 0.7})
 	for _, key := range []string{"rf", "cnn"} {
-		// Telemetry-off pass first: same fleet shape, instrumentation
-		// compiled out of the tick path via the nil-handle guard.
-		bareHub, _ := buildServeBenchHub(reg, pipe, key, sessions, shards, true)
-		usBare, _, _ := measureServeTicks(bareHub, warmup, ticks)
-		bareHub.Stop()
+		clf, macs, ok := reg.Get(key)
+		if !ok {
+			log.Fatalf("model %q missing", key)
+		}
+		if _, _, err := qreg.GetOrBuild(key, func() (models.Classifier, int64, error) {
+			return clf, macs, nil
+		}); err != nil {
+			log.Printf("benchtables: %s quantization rejected, quantized column will be 0: %v", key, err)
+		}
+	}
 
-		hub, boards := buildServeBenchHub(reg, pipe, key, sessions, shards, false)
-		usOn, allocs, meanBatch := measureServeTicks(hub, warmup, ticks)
+	parallelThreads := runtime.GOMAXPROCS(0)
+	if parallelThreads > serve.MaxAutoKernelThreads {
+		parallelThreads = serve.MaxAutoKernelThreads
+	}
+
+	report := serveBenchReport{
+		Sessions:   serveBenchSessions,
+		Shards:     serveBenchShards,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Models:     map[string]serveModelBench{},
+	}
+	for _, key := range []string{"rf", "cnn"} {
+		hubBare, _ := buildServeBenchHub(reg, pipe, key, true, 1)
+		hubOn, boards := buildServeBenchHub(reg, pipe, key, false, 1)
+		usOn, usBare, allocs, meanBatch := measureInterleaved(hubOn, hubBare)
+		hubBare.Stop()
+
 		mb := serveModelBench{
-			UsPerInference:     usOn,
-			UsPerInferenceBare: usBare,
-			AllocsPerTick:      allocs,
-			MeanBatch:          meanBatch,
+			UsPerInference:       usOn,
+			UsPerInferenceBare:   usBare,
+			UsPerInferenceSerial: usOn,
+			KernelThreads:        parallelThreads,
+			AllocsPerTick:        allocs,
+			MeanBatch:            meanBatch,
 		}
 		if usBare > 0 {
 			mb.TelemetryOverheadPct = 100 * (usOn - usBare) / usBare
+		}
+
+		// Parallel pass: same fleet shape with the kernel pool attached.
+		hubPar, _ := buildServeBenchHub(reg, pipe, key, false, parallelThreads)
+		mb.UsPerInferenceParallel = measureMedian(hubPar)
+		hubPar.Stop()
+
+		// Quantized pass: int8 GEMM (cnn) / int16 forest (rf), serial kernels
+		// so the column isolates quantization from threading.
+		if _, _, ok := qreg.Get(key); ok {
+			hubQ, _ := buildServeBenchHub(qreg, pipe, key, false, 1)
+			mb.UsPerInferenceQuantized = measureMedian(hubQ)
+			hubQ.Stop()
 		}
 		report.Models[key] = mb
 
@@ -111,7 +171,7 @@ func runServeBench(outPath string) {
 				log.Fatal(err)
 			}
 			start := time.Now()
-			fullDir, err := hub.Checkpoint(root)
+			fullDir, err := hubOn.Checkpoint(root)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -124,10 +184,10 @@ func runServeBench(outPath string) {
 				b.Stop()
 			}
 			for i := 0; i < 5; i++ {
-				hub.TickAll()
+				hubOn.TickAll()
 			}
 			start = time.Now()
-			incDir, err := hub.Checkpoint(root)
+			incDir, err := hubOn.Checkpoint(root)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -135,7 +195,7 @@ func runServeBench(outPath string) {
 			report.Ckpt.IncrementalBytes = dirBytes(incDir)
 			os.RemoveAll(root)
 		}
-		hub.Stop()
+		hubOn.Stop()
 	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -145,23 +205,23 @@ func runServeBench(outPath string) {
 	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("== Serving benchmark (%d sessions, %d shards) ==\n", sessions, shards)
+	fmt.Printf("== Serving benchmark (%d sessions, %d shards, GOMAXPROCS %d) ==\n",
+		serveBenchSessions, serveBenchShards, report.GoMaxProcs)
 	for _, key := range []string{"rf", "cnn"} {
 		mb := report.Models[key]
-		fmt.Printf("%-4s %8.1f µs/inference (telemetry on, %+.1f%% vs %.1f bare)  %8.1f allocs/tick  mean batch %.1f\n",
-			key, mb.UsPerInference, mb.TelemetryOverheadPct, mb.UsPerInferenceBare, mb.AllocsPerTick, mb.MeanBatch)
+		fmt.Printf("%-4s %8.1f µs/inference serial (telemetry %+.1f%% vs %.1f bare)  parallel×%d %8.1f  quantized %8.1f  %5.1f allocs/tick  mean batch %.1f\n",
+			key, mb.UsPerInferenceSerial, mb.TelemetryOverheadPct, mb.UsPerInferenceBare,
+			mb.KernelThreads, mb.UsPerInferenceParallel, mb.UsPerInferenceQuantized,
+			mb.AllocsPerTick, mb.MeanBatch)
 	}
 	fmt.Printf("checkpoint: full %.1f ms / %d B, incremental %.1f ms / %d B\n",
 		report.Ckpt.FullMs, report.Ckpt.FullBytes, report.Ckpt.IncrementalMs, report.Ckpt.IncrementalBytes)
 	fmt.Printf("wrote %s\n\n", outPath)
 }
 
-// measureServeTicks warms the hub, then times a fixed tick count, returning
+// measureChunk times one fixed chunk of ticks on a warm hub, returning
 // µs/inference, allocs/tick, and the realised mean batch size.
-func measureServeTicks(hub *serve.Hub, warmup, ticks int) (usPerInf, allocsPerTick, meanBatch float64) {
-	for i := 0; i < warmup; i++ {
-		hub.TickAll()
-	}
+func measureChunk(hub *serve.Hub, ticks int) (usPerInf, allocsPerTick, meanBatch float64) {
 	before := hub.Snapshot()
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
@@ -183,19 +243,74 @@ func measureServeTicks(hub *serve.Hub, warmup, ticks int) (usPerInf, allocsPerTi
 	return usPerInf, allocsPerTick, meanBatch
 }
 
-func buildServeBenchHub(reg *serve.Registry, pipe *core.Pipeline, modelKey string, sessions, shards int, disableTelemetry bool) (*serve.Hub, []*board.SyntheticCyton) {
+// measureInterleaved warms both hubs, then measures them in alternating
+// chunks (order flipping each repeat so drift cancels) and reports the
+// median µs/inference of each, plus mean allocs/tick and batch size from the
+// telemetry-on hub.
+func measureInterleaved(hubOn, hubBare *serve.Hub) (usOn, usBare, allocs, meanBatch float64) {
+	for i := 0; i < serveBenchWarmup; i++ {
+		hubOn.TickAll()
+		hubBare.TickAll()
+	}
+	ons := make([]float64, 0, serveBenchRepeats)
+	bares := make([]float64, 0, serveBenchRepeats)
+	var allocSum, batchSum float64
+	for r := 0; r < serveBenchRepeats; r++ {
+		if r%2 == 0 {
+			ub, _, _ := measureChunk(hubBare, serveBenchChunk)
+			uo, a, mbatch := measureChunk(hubOn, serveBenchChunk)
+			bares, ons = append(bares, ub), append(ons, uo)
+			allocSum, batchSum = allocSum+a, batchSum+mbatch
+		} else {
+			uo, a, mbatch := measureChunk(hubOn, serveBenchChunk)
+			ub, _, _ := measureChunk(hubBare, serveBenchChunk)
+			bares, ons = append(bares, ub), append(ons, uo)
+			allocSum, batchSum = allocSum+a, batchSum+mbatch
+		}
+	}
+	return median(ons), median(bares), allocSum / serveBenchRepeats, batchSum / serveBenchRepeats
+}
+
+// measureMedian warms a hub and reports its median chunk µs/inference.
+func measureMedian(hub *serve.Hub) float64 {
+	for i := 0; i < serveBenchWarmup; i++ {
+		hub.TickAll()
+	}
+	us := make([]float64, 0, serveBenchRepeats)
+	for r := 0; r < serveBenchRepeats; r++ {
+		u, _, _ := measureChunk(hub, serveBenchChunk)
+		us = append(us, u)
+	}
+	return median(us)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func buildServeBenchHub(reg *serve.Registry, pipe *core.Pipeline, modelKey string, disableTelemetry bool, kernelThreads int) (*serve.Hub, []*board.SyntheticCyton) {
 	hub, err := serve.NewHub(serve.Config{
-		Shards:              shards,
-		MaxSessionsPerShard: (sessions + shards - 1) / shards,
+		Shards:              serveBenchShards,
+		MaxSessionsPerShard: (serveBenchSessions + serveBenchShards - 1) / serveBenchShards,
 		TickHz:              15,
 		LatencyWindow:       1024,
 		DisableTelemetry:    disableTelemetry,
+		KernelThreads:       kernelThreads,
 	}, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	boards := make([]*board.SyntheticCyton, 0, sessions)
-	for i := 0; i < sessions; i++ {
+	boards := make([]*board.SyntheticCyton, 0, serveBenchSessions)
+	for i := 0; i < serveBenchSessions; i++ {
 		brd := board.NewSyntheticCyton(eeg.NewSubject(0), uint64(i)*13+7, false)
 		if err := brd.Start(); err != nil {
 			log.Fatal(err)

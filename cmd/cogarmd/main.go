@@ -77,28 +77,31 @@ import (
 
 func main() {
 	var (
-		shards      = flag.Int("shards", 4, "worker shards (tick loops)")
-		maxSessions = flag.Int("max-sessions", 256, "admission cap per shard")
-		tickHz      = flag.Float64("tick", 15, "classification rate per session (Hz)")
-		subjects    = flag.Int("subjects", 8, "in-process demo subjects streamed over loopback")
-		listen      = flag.Int("listen", 0, "extra UDP inlets for external streamers (addresses printed)")
-		transport   = flag.String("transport", "udp", "demo-subject transport: udp | lsl")
-		idleEvict   = flag.Int("idle-evict", 300, "evict a session after this many silent ticks (0 = never)")
-		duration    = flag.Duration("duration", 0, "run time (0 = until SIGINT)")
-		report      = flag.Duration("report", 5*time.Second, "fleet snapshot interval")
-		seed        = flag.Uint64("seed", 1, "simulation seed")
-		ckptDir     = flag.String("checkpoint-dir", "", "fleet checkpoint directory (empty = no persistence)")
-		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (needs -checkpoint-dir)")
-		adminAddr   = flag.String("admin", "", "admin-plane HTTP endpoint (/metrics /statusz /healthz /events /debug/pprof); empty = disabled")
-		clusterAddr = flag.String("cluster", "", "inter-node endpoint to bind (e.g. 127.0.0.1:7946); empty = single-node")
-		nodeID      = flag.String("node-id", "", "ring identity of this node (defaults to the bound cluster address)")
-		peers       = flag.String("peers", "", "comma-separated cluster endpoints of existing members to join")
-		drain       = flag.Bool("drain", false, "on shutdown, migrate live sessions to surviving peers before exiting")
-		replicas    = flag.Int("replicas", 1, "warm-standby count: ring successors this node replicates its sessions to (0 = no HA)")
-		replEvery   = flag.Duration("replicate-every", cluster.DefaultReplicateEvery, "replication interval — the staleness bound a failover can lose")
-		heartbeat   = flag.Duration("heartbeat", cluster.DefaultHeartbeatEvery, "peer heartbeat interval (0 = no failure detection)")
-		suspect     = flag.Duration("suspect", cluster.DefaultSuspectAfter, "silence floor before a peer may be declared dead")
-		phi         = flag.Float64("phi", cluster.DefaultPhiThreshold, "suspicion threshold: silence as a multiple of a peer's mean heartbeat interval")
+		shards        = flag.Int("shards", 0, "worker shards (tick loops); 0 = derive from GOMAXPROCS")
+		maxSessions   = flag.Int("max-sessions", 256, "admission cap per shard")
+		tickHz        = flag.Float64("tick", 15, "classification rate per session (Hz)")
+		subjects      = flag.Int("subjects", 8, "in-process demo subjects streamed over loopback")
+		listen        = flag.Int("listen", 0, "extra UDP inlets for external streamers (addresses printed)")
+		transport     = flag.String("transport", "udp", "demo-subject transport: udp | lsl")
+		idleEvict     = flag.Int("idle-evict", 300, "evict a session after this many silent ticks (0 = never)")
+		duration      = flag.Duration("duration", 0, "run time (0 = until SIGINT)")
+		report        = flag.Duration("report", 5*time.Second, "fleet snapshot interval")
+		seed          = flag.Uint64("seed", 1, "simulation seed")
+		ckptDir       = flag.String("checkpoint-dir", "", "fleet checkpoint directory (empty = no persistence)")
+		ckptEvery     = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (needs -checkpoint-dir)")
+		adminAddr     = flag.String("admin", "", "admin-plane HTTP endpoint (/metrics /statusz /healthz /events /debug/pprof); empty = disabled")
+		clusterAddr   = flag.String("cluster", "", "inter-node endpoint to bind (e.g. 127.0.0.1:7946); empty = single-node")
+		nodeID        = flag.String("node-id", "", "ring identity of this node (defaults to the bound cluster address)")
+		peers         = flag.String("peers", "", "comma-separated cluster endpoints of existing members to join")
+		drain         = flag.Bool("drain", false, "on shutdown, migrate live sessions to surviving peers before exiting")
+		replicas      = flag.Int("replicas", 1, "warm-standby count: ring successors this node replicates its sessions to (0 = no HA)")
+		replEvery     = flag.Duration("replicate-every", cluster.DefaultReplicateEvery, "replication interval — the staleness bound a failover can lose")
+		heartbeat     = flag.Duration("heartbeat", cluster.DefaultHeartbeatEvery, "peer heartbeat interval (0 = no failure detection)")
+		suspect       = flag.Duration("suspect", cluster.DefaultSuspectAfter, "silence floor before a peer may be declared dead")
+		phi           = flag.Float64("phi", cluster.DefaultPhiThreshold, "suspicion threshold: silence as a multiple of a peer's mean heartbeat interval")
+		kernelThreads = flag.Int("kernel-threads", 0, "workers for parallel batched GEMMs; 0 = derive from GOMAXPROCS, 1 = serial kernels")
+		quantize      = flag.Bool("quantize", false, "serve int8/int16 quantized model twins where the calibration agreement gate passes")
+		quantGate     = flag.Float64("quantize-min-agreement", 0, "calibration gate: minimum label agreement vs the exact model (0 = default 0.995)")
 	)
 	flag.Parse()
 
@@ -106,15 +109,18 @@ func main() {
 	stopStreaming := make(chan struct{})
 
 	rcfg := resumeConfig{
-		shards:      *shards,
-		maxSessions: *maxSessions,
-		tickHz:      *tickHz,
-		subjects:    *subjects,
-		listen:      *listen,
-		transport:   *transport,
-		idleEvict:   *idleEvict,
-		seed:        *seed,
-		ckptDir:     *ckptDir,
+		shards:        *shards,
+		maxSessions:   *maxSessions,
+		tickHz:        *tickHz,
+		subjects:      *subjects,
+		listen:        *listen,
+		transport:     *transport,
+		idleEvict:     *idleEvict,
+		seed:          *seed,
+		ckptDir:       *ckptDir,
+		kernelThreads: *kernelThreads,
+		quantize:      *quantize,
+		quantGate:     *quantGate,
 	}
 	hub := resumeOrColdStart(rcfg, stopStreaming)
 
@@ -260,6 +266,9 @@ type resumeConfig struct {
 	idleEvict           int
 	seed                uint64
 	ckptDir             string
+	kernelThreads       int
+	quantize            bool
+	quantGate           float64
 }
 
 // resumeOrColdStart restores the fleet from the newest valid checkpoint when
@@ -327,6 +336,11 @@ func coldStart(cfg resumeConfig, stopStreaming <-chan struct{}) *serve.Hub {
 		log.Fatal(err)
 	}
 	reg := serve.NewRegistry()
+	if cfg.quantize {
+		// Enable before the decoder resolves: the registry quantizes (and
+		// gates) models at build time, never retroactively.
+		reg.EnableQuantization(serve.QuantPolicy{MinAgreement: cfg.quantGate})
+	}
 	spec := models.Spec{Family: models.FamilyRF, WindowSize: pcfg.WindowSize, Trees: 50, MaxDepth: 12}
 	// Sessions resolve the classifier from the registry by key at Admit.
 	if _, _, err := reg.GetOrBuild("rf-shared", func() (models.Classifier, int64, error) {
@@ -340,11 +354,14 @@ func coldStart(cfg resumeConfig, stopStreaming <-chan struct{}) *serve.Hub {
 	}
 
 	hub, err := serve.NewHub(serve.Config{
-		Shards:              cfg.shards,
-		MaxSessionsPerShard: cfg.maxSessions,
-		TickHz:              cfg.tickHz,
-		MaxIdleTicks:        cfg.idleEvict,
-		LatencyWindow:       1024,
+		Shards:               cfg.shards,
+		MaxSessionsPerShard:  cfg.maxSessions,
+		TickHz:               cfg.tickHz,
+		MaxIdleTicks:         cfg.idleEvict,
+		LatencyWindow:        1024,
+		KernelThreads:        cfg.kernelThreads,
+		Quantize:             cfg.quantize,
+		QuantizeMinAgreement: cfg.quantGate,
 	}, reg)
 	if err != nil {
 		log.Fatal(err)

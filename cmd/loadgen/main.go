@@ -57,19 +57,21 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "inproc", "inproc | udp | cluster")
-		sessions = flag.Int("sessions", 100, "concurrent synthetic subjects")
-		shards   = flag.Int("shards", 4, "worker shards (inproc)")
-		tickHz   = flag.Float64("tick", 15, "session classification rate (Hz)")
-		duration = flag.Duration("duration", 10*time.Second, "drive time")
-		paced    = flag.Bool("paced", false, "inproc: run real paced shard loops instead of max-rate TickAll")
-		targets  = flag.String("targets", "", "udp: comma-separated inlet addresses from cogarmd -listen")
-		rate     = flag.Float64("rate", eeg.SampleRate, "udp: per-subject sample rate (Hz)")
-		nodes    = flag.Int("nodes", 2, "cluster: in-process nodes joined over loopback TCP")
-		kill     = flag.Duration("kill", 0, "cluster: kill the last node this long into the drive and measure automatic failover (needs -nodes >= 2)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		admin    = flag.String("admin", "", "host the admin plane in-process at this address (inproc/cluster; \":0\" picks a port)")
-		scrape   = flag.Bool("scrape", false, "poll own /metrics at 1 Hz during the run and report the tick-stage breakdown (implies -admin 127.0.0.1:0)")
+		mode          = flag.String("mode", "inproc", "inproc | udp | cluster")
+		sessions      = flag.Int("sessions", 100, "concurrent synthetic subjects")
+		shards        = flag.Int("shards", 4, "worker shards (inproc)")
+		tickHz        = flag.Float64("tick", 15, "session classification rate (Hz)")
+		duration      = flag.Duration("duration", 10*time.Second, "drive time")
+		paced         = flag.Bool("paced", false, "inproc: run real paced shard loops instead of max-rate TickAll")
+		targets       = flag.String("targets", "", "udp: comma-separated inlet addresses from cogarmd -listen")
+		rate          = flag.Float64("rate", eeg.SampleRate, "udp: per-subject sample rate (Hz)")
+		nodes         = flag.Int("nodes", 2, "cluster: in-process nodes joined over loopback TCP")
+		kill          = flag.Duration("kill", 0, "cluster: kill the last node this long into the drive and measure automatic failover (needs -nodes >= 2)")
+		seed          = flag.Uint64("seed", 1, "simulation seed")
+		admin         = flag.String("admin", "", "host the admin plane in-process at this address (inproc/cluster; \":0\" picks a port)")
+		scrape        = flag.Bool("scrape", false, "poll own /metrics at 1 Hz during the run and report the tick-stage breakdown (implies -admin 127.0.0.1:0)")
+		kernelThreads = flag.Int("kernel-threads", 0, "workers for parallel batched GEMMs; 0 = derive from GOMAXPROCS, 1 = serial kernels")
+		quantize      = flag.Bool("quantize", false, "serve int8/int16 quantized model twins where the calibration agreement gate passes")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime)
@@ -80,14 +82,14 @@ func main() {
 	}
 	switch *mode {
 	case "inproc":
-		runInproc(*sessions, *shards, *tickHz, *duration, *paced, *seed, adminAddr, *scrape)
+		runInproc(*sessions, *shards, *kernelThreads, *quantize, *tickHz, *duration, *paced, *seed, adminAddr, *scrape)
 	case "udp":
 		if adminAddr != "" {
 			log.Printf("loadgen: -admin/-scrape apply to inproc and cluster modes (udp mode has no local hub; scrape cogarmd's -admin instead)")
 		}
 		runUDP(strings.Split(*targets, ","), *sessions, *rate, *duration, *seed)
 	case "cluster":
-		runCluster(*sessions, *nodes, *shards, *tickHz, *duration, *kill, *seed, adminAddr, *scrape)
+		runCluster(*sessions, *nodes, *shards, *kernelThreads, *tickHz, *duration, *kill, *seed, adminAddr, *scrape)
 	default:
 		log.Fatalf("loadgen: unknown mode %q", *mode)
 	}
@@ -121,7 +123,7 @@ func startAdmin(adminAddr string, scrape bool, hub *serve.Hub, clusterStatus fun
 	}
 }
 
-func runInproc(sessions, shards int, tickHz float64, duration time.Duration, paced bool, seed uint64, adminAddr string, scrape bool) {
+func runInproc(sessions, shards, kernelThreads int, quantize bool, tickHz float64, duration time.Duration, paced bool, seed uint64, adminAddr string, scrape bool) {
 	log.Printf("loadgen: training shared decoder")
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
@@ -130,6 +132,11 @@ func runInproc(sessions, shards int, tickHz float64, duration time.Duration, pac
 		log.Fatal(err)
 	}
 	reg := serve.NewRegistry()
+	if quantize {
+		// Enable before the decoder resolves: quantization applies at build
+		// time, never retroactively.
+		reg.EnableQuantization(serve.QuantPolicy{})
+	}
 	spec := models.Spec{Family: models.FamilyRF, WindowSize: cfg.WindowSize, Trees: 50, MaxDepth: 12}
 	if _, _, err := reg.GetOrBuild("rf-shared", func() (models.Classifier, int64, error) {
 		c, _, err := pipeline.TrainModel(spec)
@@ -144,6 +151,8 @@ func runInproc(sessions, shards int, tickHz float64, duration time.Duration, pac
 		MaxSessionsPerShard: perShard,
 		TickHz:              tickHz,
 		LatencyWindow:       2048,
+		KernelThreads:       kernelThreads,
+		Quantize:            quantize,
 	}, reg)
 	if err != nil {
 		log.Fatal(err)
@@ -206,7 +215,7 @@ func runInproc(sessions, shards int, tickHz float64, duration time.Duration, pac
 // the only cross-node traffic is membership and (on join) migration, so
 // aggregate throughput scales with nodes until the machine runs out of
 // cores.
-func runCluster(sessions, nodes, shards int, tickHz float64, duration, kill time.Duration, seed uint64, adminAddr string, scrape bool) {
+func runCluster(sessions, nodes, shards, kernelThreads int, tickHz float64, duration, kill time.Duration, seed uint64, adminAddr string, scrape bool) {
 	if nodes < 1 {
 		log.Fatal("loadgen: -nodes must be >= 1")
 	}
@@ -250,6 +259,7 @@ func runCluster(sessions, nodes, shards int, tickHz float64, duration, kill time
 			MaxSessionsPerShard: perShard,
 			TickHz:              tickHz,
 			LatencyWindow:       2048,
+			KernelThreads:       kernelThreads,
 		}, reg)
 		if err != nil {
 			log.Fatal(err)

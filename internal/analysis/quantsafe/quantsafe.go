@@ -1,0 +1,91 @@
+// Package quantsafe fences the quantization boundary. The int8/int16
+// inference twins (tensor.QMatrix weights, tensor.I16Map feature grids) are
+// only correct because every float↔quantized conversion goes through the
+// tensor kernels, where the calibrated scale, rounding mode, and clamp live
+// in one place and the registry's agreement gate can vouch for the result.
+// A raw int8(f) or float64(q) anywhere else re-derives that arithmetic ad
+// hoc — typically with a different rounding or a stale scale — and produces
+// labels the gate never checked.
+//
+// The analyzer therefore reports any conversion between a float32/float64
+// value and an int8/int16 type (either direction, through named types too)
+// outside package cognitivearm/internal/tensor. Test files are exempt, and
+// a deliberate conversion is waived with //cogarm:allow quantsafe -- <reason>.
+package quantsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cognitivearm/internal/analysis"
+)
+
+// tensorPath is the one package allowed to own quantization arithmetic.
+const tensorPath = "cognitivearm/internal/tensor"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "quantsafe",
+	Doc:  "forbid float↔int8/int16 conversions outside internal/tensor so quantization scales stay calibrated and gated",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == tensorPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst := basicKind(tv.Type)
+			src := basicKind(pass.TypesInfo.TypeOf(call.Args[0]))
+			if crossesQuantBoundary(dst, src) {
+				pass.Reportf(call.Pos(),
+					"%s→%s conversion outside %s: quantization arithmetic (scale, rounding, clamp) belongs to the tensor kernels (QMatrix/I16Map) so the registry's agreement gate covers it; waive with //cogarm:allow quantsafe -- <reason>",
+					types.TypeString(pass.TypesInfo.TypeOf(call.Args[0]), types.RelativeTo(pass.Pkg)),
+					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), tensorPath)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// basicKind resolves a type to its underlying basic kind, or
+// types.Invalid when it has none (or the type is nil).
+func basicKind(t types.Type) types.BasicKind {
+	if t == nil {
+		return types.Invalid
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Kind()
+	}
+	return types.Invalid
+}
+
+// crossesQuantBoundary reports whether a conversion between the two kinds
+// mixes a narrow quantized integer with a float, in either direction.
+// Untyped constant operands are ignored: int8(1.0) is compile-time
+// arithmetic, not a runtime quantization step.
+func crossesQuantBoundary(a, b types.BasicKind) bool {
+	return (quantInt(a) && floatKind(b)) || (floatKind(a) && quantInt(b))
+}
+
+func quantInt(k types.BasicKind) bool {
+	return k == types.Int8 || k == types.Int16
+}
+
+func floatKind(k types.BasicKind) bool {
+	return k == types.Float32 || k == types.Float64
+}

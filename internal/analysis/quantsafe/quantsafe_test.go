@@ -1,0 +1,19 @@
+package quantsafe_test
+
+import (
+	"testing"
+
+	"cognitivearm/internal/analysis"
+	"cognitivearm/internal/analysis/analysistest"
+	"cognitivearm/internal/analysis/quantsafe"
+)
+
+// TestFixtures covers both directions of the float↔int8/int16 fence, named
+// types with quantized underlying kinds, the untyped-constant and wide-int
+// exclusions, waivers, and — via a stub package at the real tensor import
+// path — the internal/tensor exemption (the stub converts freely and must
+// produce no diagnostics).
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{quantsafe.Analyzer},
+		"cognitivearm/qsfix", "cognitivearm/internal/tensor")
+}

@@ -8,6 +8,7 @@ import (
 	"cognitivearm/internal/analysis/atomicfield"
 	"cognitivearm/internal/analysis/nolockblock"
 	"cognitivearm/internal/analysis/obsguard"
+	"cognitivearm/internal/analysis/quantsafe"
 	"cognitivearm/internal/analysis/zeroalloc"
 )
 
@@ -17,4 +18,5 @@ var Analyzers = []*analysis.Analyzer{
 	atomicfield.Analyzer,
 	nolockblock.Analyzer,
 	obsguard.Analyzer,
+	quantsafe.Analyzer,
 }

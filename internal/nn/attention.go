@@ -319,7 +319,7 @@ func (m *MultiHeadAttention) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Mat
 	scale := 1 / math.Sqrt(float64(dk))
 	//cogarm:allow zeroalloc -- proj never escapes: defined and called three times in this frame, so it stays on the stack (AllocsPerRun bench holds this path at zero)
 	proj := func(w *Param) []*tensor.Matrix {
-		return tensor.SplitRowsWS(ws, tensor.MatMulBatched(ws.Uninit(x.Rows, m.Dim), x, w.W), T)
+		return tensor.SplitRowsWS(ws, tensor.MatMulBatchedWS(ws, ws.Uninit(x.Rows, m.Dim), x, w.W), T)
 	}
 	//cogarm:allow zeroalloc -- calls to the non-escaping proj closure above; the body is verified through its tensor callees
 	qs, ks, vs := proj(m.Wq), proj(m.Wk), proj(m.Wv)
@@ -344,7 +344,7 @@ func (m *MultiHeadAttention) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Mat
 			}
 		}
 	}
-	return tensor.SplitRowsWS(ws, tensor.MatMulBatched(ws.Uninit(B*T, m.Dim), concat, m.Wo.W), T)
+	return tensor.SplitRowsWS(ws, tensor.MatMulBatchedWS(ws, ws.Uninit(B*T, m.Dim), concat, m.Wo.W), T)
 }
 
 // Backward implements Layer.

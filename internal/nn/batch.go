@@ -41,6 +41,17 @@ func batchInferenceOnly(train bool) {
 	}
 }
 
+// epilogueFuser is the internal extension a GEMM-backed layer implements so
+// Network.ForwardBatch can fold a directly following ReLU layer into the
+// GEMM's epilogue (tensor.Epilogue), skipping one full write-read pass over
+// the activations. relu=false is the layer's plain batched forward (bias
+// still fused). Outputs must be bitwise-identical to the unfused
+// ForwardBatch-then-ReLU composition.
+type epilogueFuser interface {
+	//cogarm:zeroalloc
+	forwardBatchFused(ws *tensor.Workspace, xs []*tensor.Matrix, relu bool) []*tensor.Matrix
+}
+
 // forwardBatch routes one layer: through its fused kernel when it implements
 // BatchForwarder, else through the generic per-window fallback. The fallback
 // keeps ForwardBatch total over arbitrary Layer implementations (external
@@ -78,7 +89,17 @@ func (n *Network) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train 
 			panic(fmt.Sprintf("nn: ForwardBatch window shape mismatch %dx%d vs %dx%d", x.Rows, x.Cols, r, c))
 		}
 	}
-	for _, l := range n.Layers {
+	for li := 0; li < len(n.Layers); li++ {
+		l := n.Layers[li]
+		// Dense→ReLU and Conv1D→ReLU sequences collapse into one GEMM with a
+		// bias+ReLU epilogue; the ReLU layer itself is skipped.
+		if ef, ok := l.(epilogueFuser); ok && li+1 < len(n.Layers) {
+			if _, nextIsReLU := n.Layers[li+1].(*ReLU); nextIsReLU {
+				xs = ef.forwardBatchFused(ws, xs, true)
+				li++
+				continue
+			}
+		}
 		xs = forwardBatch(l, ws, xs, false)
 	}
 	return xs

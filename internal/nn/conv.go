@@ -80,6 +80,15 @@ func (c *Conv1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 //cogarm:zeroalloc
 func (c *Conv1D) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
+	return c.forwardBatchFused(ws, xs, false)
+}
+
+// forwardBatchFused implements epilogueFuser: the im2col GEMM applies bias
+// (and the following ReLU, when fused) in its epilogue while each row panel
+// is still cache-hot, instead of a separate pass over the (B·T')×Cout output.
+//
+//cogarm:zeroalloc
+func (c *Conv1D) forwardBatchFused(ws *tensor.Workspace, xs []*tensor.Matrix, relu bool) []*tensor.Matrix {
 	if len(xs) == 0 {
 		return nil
 	}
@@ -91,6 +100,16 @@ func (c *Conv1D) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train b
 	if outT <= 0 {
 		panic(fmt.Sprintf("nn: Conv1D input length %d shorter than kernel %d", x0.Rows, c.Kernel))
 	}
+	col := c.im2colWS(ws, xs, outT)
+	y := tensor.GEMM(ws, ws.Uninit(col.Rows, c.OutChannels), col, c.Weight.W,
+		tensor.Epilogue{Bias: c.Bias.W.Data, ReLU: relu})
+	return tensor.SplitRowsWS(ws, y, outT)
+}
+
+// im2colWS unfolds the batch into one (B·T')×(K·Cin) matrix drawn from ws.
+//
+//cogarm:zeroalloc
+func (c *Conv1D) im2colWS(ws *tensor.Workspace, xs []*tensor.Matrix, outT int) *tensor.Matrix {
 	col := ws.Uninit(len(xs)*outT, c.Kernel*c.InChannels)
 	for i, x := range xs {
 		for t := 0; t < outT; t++ {
@@ -101,9 +120,7 @@ func (c *Conv1D) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train b
 			}
 		}
 	}
-	y := tensor.MatMulBatched(ws.Uninit(col.Rows, c.OutChannels), col, c.Weight.W)
-	tensor.AddRowVector(y, c.Bias.W.Data)
-	return tensor.SplitRowsWS(ws, y, outT)
+	return col
 }
 
 // Backward implements Layer.

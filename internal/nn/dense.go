@@ -37,11 +37,21 @@ func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardBatch implements BatchForwarder: B T×In windows stack into one
 // (B·T)×In matrix, fusing the B small matmuls into a single batch×feature
-// GEMM followed by one bias broadcast.
+// GEMM with the bias add folded into its epilogue.
 //
 //cogarm:zeroalloc
 func (d *Dense) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bool) []*tensor.Matrix {
 	batchInferenceOnly(train)
+	return d.forwardBatchFused(ws, xs, false)
+}
+
+// forwardBatchFused implements epilogueFuser: one GEMM whose epilogue applies
+// the bias and, when a ReLU layer follows in the network, the clamp too —
+// saving the separate write-read pass over the activations. Bitwise-identical
+// to the unfused ForwardBatch + ReLU composition by the tensor.GEMM contract.
+//
+//cogarm:zeroalloc
+func (d *Dense) forwardBatchFused(ws *tensor.Workspace, xs []*tensor.Matrix, relu bool) []*tensor.Matrix {
 	if len(xs) == 0 {
 		return nil
 	}
@@ -49,8 +59,8 @@ func (d *Dense) ForwardBatch(ws *tensor.Workspace, xs []*tensor.Matrix, train bo
 		panic(fmt.Sprintf("nn: Dense expects %d inputs, got %d", d.In, xs[0].Cols))
 	}
 	x := tensor.StackWS(ws, xs)
-	y := tensor.MatMulBatched(ws.Uninit(x.Rows, d.Out), x, d.Weight.W)
-	tensor.AddRowVector(y, d.Bias.W.Data)
+	y := tensor.GEMM(ws, ws.Uninit(x.Rows, d.Out), x, d.Weight.W,
+		tensor.Epilogue{Bias: d.Bias.W.Data, ReLU: relu})
 	return tensor.SplitRowsWS(ws, y, xs[0].Rows)
 }
 

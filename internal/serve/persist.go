@@ -34,11 +34,21 @@ import (
 // fleet size. Every checkpoint.DefaultCompactEvery increments (and whenever
 // no usable previous manifest exists) a full rewrite compacts the chain.
 // Incremental and full checkpoints restore bitwise-identically.
+//
+// Concurrent Checkpoint calls on one hub are serialized: Save ends with a
+// retention prune, and a prune racing another in-flight save can delete a
+// directory whose payloads the new incremental manifest still references.
+// The lock covers manifest read through prune, so each save sees — and
+// protects — its predecessor.
 func (h *Hub) Checkpoint(root string) (string, error) {
+	h.ckptMu.Lock()
+	defer h.ckptMu.Unlock()
+	//cogarm:allow nolockblock -- ckptMu exists to serialize checkpoint I/O; no tick-path code takes it
 	prev, err := checkpoint.LatestManifest(root)
 	if err != nil {
 		prev = nil // no (readable) previous checkpoint: write a full one
 	}
+	//cogarm:allow nolockblock -- ckptMu exists to serialize checkpoint I/O; no tick-path code takes it
 	return checkpoint.Save(root, h.captureState(prev))
 }
 

@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"sync"
 
+	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/tensor"
 )
 
 // Registry holds the fleet's shared classifiers. Each key is built exactly
@@ -17,6 +20,21 @@ import (
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*regEntry
+	// quant, when set, swaps every subsequently built or loaded model for its
+	// quantized twin after the calibration gate passes (see EnableQuantization).
+	quant *QuantPolicy
+}
+
+// QuantPolicy configures registry-wide quantized inference.
+type QuantPolicy struct {
+	// MinAgreement is the calibration gate threshold
+	// (0 = models.DefaultMinAgreement).
+	MinAgreement float64
+	// Calibration builds the gate's window set for a model expecting
+	// window×channels input. nil uses models.CalibrationWindows —
+	// deterministic synthetic windows; supply recorded traffic for a
+	// sharper gate.
+	Calibration func(window, channels int) []*tensor.Matrix
 }
 
 // regEntry resolves exactly once: the goroutine that creates the entry runs
@@ -51,6 +69,12 @@ func (r *Registry) GetOrBuild(key string, build func() (models.Classifier, int64
 			// Leave the failed entry in place: retrying a deterministic
 			// build would fail identically, and callers see the cause.
 			e.err = fmt.Errorf("serve: build model %q: %w", key, e.err)
+		} else if qc, qerr := r.maybeQuantize(e.clf); qerr != nil {
+			// A twin that fails the agreement gate is a hard build error:
+			// silently serving degraded labels is worse than not serving.
+			e.clf, e.err = nil, fmt.Errorf("serve: quantize model %q: %w", key, qerr)
+		} else {
+			e.clf = qc
 		}
 		close(e.done)
 		return e.clf, e.macs, e.err
@@ -79,6 +103,43 @@ func (r *Registry) LoadFile(key, path string) (models.Classifier, error) {
 	return clf, err
 }
 
+// EnableQuantization turns on quantized inference for every model built or
+// loaded from this point on: after a successful build the registry quantizes
+// the classifier (models.Quantize), gates it on calibration agreement, and
+// hands out the quantized twin. Models with no quantized form (LSTM,
+// Transformer, ensembles) are served exact; a twin that fails the gate fails
+// the build. Already-resolved entries are unaffected — enable before loading
+// models (NewHub with Config.Quantize does this at construction).
+func (r *Registry) EnableQuantization(p QuantPolicy) {
+	r.mu.Lock()
+	r.quant = &p
+	r.mu.Unlock()
+}
+
+// maybeQuantize applies the registry's quantization policy to a freshly
+// built classifier, returning it unchanged when quantization is disabled or
+// the model has no quantized form.
+func (r *Registry) maybeQuantize(clf models.Classifier) (models.Classifier, error) {
+	r.mu.Lock()
+	p := r.quant
+	r.mu.Unlock()
+	if p == nil {
+		return clf, nil
+	}
+	opt := models.QuantOptions{MinAgreement: p.MinAgreement}
+	if p.Calibration != nil {
+		opt.Calibration = p.Calibration(clf.WindowSize(), eeg.NumChannels)
+	}
+	qc, err := models.Quantize(clf, opt)
+	if errors.Is(err, models.ErrQuantUnsupported) {
+		return clf, nil // no quantized form: serve the exact f64 model
+	}
+	if err != nil {
+		return nil, err
+	}
+	return qc, nil
+}
+
 // macsFor estimates per-inference MACs for classifiers that carry a spec.
 func macsFor(c models.Classifier) int64 {
 	switch v := c.(type) {
@@ -86,6 +147,8 @@ func macsFor(c models.Classifier) int64 {
 		return models.OpsPerInference(v.Spec)
 	case *models.RFClassifier:
 		return models.OpsPerInference(v.Spec)
+	case *models.QuantizedClassifier:
+		return macsFor(v.Base)
 	default:
 		return 0
 	}

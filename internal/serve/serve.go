@@ -65,6 +65,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -73,12 +74,32 @@ import (
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/metrics"
 	"cognitivearm/internal/obs"
+	"cognitivearm/internal/tensor"
 )
 
-// Config sizes a Hub. The zero value is unusable; start from DefaultConfig.
+// Config sizes a Hub. Start from DefaultConfig; a zero Shards/KernelThreads
+// auto-sizes from GOMAXPROCS, but MaxSessionsPerShard and TickHz must be set.
 type Config struct {
 	// Shards is the number of worker shards (and tick-loop goroutines).
+	// 0 derives min(GOMAXPROCS, MaxAutoShards), so a deploy sized for the
+	// host needs no tuning; negative is an error.
 	Shards int
+	// KernelThreads sizes the hub's shared tensor kernel pool — the workers
+	// large batched GEMMs split row panels across (internal/tensor.Pool).
+	// 0 derives min(GOMAXPROCS, MaxAutoKernelThreads); 1 forces the serial
+	// kernels. Labels are bitwise-identical at any setting, so this is purely
+	// a throughput knob.
+	KernelThreads int
+	// Quantize opts the registry into quantized inference: models built or
+	// loaded after the hub is constructed are swapped for int8 (NN) or int16
+	// (RF) twins when they pass the calibration agreement gate; models with
+	// no quantized form (LSTM, Transformer, ensembles) serve exact f64.
+	// Checkpoints always persist the exact f64 weights either way.
+	Quantize bool
+	// QuantizeMinAgreement overrides the calibration gate threshold
+	// (0 = models.DefaultMinAgreement). A build whose quantized twin scores
+	// below the gate fails hard rather than silently serving degraded labels.
+	QuantizeMinAgreement float64
 	// MaxSessionsPerShard bounds admission; the fleet capacity is
 	// Shards × MaxSessionsPerShard.
 	MaxSessionsPerShard int
@@ -117,6 +138,35 @@ func DefaultConfig() Config {
 	}
 }
 
+// MaxAutoShards caps the Shards==0 GOMAXPROCS derivation: beyond this,
+// extra tick loops add scheduling churn without batching benefit.
+const MaxAutoShards = 8
+
+// MaxAutoKernelThreads caps the KernelThreads==0 GOMAXPROCS derivation. The
+// serving GEMMs saturate memory bandwidth before they run out of cores, so
+// the auto pool stays small and leaves cores for shard tick loops.
+const MaxAutoKernelThreads = 4
+
+// autoSize derives a worker count from GOMAXPROCS, capped.
+func autoSize(cap int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n > cap {
+		n = cap
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// kernelThreadCount resolves Config.KernelThreads (0 = auto).
+func kernelThreadCount(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	return autoSize(MaxAutoKernelThreads)
+}
+
 // ErrFleetFull is returned by Admit when every shard is at capacity.
 var ErrFleetFull = fmt.Errorf("serve: fleet at capacity")
 
@@ -141,6 +191,14 @@ type Hub struct {
 	shards  []*shard
 	nextID  SessionID
 	running bool
+	// pool is the hub-owned kernel worker pool shared by every shard's tick
+	// workspace (nil = serial kernels). Stop detaches it from the shards and
+	// closes it; Start recreates it, so a stopped hub ticks serially.
+	pool *tensor.Pool
+
+	// ckptMu serialises Checkpoint (see its doc comment): the save-then-prune
+	// sequence must not interleave between concurrent callers.
+	ckptMu sync.Mutex
 
 	// idxMu guards index alone. It is a leaf lock (never held while taking
 	// another), so shards can remove idle-evicted sessions from the index
@@ -153,6 +211,9 @@ type Hub struct {
 // NewHub builds a hub around an existing registry (so several hubs — or a
 // hub and offline evaluation — can share one trained model set).
 func NewHub(cfg Config, reg *Registry) (*Hub, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = autoSize(MaxAutoShards)
+	}
 	if cfg.Shards < 1 || cfg.MaxSessionsPerShard < 1 {
 		return nil, fmt.Errorf("serve: need >= 1 shard (%d) and >= 1 session per shard (%d)",
 			cfg.Shards, cfg.MaxSessionsPerShard)
@@ -174,9 +235,17 @@ func NewHub(cfg Config, reg *Registry) (*Hub, error) {
 	if !cfg.DisableTelemetry {
 		h.tel = newServeObs()
 	}
+	if cfg.Quantize {
+		reg.EnableQuantization(QuantPolicy{MinAgreement: cfg.QuantizeMinAgreement})
+	}
+	// The kernel pool exists from construction (TickAll-paced hubs never call
+	// Start). tensor.NewPool returns nil for a single thread, which every
+	// consumer treats as "serial".
+	h.pool = tensor.NewPool(kernelThreadCount(cfg.KernelThreads))
 	for i := 0; i < cfg.Shards; i++ {
 		s := newShard(i, cfg)
 		s.tel = h.tel
+		s.pool = h.pool
 		// Shard-initiated evictions (idle timeout) must also leave the
 		// admission index, or churning clients leak an entry each.
 		s.onEvict = h.dropIndex
@@ -371,7 +440,8 @@ func (h *Hub) Session(id SessionID) (SessionStats, bool) {
 	return s.sessionStats(id)
 }
 
-// Start launches every shard's paced tick loop. It is idempotent.
+// Start launches every shard's paced tick loop, recreating the kernel pool
+// when a previous Stop released it. It is idempotent.
 func (h *Hub) Start() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -379,29 +449,37 @@ func (h *Hub) Start() {
 		return
 	}
 	h.running = true
+	if h.pool == nil {
+		h.pool = tensor.NewPool(kernelThreadCount(h.cfg.KernelThreads))
+		for _, s := range h.shards {
+			s.setPool(h.pool)
+		}
+	}
 	for _, s := range h.shards {
 		s.start()
 	}
 }
 
-// Stop halts the shard loops and closes every remaining session. The hub
-// may be restarted.
+// Stop halts the shard loops, closes every remaining session, and releases
+// the kernel pool (its worker goroutines exit; shards fall back to the
+// serial kernels if ticked again). The hub may be restarted with Start.
 func (h *Hub) Stop() {
 	h.mu.Lock()
-	if !h.running {
-		h.mu.Unlock()
-		// Still close admitted sessions for symmetry with Start-less use.
-		for _, s := range h.shards {
-			s.closeAll()
-		}
-		return
-	}
+	running := h.running
 	h.running = false
+	pool := h.pool
+	h.pool = nil
 	h.mu.Unlock()
 	for _, s := range h.shards {
-		s.stopLoop()
+		if running {
+			s.stopLoop()
+		}
+		// Detach before closing the pool: a later tick on a stopped hub must
+		// not enqueue onto closed workers.
+		s.setPool(nil)
 		s.closeAll()
 	}
+	pool.Close()
 }
 
 // TickAll advances every shard by exactly one tick and waits for all of

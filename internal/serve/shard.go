@@ -32,6 +32,11 @@ type shard struct {
 	sessions map[SessionID]*session
 	evictq   []SessionID
 
+	// pool is the hub-owned kernel worker pool the tick workspace attaches to
+	// (nil = serial kernels). Guarded by mu: the hub swaps it on Start/Stop
+	// and the tick re-attaches it to the arena workspace each reset.
+	pool *tensor.Pool
+
 	// arena is the shard's tick scratch: every per-tick temporary lives here
 	// and is reused across ticks, so steady-state serving allocates nothing.
 	// It is only touched under the shard lock (ticks and captures serialise
@@ -72,11 +77,14 @@ type clfGroup struct {
 }
 
 // reset prepares the arena for the next tick, keeping every backing array.
-func (a *tickArena) reset() {
+// pool is re-attached every tick so a hub-level pool swap (Stop/Start) takes
+// effect at the next tick boundary.
+func (a *tickArena) reset(pool *tensor.Pool) {
 	if a.ws == nil {
 		//cogarm:allow zeroalloc -- lazy arena init on the first tick; every later tick reuses it
 		a.ws = tensor.NewWorkspace()
 	}
+	a.ws.SetPool(pool)
 	a.ws.Reset()
 	a.readySess = a.readySess[:0]
 	a.readyWin = a.readyWin[:0]
@@ -140,6 +148,15 @@ func (s *shard) len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions)
+}
+
+// setPool swaps the kernel pool the tick workspace attaches to. It takes the
+// shard lock, so it returns only once any in-flight tick has finished — the
+// hub relies on that to close the old pool with no kernel still using it.
+func (s *shard) setPool(p *tensor.Pool) {
+	s.mu.Lock()
+	s.pool = p
+	s.mu.Unlock()
 }
 
 func (s *shard) add(sess *session) {
@@ -296,7 +313,7 @@ func (s *shard) tick() {
 	start := time.Now()
 	s.mu.Lock()
 	toClose = s.processEvictionsLocked(toClose)
-	s.arena.reset()
+	s.arena.reset(s.pool)
 	ar := &s.arena
 
 	// Ingest phase: windows become ready independently per session.

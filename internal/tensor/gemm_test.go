@@ -1,0 +1,242 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randMatrix fills a matrix with a mix of normal values, exact zeros (to
+// exercise the quad zero-skip) and negatives (to exercise the ReLU clamp).
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		switch rng.Intn(5) {
+		case 0:
+			m.Data[i] = 0
+		default:
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// reference computes the unfused serial baseline: MatMulBatched, then
+// AddRowVector, then a ReLU clamp — the exact composition GEMM must match
+// bitwise on every path.
+func reference(a, b *Matrix, ep Epilogue) *Matrix {
+	dst := MatMulBatched(nil, a, b)
+	if ep.Bias != nil {
+		AddRowVector(dst, ep.Bias)
+	}
+	if ep.ReLU {
+		for i, v := range dst.Data {
+			if v <= 0 {
+				dst.Data[i] = 0
+			}
+		}
+	}
+	return dst
+}
+
+func assertBitwise(t *testing.T, want, got *Matrix, label string) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		t.Fatalf("%s: shape %dx%d != %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("%s: element %d differs: got %v want %v", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// gemmShapes covers the odd-shape corners the blocked/parallel kernel must
+// get right: rows not divisible by 4, fewer columns than one Nc block, more
+// than one Nc/Kc block, single rows, and empty products.
+var gemmShapes = []struct{ m, k, n int }{
+	{0, 7, 5},
+	{1, 1, 1},
+	{3, 9, 2},       // all-tail rows
+	{4, 16, 8},      // exactly one quad
+	{5, 300, 3},     // quad + tail, K spans two Kc blocks
+	{7, 40, 32},     // serving head shape, tail rows
+	{8, 2325, 32},   // CNN im2col K, two quads
+	{25, 130, 64},   // cols == one full Nc block
+	{64, 257, 65},   // K and N both one past a block boundary
+	{130, 600, 150}, // multi-panel, multi-block in every dimension
+	{257, 2325, 32}, // large M, odd tail
+}
+
+func TestGEMMBitwiseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, sh := range gemmShapes {
+		a := randMatrix(rng, sh.m, sh.k)
+		b := randMatrix(rng, sh.k, sh.n)
+		bias := make([]float64, sh.n)
+		for j := range bias {
+			bias[j] = rng.NormFloat64()
+		}
+		for _, ep := range []Epilogue{{}, {Bias: bias}, {Bias: bias, ReLU: true}, {ReLU: true}} {
+			want := reference(a, b, ep)
+			label := fmt.Sprintf("%dx%dx%d bias=%v relu=%v", sh.m, sh.k, sh.n, ep.Bias != nil, ep.ReLU)
+
+			// Serial, no workspace.
+			assertBitwise(t, want, GEMM(nil, nil, a, b, ep), label+" serial")
+
+			// Pooled workspace without a kernel pool.
+			ws := NewWorkspace()
+			assertBitwise(t, want, GEMM(ws, ws.Uninit(sh.m, sh.n), a, b, ep), label+" ws")
+			ws.Reset()
+
+			// Kernel pool attached: large shapes dispatch parallel.
+			ws.SetPool(pool)
+			assertBitwise(t, want, GEMM(ws, ws.Uninit(sh.m, sh.n), a, b, ep), label+" parallel")
+			ws.Reset()
+		}
+	}
+}
+
+// TestGEMMBlockedKernelDirect forces the blocked/packed kernel (bypassing the
+// crossover) so small shapes exercise it too.
+func TestGEMMBlockedKernelDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, sh := range gemmShapes {
+		if sh.m == 0 {
+			continue // panelRange needs >= 1 quad; GEMM never dispatches empty products
+		}
+		a := randMatrix(rng, sh.m, sh.k)
+		b := randMatrix(rng, sh.k, sh.n)
+		want := reference(a, b, Epilogue{})
+		dst := New(sh.m, sh.n)
+		packed := packB(nil, b)
+		gemmPanel(dst, a, packed, Epilogue{}, 0, sh.m)
+		assertBitwise(t, want, dst, fmt.Sprintf("blocked %dx%dx%d", sh.m, sh.k, sh.n))
+	}
+}
+
+func TestMatMulBatchedWS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 100, 300)
+	b := randMatrix(rng, 300, 40)
+	want := MatMulBatched(nil, a, b)
+	ws := NewWorkspace()
+	pool := NewPool(3)
+	defer pool.Close()
+	ws.SetPool(pool)
+	got := MatMulBatchedWS(ws, ws.Uninit(100, 40), a, b)
+	assertBitwise(t, want, got, "MatMulBatchedWS")
+}
+
+// TestPoolConcurrentCallers hammers one pool from more callers than it has
+// threads — the shards-share-one-pool serving topology — and checks every
+// result bitwise. Run with -race in CI.
+func TestPoolConcurrentCallers(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(4))
+	const callers = 8
+	type job struct {
+		a, b *Matrix
+		want *Matrix
+	}
+	jobs := make([]job, callers)
+	for i := range jobs {
+		m := 64 + 4*i
+		a := randMatrix(rng, m, 500)
+		b := randMatrix(rng, 500, 24)
+		jobs[i] = job{a: a, b: b, want: reference(a, b, Epilogue{})}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			ws := NewWorkspace()
+			ws.SetPool(pool)
+			for iter := 0; iter < 50; iter++ {
+				got := GEMM(ws, ws.Uninit(j.a.Rows, j.b.Cols), j.a, j.b, Epilogue{})
+				for k := range j.want.Data {
+					if got.Data[k] != j.want.Data[k] {
+						errs <- fmt.Errorf("element %d differs under concurrency", k)
+						return
+					}
+				}
+				ws.Reset()
+			}
+		}(jobs[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolNilAndClose(t *testing.T) {
+	var p *Pool
+	if p.Threads() != 1 {
+		t.Fatalf("nil pool Threads = %d, want 1", p.Threads())
+	}
+	p.Close() // must not panic
+	if NewPool(1) != nil || NewPool(0) != nil {
+		t.Fatal("NewPool(<2) must return the nil serial pool")
+	}
+	q := NewPool(2)
+	if q.Threads() != 2 {
+		t.Fatalf("Threads = %d, want 2", q.Threads())
+	}
+	q.Close()
+	q.Close() // idempotent
+}
+
+func TestGEMMCrossover(t *testing.T) {
+	if n := gemmPanelCount(4, 4, 4, 8); n != 1 {
+		t.Fatalf("tiny product must stay serial, got %d panels", n)
+	}
+	if n := gemmPanelCount(2400, 40, 32, 4); n != 4 {
+		t.Fatalf("CNN fleet product should use all threads, got %d panels", n)
+	}
+	if n := gemmPanelCount(2400, 40, 32, 1); n != 1 {
+		t.Fatalf("serial pool must stay serial, got %d panels", n)
+	}
+	// Panels never outnumber quads.
+	if n := gemmPanelCount(9, 60000, 60000, 8); n > 2 {
+		t.Fatalf("9 rows = 2 quads, got %d panels", n)
+	}
+}
+
+func BenchmarkGEMMSerial(b *testing.B) {
+	benchmarkGEMM(b, nil)
+}
+
+func BenchmarkGEMMParallel2(b *testing.B) {
+	pool := NewPool(2)
+	defer pool.Close()
+	benchmarkGEMM(b, pool)
+}
+
+func BenchmarkGEMMParallel4(b *testing.B) {
+	pool := NewPool(4)
+	defer pool.Close()
+	benchmarkGEMM(b, pool)
+}
+
+func benchmarkGEMM(b *testing.B, pool *Pool) {
+	rng := rand.New(rand.NewSource(5))
+	// The CNN fleet's im2col product shape: (25 windows × 93 steps) × 40 × 32.
+	a := randMatrix(rng, 2325, 40)
+	w := randMatrix(rng, 40, 32)
+	bias := make([]float64, 32)
+	ws := NewWorkspace()
+	ws.SetPool(pool)
+	dst := New(a.Rows, w.Cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GEMM(ws, dst, a, w, Epilogue{Bias: bias, ReLU: true})
+	}
+}

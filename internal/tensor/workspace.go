@@ -26,6 +26,8 @@ import "math/bits"
 type Workspace struct {
 	f64  wsPool[float64]
 	ints wsPool[int]
+	i8   wsPool[int8]
+	i16  wsPool[int16]
 	rows wsPool[[]float64]
 	mats wsPool[*Matrix]
 
@@ -33,6 +35,30 @@ type Workspace struct {
 	// 32-header chunks; hoff is the bump cursor reset each cycle.
 	hdrs []*Matrix
 	hoff int
+
+	// pool is the shared GEMM worker pool large products dispatch onto. It is
+	// owned by the hub, not the workspace: Reset leaves it attached, and a nil
+	// pool (the default) keeps every kernel serial.
+	pool *Pool
+}
+
+// SetPool attaches the kernel pool GEMMs dispatched through this workspace
+// may use. Safe on a nil workspace (no-op: the unpooled path is serial).
+//
+//cogarm:zeroalloc
+func (ws *Workspace) SetPool(p *Pool) {
+	if ws != nil {
+		ws.pool = p
+	}
+}
+
+// Pool reports the attached kernel pool; nil workspace or no attachment means
+// nil, i.e. serial.
+func (ws *Workspace) Pool() *Pool {
+	if ws == nil {
+		return nil
+	}
+	return ws.pool
 }
 
 // NewWorkspace returns an empty workspace. Buckets fill lazily as kernels
@@ -50,6 +76,8 @@ func (ws *Workspace) Reset() {
 	}
 	ws.f64.reset()
 	ws.ints.reset()
+	ws.i8.reset()
+	ws.i16.reset()
 	ws.rows.reset()
 	ws.mats.reset()
 	ws.hoff = 0
@@ -77,6 +105,34 @@ func (ws *Workspace) Ints(n int) []int {
 		return make([]int, n)
 	}
 	s := ws.ints.get(n)
+	clear(s)
+	return s
+}
+
+// Int8s returns a zeroed int8 slice of length n, valid until Reset — the
+// quantized kernels' activation scratch.
+//
+//cogarm:zeroalloc
+func (ws *Workspace) Int8s(n int) []int8 {
+	if ws == nil {
+		//cogarm:allow zeroalloc -- nil workspace selects the unpooled heap path by contract
+		return make([]int8, n)
+	}
+	s := ws.i8.get(n)
+	clear(s)
+	return s
+}
+
+// Int16s returns a zeroed int16 slice of length n, valid until Reset — the
+// quantized forest's feature scratch.
+//
+//cogarm:zeroalloc
+func (ws *Workspace) Int16s(n int) []int16 {
+	if ws == nil {
+		//cogarm:allow zeroalloc -- nil workspace selects the unpooled heap path by contract
+		return make([]int16, n)
+	}
+	s := ws.i16.get(n)
 	clear(s)
 	return s
 }
