@@ -14,6 +14,7 @@ import (
 	"cognitivearm/internal/eeg"
 	"cognitivearm/internal/models"
 	"cognitivearm/internal/serve"
+	"cognitivearm/internal/wal"
 )
 
 // The -serve mode: a fixed serving micro-benchmark whose numbers land in
@@ -36,6 +37,7 @@ type serveBenchReport struct {
 	GoMaxProcs int                        `json:"gomaxprocs"`
 	Models     map[string]serveModelBench `json:"models"`
 	Ckpt       serveCkptBench             `json:"checkpoint"`
+	Wal        serveWalBench              `json:"wal"`
 }
 
 type serveModelBench struct {
@@ -63,6 +65,16 @@ type serveCkptBench struct {
 	FullBytes        int64   `json:"full_bytes"`
 	IncrementalMs    float64 `json:"incremental_ms"`
 	IncrementalBytes int64   `json:"incremental_bytes"`
+}
+
+// serveWalBench is the journal column: the amortized per-tick cost of
+// capturing, framing, Merkle-sealing, and appending the fleet's mutations
+// to the WAL (NoSync — the fsync at the seal is a disk property, not a
+// code one), measured on the trained rf fleet at the production cadence of
+// one flush per serveBenchChunk ticks (~2 s at 15 Hz).
+type serveWalBench struct {
+	AppendUsPerTick float64 `json:"append_us_per_tick"`
+	BytesPerTick    float64 `json:"bytes_per_tick"`
 }
 
 const (
@@ -198,6 +210,8 @@ func runServeBench(outPath string) {
 		hubOn.Stop()
 	}
 
+	report.Wal = measureWalAppend(reg, pipe)
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -216,7 +230,61 @@ func runServeBench(outPath string) {
 	}
 	fmt.Printf("checkpoint: full %.1f ms / %d B, incremental %.1f ms / %d B\n",
 		report.Ckpt.FullMs, report.Ckpt.FullBytes, report.Ckpt.IncrementalMs, report.Ckpt.IncrementalBytes)
+	fmt.Printf("wal append: %.1f µs/tick, %.0f B/tick (flush per %d ticks, NoSync)\n",
+		report.Wal.AppendUsPerTick, report.Wal.BytesPerTick, serveBenchChunk)
 	fmt.Printf("wrote %s\n\n", outPath)
+}
+
+// measureWalAppend builds a fresh rf fleet with a NoSync journal and times
+// one Journal.Flush per chunk of ticks, amortizing the flush over the
+// ticks it covers. The ticks themselves are excluded from the timer; only
+// capture+append+seal is measured.
+func measureWalAppend(reg *serve.Registry, pipe *core.Pipeline) serveWalBench {
+	hub, boards := buildServeBenchHub(reg, pipe, "rf", false, 1)
+	defer hub.Stop()
+	defer func() {
+		for _, b := range boards {
+			b.Stop()
+		}
+	}()
+	dir, err := os.MkdirTemp("", "benchwal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	j, _, err := serve.NewJournal(hub, wal.Options{Dir: dir, NoSync: true, SegmentBytes: 1 << 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer j.Close()
+
+	for i := 0; i < serveBenchWarmup; i++ {
+		hub.TickAll()
+	}
+	// The first flush is the full base (every session, the model payload);
+	// take it outside the measurement so the chunks see steady-state deltas.
+	if _, _, err := j.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	us := make([]float64, 0, serveBenchRepeats)
+	var bytesSum float64
+	for r := 0; r < serveBenchRepeats; r++ {
+		before := j.Status().ActiveBytes
+		for i := 0; i < serveBenchChunk; i++ {
+			hub.TickAll()
+		}
+		start := time.Now()
+		if _, _, err := j.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		us = append(us, float64(time.Since(start).Nanoseconds())/1e3/serveBenchChunk)
+		bytesSum += float64(j.Status().ActiveBytes - before)
+	}
+	return serveWalBench{
+		AppendUsPerTick: median(us),
+		BytesPerTick:    bytesSum / float64(serveBenchRepeats*serveBenchChunk),
+	}
 }
 
 // measureChunk times one fixed chunk of ticks on a warm hub, returning

@@ -1,12 +1,16 @@
 // cogarm runs an interactive-style end-to-end demo of the CognitiveArm
 // pipeline: it trains a decoder for one subject, then scripts a scenario of
 // voice commands and mental tasks, printing the arm's state as it moves.
+//
+// It also hosts the offline admin verbs — currently the write-ahead-log
+// tooling (`cogarm wal verify|dump`, see wal.go).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"cognitivearm"
 	"cognitivearm/internal/arm"
@@ -15,6 +19,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "wal" {
+		runWal(os.Args[2:])
+		return
+	}
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	flag.Parse()
 

@@ -25,6 +25,15 @@
 // OPERATIONS.md for the full operations guide and ARCHITECTURE.md for the
 // checkpoint format.
 //
+// With -wal-dir the daemon additionally journals every fleet mutation —
+// dirty session records, manifests, model payloads, audit events, prediction
+// decisions — to a Merkle-sealed write-ahead log flushed every -wal-every. A
+// kill -9 then loses at most one flush interval instead of one checkpoint
+// interval: restart replays the sealed WAL tail over the newest checkpoint
+// (or over nothing — the WAL alone can rebuild the fleet). Checkpoints taken
+// while journaling fence the log and truncate the segments they subsume.
+// Inspect a log offline with `cogarm wal verify|dump`.
+//
 // With -cluster the daemon is one node of a multi-node fleet: it binds an
 // inter-node endpoint (the migration endpoint peers stream checkpoint
 // records to), joins the members named by -peers, and takes over the
@@ -73,6 +82,7 @@ import (
 	"cognitivearm/internal/serve"
 	"cognitivearm/internal/stream"
 	"cognitivearm/internal/tensor"
+	"cognitivearm/internal/wal"
 )
 
 func main() {
@@ -89,6 +99,8 @@ func main() {
 		seed          = flag.Uint64("seed", 1, "simulation seed")
 		ckptDir       = flag.String("checkpoint-dir", "", "fleet checkpoint directory (empty = no persistence)")
 		ckptEvery     = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (needs -checkpoint-dir)")
+		walDir        = flag.String("wal-dir", "", "write-ahead-log directory (empty = no journaling); with -checkpoint-dir, checkpoints fence and truncate the log")
+		walEvery      = flag.Duration("wal-every", 2*time.Second, "journal flush interval — the durability bound a kill -9 can lose (needs -wal-dir)")
 		adminAddr     = flag.String("admin", "", "admin-plane HTTP endpoint (/metrics /statusz /healthz /events /debug/pprof); empty = disabled")
 		clusterAddr   = flag.String("cluster", "", "inter-node endpoint to bind (e.g. 127.0.0.1:7946); empty = single-node")
 		nodeID        = flag.String("node-id", "", "ring identity of this node (defaults to the bound cluster address)")
@@ -118,6 +130,7 @@ func main() {
 		idleEvict:     *idleEvict,
 		seed:          *seed,
 		ckptDir:       *ckptDir,
+		walDir:        *walDir,
 		kernelThreads: *kernelThreads,
 		quantize:      *quantize,
 		quantGate:     *quantGate,
@@ -129,6 +142,26 @@ func main() {
 	// manifest's shards/tick rate, not this invocation's flags.
 	hcfg := hub.Config()
 	log.Printf("cogarmd: serving %d sessions on %d shards at %.0f Hz", hub.Sessions(), hcfg.Shards, hcfg.TickHz)
+
+	// Journal: every mutation the fleet makes between checkpoints lands in
+	// the WAL at -wal-every granularity, sealed under a Merkle root, so a
+	// kill -9 loses at most one flush interval and `cogarm wal verify|dump`
+	// can audit exactly what the daemon did.
+	var journal *serve.Journal
+	if *walDir != "" {
+		j, rec, err := serve.NewJournal(hub, wal.Options{Dir: *walDir})
+		if err != nil {
+			log.Fatalf("cogarmd: wal: %v", err)
+		}
+		journal = j
+		defer journal.Close()
+		if rec.TruncatedBytes > 0 {
+			log.Printf("cogarmd: WAL recovery truncated %d torn bytes (%d unsealed entries dropped) from %s",
+				rec.TruncatedBytes, rec.DroppedEntries, rec.TornSegment)
+		}
+		log.Printf("cogarmd: journaling to %s (%d sealed entries recovered, flush every %v)",
+			*walDir, rec.SealedEntries, *walEvery)
+	}
 
 	// Cluster mode: bind the inter-node endpoint (the migration endpoint
 	// peers stream checkpoint records to) and join any named members. The
@@ -183,7 +216,13 @@ func main() {
 		}
 		srv, bound, err := obs.StartAdmin(*adminAddr, obs.AdminOptions{
 			Health: hub.Health,
-			Status: func() any { return hub.Status(*ckptDir, clusterStatus) },
+			Status: func() any {
+				doc := hub.Status(*ckptDir, clusterStatus)
+				if journal != nil {
+					doc.Wal = journal.Status()
+				}
+				return doc
+			},
 		})
 		if err != nil {
 			log.Fatalf("cogarmd: %v", err)
@@ -206,6 +245,12 @@ func main() {
 		defer t.Stop()
 		ckptTick = t.C
 	}
+	var walTick <-chan time.Time
+	if journal != nil && *walEvery > 0 {
+		t := time.NewTicker(*walEvery)
+		defer t.Stop()
+		walTick = t.C
+	}
 loop:
 	for {
 		select {
@@ -214,8 +259,12 @@ loop:
 			if node != nil {
 				log.Printf("%s", node.Snapshot())
 			}
+		case <-walTick:
+			if _, _, err := journal.Flush(); err != nil {
+				log.Printf("cogarmd: WAL flush failed: %v", err)
+			}
 		case <-ckptTick:
-			saveCheckpoint(hub, *ckptDir)
+			saveCheckpoint(hub, journal, *ckptDir)
 		case <-sig:
 			log.Printf("cogarmd: signal received, draining")
 			break loop
@@ -232,9 +281,15 @@ loop:
 		}
 	}
 	// Final checkpoint while the fleet is still live, so a clean shutdown
-	// resumes exactly where it stopped.
+	// resumes exactly where it stopped. Without a checkpoint directory a
+	// final sealed flush serves the same purpose: the WAL alone replays the
+	// whole fleet.
 	if *ckptDir != "" {
-		saveCheckpoint(hub, *ckptDir)
+		saveCheckpoint(hub, journal, *ckptDir)
+	} else if journal != nil {
+		if _, _, err := journal.Flush(); err != nil {
+			log.Printf("cogarmd: final WAL flush failed: %v", err)
+		}
 	}
 	close(stopStreaming)
 	// Snapshot before Stop so the final report shows the live fleet.
@@ -247,10 +302,18 @@ loop:
 }
 
 // saveCheckpoint persists the fleet and logs the outcome; a failed
-// checkpoint is an operational warning, never fatal to serving.
-func saveCheckpoint(hub *serve.Hub, dir string) {
+// checkpoint is an operational warning, never fatal to serving. When a
+// journal is live the checkpoint goes through it, so the manifest carries
+// the WAL fence and the log is truncated behind the new snapshot.
+func saveCheckpoint(hub *serve.Hub, j *serve.Journal, dir string) {
 	start := time.Now()
-	path, err := hub.Checkpoint(dir)
+	var path string
+	var err error
+	if j != nil {
+		path, err = j.Checkpoint(dir)
+	} else {
+		path, err = hub.Checkpoint(dir)
+	}
 	if err != nil {
 		log.Printf("cogarmd: checkpoint failed: %v", err)
 		return
@@ -266,19 +329,38 @@ type resumeConfig struct {
 	idleEvict           int
 	seed                uint64
 	ckptDir             string
+	walDir              string
 	kernelThreads       int
 	quantize            bool
 	quantGate           float64
 }
 
-// resumeOrColdStart restores the fleet from the newest valid checkpoint when
-// one exists, and otherwise trains the shared decoder and admits the
+// resumeOrColdStart restores the fleet from the newest valid checkpoint
+// (plus, with -wal-dir, every sealed WAL entry past the checkpoint's fence)
+// when one exists, and otherwise trains the shared decoder and admits the
 // configured sessions from scratch.
 func resumeOrColdStart(cfg resumeConfig, stopStreaming <-chan struct{}) *serve.Hub {
-	if cfg.ckptDir != "" {
-		hub, dir, err := serve.RestoreHubDir(cfg.ckptDir, func(rec serve.RestoredSession) (serve.Source, error) {
-			return rebindSource(rec, cfg, stopStreaming)
-		})
+	rebind := func(rec serve.RestoredSession) (serve.Source, error) {
+		return rebindSource(rec, cfg, stopStreaming)
+	}
+	switch {
+	case cfg.walDir != "":
+		hub, dir, applied, err := serve.RestoreHubWal(cfg.ckptDir, cfg.walDir, rebind)
+		switch {
+		case err == nil:
+			if dir == "" {
+				dir = "WAL only"
+			}
+			log.Printf("cogarmd: resumed %d sessions from %s + %d WAL entries (no retraining)",
+				hub.Sessions(), dir, applied)
+			return hub
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			log.Printf("cogarmd: no checkpoint or WAL state, cold start")
+		default:
+			log.Printf("cogarmd: restore failed (%v), cold start", err)
+		}
+	case cfg.ckptDir != "":
+		hub, dir, err := serve.RestoreHubDir(cfg.ckptDir, rebind)
 		switch {
 		case err == nil:
 			log.Printf("cogarmd: resumed %d sessions from %s (no retraining)", hub.Sessions(), dir)

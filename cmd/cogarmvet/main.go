@@ -9,7 +9,9 @@
 // allocate, transitively), atomicfield (no mixed atomic/plain access),
 // nolockblock (no blocking ops or nested locks inside mutex critical
 // sections), obsguard (every telemetry handle use nil-guarded so
-// DisableTelemetry cannot panic). See ARCHITECTURE.md "Static invariants"
+// DisableTelemetry cannot panic), quantsafe (quantized kernels stay within
+// their calibrated domains), walsafe (no reads, seeks, or history rewrites
+// under a //cogarm:walseg WAL segment lock). See ARCHITECTURE.md "Static invariants"
 // for the annotation grammar, and //cogarm:allow <analyzer> -- <reason>
 // for sanctioned exceptions.
 package main

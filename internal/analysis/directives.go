@@ -18,6 +18,11 @@ import (
 //	    On a function: it never returns a nil telemetry holder, so
 //	    obsguard treats handle uses reached through its result as guarded.
 //
+//	//cogarm:walseg
+//	    On a sync.Mutex/RWMutex struct field: it is a WAL segment lock,
+//	    and the walsafe analyzer forbids file reads, seeks, and history
+//	    rewrites while it is held (append-only discipline).
+//
 //	//cogarm:allow <analyzer> -- <reason>
 //	    On or immediately above an offending line: suppress that
 //	    analyzer's diagnostics for the line. The reason is mandatory —

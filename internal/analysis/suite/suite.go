@@ -9,6 +9,7 @@ import (
 	"cognitivearm/internal/analysis/nolockblock"
 	"cognitivearm/internal/analysis/obsguard"
 	"cognitivearm/internal/analysis/quantsafe"
+	"cognitivearm/internal/analysis/walsafe"
 	"cognitivearm/internal/analysis/zeroalloc"
 )
 
@@ -19,4 +20,5 @@ var Analyzers = []*analysis.Analyzer{
 	nolockblock.Analyzer,
 	obsguard.Analyzer,
 	quantsafe.Analyzer,
+	walsafe.Analyzer,
 }

@@ -1,0 +1,108 @@
+// Fixture for walsafe: append-only discipline under //cogarm:walseg
+// segment locks — direct and transitive reads/seeks/rewrites, deferred
+// unlock spans, conditional release, open-mode checks, unmarked locks,
+// goroutine scoping, directive placement, and waivers.
+package wsfix
+
+import (
+	"io"
+	"os"
+	"sync"
+)
+
+type segLog struct {
+	//cogarm:walseg
+	mu sync.Mutex
+	f  *os.File
+
+	plain sync.Mutex // unmarked: not walsafe's concern
+	buf   []byte
+}
+
+type badMark struct {
+	//cogarm:walseg
+	n int // want `walsafe: //cogarm:walseg must annotate a named sync\.Mutex or sync\.RWMutex struct field`
+}
+
+func appendFrame(l *segLog, b []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(b); err != nil { // sequential append: fine
+		return err
+	}
+	return l.f.Sync() // durability: fine
+}
+
+func readBack(l *segLog, b []byte) {
+	l.mu.Lock()
+	l.f.Read(b)               // want `walsafe: reads a WAL file \(os\.\(\*File\)\.Read\) while WAL segment lock l\.mu is held`
+	l.f.Seek(0, io.SeekStart) // want `walsafe: moves the write cursor \(os\.\(\*File\)\.Seek\) while WAL segment lock l\.mu is held`
+	l.mu.Unlock()
+	l.f.Read(b) // lock released: fine
+}
+
+func rewriteHistory(l *segLog) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.f.WriteAt(l.buf, 0)     // want `walsafe: writes at an arbitrary offset \(os\.\(\*File\)\.WriteAt\) while WAL segment lock l\.mu is held`
+	l.f.Truncate(0)           // want `walsafe: rewrites sealed history \(os\.\(\*File\)\.Truncate\) while WAL segment lock l\.mu is held`
+	os.Truncate("wal.seg", 0) // want `walsafe: rewrites sealed history \(os\.Truncate\) while WAL segment lock l\.mu is held`
+}
+
+func reopen(l *segLog) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, _ := os.OpenFile("wal.seg", os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644) // append mode: fine
+	_ = a
+	b, _ := os.OpenFile("wal.seg", os.O_RDWR, 0o644) // want `walsafe: opens a WAL file without os\.O_APPEND \(os\.OpenFile\) while WAL segment lock l\.mu is held`
+	_ = b
+	c, _ := os.Open("wal.seg") // want `walsafe: opens a WAL file for reading \(os\.Open\) while WAL segment lock l\.mu is held`
+	_ = c
+}
+
+// scanTail seeks; calling it under the segment lock is flagged at the
+// call site through the in-package fixpoint.
+func scanTail(l *segLog) {
+	l.f.Seek(0, io.SeekEnd)
+}
+
+func transitive(l *segLog) {
+	l.mu.Lock()
+	scanTail(l) // want `walsafe: calls scanTail, which moves the write cursor \(os\.\(\*File\)\.Seek\) while WAL segment lock l\.mu is held`
+	l.mu.Unlock()
+}
+
+func conditional(l *segLog, flush bool) {
+	l.mu.Lock()
+	if flush {
+		l.mu.Unlock()
+		l.f.Seek(0, io.SeekStart) // released on this arm: fine
+		return
+	}
+	l.mu.Unlock()
+}
+
+func unmarkedLock(l *segLog, b []byte) {
+	l.plain.Lock()
+	l.f.Read(b) // plain mutex, not a segment lock: fine
+	l.plain.Unlock()
+}
+
+func recovery(l *segLog) {
+	// No lock held: recovery reads and truncates the tail freely.
+	l.f.Seek(0, io.SeekStart)
+	os.Truncate("wal.seg", 0)
+}
+
+func goroutineBody(l *segLog, b []byte) {
+	l.mu.Lock()
+	go func() { l.f.Read(b) }() // runs outside this critical section: fine
+	l.mu.Unlock()
+}
+
+func waived(l *segLog, b []byte) {
+	l.mu.Lock()
+	//cogarm:allow walsafe -- fixture: sanctioned read-back for this test
+	l.f.Read(b)
+	l.mu.Unlock()
+}

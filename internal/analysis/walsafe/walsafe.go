@@ -1,0 +1,363 @@
+// Package walsafe enforces the write-ahead log's append-only discipline.
+// A sync.Mutex/RWMutex struct field annotated //cogarm:walseg is a WAL
+// segment lock: every byte that reaches the active segment is serialized
+// under it, and history behind the write cursor is immutable. While such a
+// lock is held (from x.Lock()/x.RLock() to the matching unlock in the same
+// statement list, or to the end of the scope when the unlock is deferred)
+// the analyzer flags:
+//
+//   - file reads: (*os.File).Read/ReadAt, os.Open, os.ReadFile,
+//     io.ReadFull, io.ReadAll — readers (recovery, Dump, Verify) run
+//     lock-free over sealed data, never under the segment lock;
+//   - position surgery: (*os.File).Seek/WriteAt/Truncate, os.Truncate —
+//     the write path only ever appends, so sealed bytes stay bitwise
+//     stable under concurrent verification;
+//   - os.OpenFile without os.O_APPEND in its flag expression — a segment
+//     (re)opened under the lock must be opened for appending.
+//
+// Unsafe-ness propagates through in-package calls via a fixpoint over
+// function bodies, so a helper that hides a Seek one frame down is still
+// caught at the lock site. Function literals and go statements are
+// independent scopes. The directive must annotate a mutex field; any other
+// placement is itself reported. Sanctioned exceptions are waived per line
+// with //cogarm:allow walsafe -- <reason>.
+package walsafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cognitivearm/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walsafe",
+	Doc:  "flag reads, seeks, and history rewrites under a //cogarm:walseg segment lock (append-only WAL discipline)",
+	Run:  run,
+}
+
+// fileUnsafe are stdlib calls that read a file or rewrite file history —
+// both forbidden under a segment lock.
+var fileUnsafe = map[string]string{
+	"os.(*File).Read":     "reads a WAL file",
+	"os.(*File).ReadAt":   "reads a WAL file",
+	"os.Open":             "opens a WAL file for reading",
+	"os.ReadFile":         "reads a WAL file",
+	"io.ReadFull":         "reads a WAL file",
+	"io.ReadAll":          "reads a WAL file",
+	"os.(*File).Seek":     "moves the write cursor",
+	"os.(*File).WriteAt":  "writes at an arbitrary offset",
+	"os.(*File).Truncate": "rewrites sealed history",
+	"os.Truncate":         "rewrites sealed history",
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	marked    map[*types.Var]bool // //cogarm:walseg-annotated mutex fields
+	order     []*types.Func
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]string
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:      pass,
+		marked:    map[*types.Var]bool{},
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		summaries: map[*types.Func]string{},
+	}
+	c.collectMarks()
+	if len(c.marked) == 0 {
+		return nil // nothing to guard in this package
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.order = append(c.order, fn)
+				c.decls[fn] = fd
+			}
+		}
+	}
+
+	// Fixpoint over unsafe summaries: a function is unsafe if its body
+	// contains a forbidden file operation or calls an in-package function
+	// already known to be unsafe. Declaration order keeps reason chains
+	// deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range c.order {
+			if _, done := c.summaries[fn]; done {
+				continue
+			}
+			var reason string
+			c.findUnsafe(c.decls[fn].Body, func(_ token.Pos, r string) {
+				if reason == "" {
+					reason = r
+				}
+			})
+			if reason != "" {
+				c.summaries[fn] = reason
+				changed = true
+			}
+		}
+	}
+
+	for _, fn := range c.order {
+		body := c.decls[fn].Body
+		c.scanList(body.List, nil)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.scanList(lit.Body.List, nil)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectMarks records every //cogarm:walseg-annotated field and validates
+// the directive's placement: it must sit on a named sync.Mutex/RWMutex
+// struct field.
+func (c *checker) collectMarks() {
+	for _, file := range c.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if !analysis.HasDirective(f.Doc, "walseg") {
+					continue
+				}
+				named := analysis.NamedBase(c.pass.TypesInfo.TypeOf(f.Type))
+				isMutex := named != nil && named.Obj().Pkg() != nil &&
+					named.Obj().Pkg().Path() == "sync" &&
+					(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+				if !isMutex || len(f.Names) == 0 {
+					c.pass.Reportf(f.Pos(), "//cogarm:walseg must annotate a named sync.Mutex or sync.RWMutex struct field")
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok {
+						c.marked[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// callReason returns why calling call is forbidden under a segment lock,
+// or "".
+func (c *checker) callReason(call *ast.CallExpr) string {
+	obj := analysis.Callee(c.pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	fn = fn.Origin()
+	if fn.Pkg() == c.pass.Pkg {
+		if r, ok := c.summaries[fn]; ok {
+			return fmt.Sprintf("calls %s, which %s", fn.Name(), r)
+		}
+		return ""
+	}
+	key := analysis.CalleeKey(fn)
+	if r, ok := fileUnsafe[key]; ok {
+		return fmt.Sprintf("%s (%s)", r, key)
+	}
+	if key == "os.OpenFile" && !appendFlagged(call) {
+		return "opens a WAL file without os.O_APPEND (os.OpenFile)"
+	}
+	return ""
+}
+
+// appendFlagged reports whether an os.OpenFile call names os.O_APPEND
+// anywhere in its flag argument.
+func appendFlagged(call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "O_APPEND" {
+				found = true
+			}
+		case *ast.Ident:
+			if x.Name == "O_APPEND" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// findUnsafe walks n — skipping nested function literals and go statements,
+// which run outside the current goroutine's locks — and reports every
+// forbidden file operation.
+func (c *checker) findUnsafe(n ast.Node, report func(token.Pos, string)) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case nil:
+			return false
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if r := c.callReason(x); r != "" {
+				report(x.Lparen, r)
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes Lock/RLock/Unlock/RUnlock on a walseg-marked mutex
+// field reachable through an ident/selector chain, returning the chain
+// (the lock's identity for span matching).
+func (c *checker) lockOp(call *ast.CallExpr) (ast.Expr, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	fn, ok := analysis.Callee(c.pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	var isLock bool
+	switch fn.Name() {
+	case "Lock", "RLock":
+		isLock = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil, false, false
+	}
+	// The lock expression's final link must select a marked field.
+	lockSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	field, ok := c.pass.TypesInfo.Uses[lockSel.Sel].(*types.Var)
+	if !ok || !c.marked[field] || analysis.ChainOf(sel.X) == nil {
+		return nil, false, false
+	}
+	return sel.X, isLock, true
+}
+
+type heldLock struct {
+	expr ast.Expr
+	pos  token.Pos
+}
+
+// scanList walks a statement list tracking which walseg locks are held.
+// Nested blocks get a copy of the held set, so a conditional unlock inside
+// an if arm releases the lock for that arm only.
+func (c *checker) scanList(list []ast.Stmt, held []heldLock) {
+	held = append([]heldLock(nil), held...)
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if chain, isLock, ok := c.lockOp(call); ok {
+					if isLock {
+						held = append(held, heldLock{chain, call.Pos()})
+					} else {
+						held = c.release(held, chain)
+					}
+					continue
+				}
+			}
+			c.checkHeld(s, held)
+		case *ast.DeferStmt:
+			if chain, isLock, ok := c.lockOp(s.Call); ok && !isLock {
+				_ = chain // deferred unlock: held to end of scope, as modeled
+				continue
+			}
+			c.checkHeld(s.Call, held)
+		case *ast.BlockStmt:
+			c.scanList(s.List, held)
+		case *ast.IfStmt:
+			c.checkHeld(s.Init, held)
+			c.checkHeld(s.Cond, held)
+			c.scanList(s.Body.List, held)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				c.scanList(e.List, held)
+			case *ast.IfStmt:
+				c.scanList([]ast.Stmt{e}, held)
+			}
+		case *ast.ForStmt:
+			c.checkHeld(s.Init, held)
+			c.checkHeld(s.Cond, held)
+			c.checkHeld(s.Post, held)
+			c.scanList(s.Body.List, held)
+		case *ast.RangeStmt:
+			c.checkHeld(s.X, held)
+			c.scanList(s.Body.List, held)
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					c.scanList(cc.Body, held)
+				}
+			}
+		case *ast.SwitchStmt:
+			c.checkHeld(s.Init, held)
+			c.checkHeld(s.Tag, held)
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						c.checkHeld(e, held)
+					}
+					c.scanList(cc.Body, held)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					c.scanList(cc.Body, held)
+				}
+			}
+		case *ast.LabeledStmt:
+			c.scanList([]ast.Stmt{s.Stmt}, held)
+		case *ast.GoStmt:
+			// The goroutine body does not run under this goroutine's locks.
+		default:
+			c.checkHeld(stmt, held)
+		}
+	}
+}
+
+// checkHeld reports forbidden file operations in n while a walseg lock is
+// held.
+func (c *checker) checkHeld(n ast.Node, held []heldLock) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	c.findUnsafe(n, func(pos token.Pos, reason string) {
+		h := held[len(held)-1]
+		c.pass.Reportf(pos, "%s while WAL segment lock %s is held (locked at %s) — the write path is append-only",
+			reason, types.ExprString(h.expr), c.pass.Fset.Position(h.pos))
+	})
+}
+
+// release removes the most recent held entry matching chain.
+func (c *checker) release(held []heldLock, chain ast.Expr) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if analysis.SameChain(c.pass.TypesInfo, held[i].expr, chain) {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}

@@ -1,0 +1,18 @@
+package walsafe_test
+
+import (
+	"testing"
+
+	"cognitivearm/internal/analysis"
+	"cognitivearm/internal/analysis/analysistest"
+	"cognitivearm/internal/analysis/walsafe"
+)
+
+// TestFixtures covers direct and transitive reads/seeks/rewrites under a
+// //cogarm:walseg lock, deferred-unlock spans, conditional release,
+// os.OpenFile append-mode checking, unmarked-mutex and lock-free scopes,
+// goroutine scoping, directive placement validation, and waivers.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{walsafe.Analyzer},
+		"cognitivearm/wsfix")
+}

@@ -49,6 +49,7 @@ import (
 	"cognitivearm/internal/control"
 	"cognitivearm/internal/models"
 	"cognitivearm/internal/obs"
+	"cognitivearm/internal/wal"
 
 	// Register the ensemble codec so checkpoints holding ensembles load.
 	_ "cognitivearm/internal/ensemble"
@@ -161,6 +162,11 @@ type Manifest struct {
 	// full one; Hub.Checkpoint compacts (full rewrite) when it reaches
 	// DefaultCompactEvery.
 	Increments int
+	// WalSeq is the last sealed write-ahead-log entry sequence this
+	// checkpoint covers (0 = no WAL in play, or a pre-WAL manifest). WAL
+	// replay applies only entries with seq > WalSeq, and WAL compaction may
+	// truncate segments whose entries are all <= WalSeq.
+	WalSeq uint64
 	// Refs lists every live session (v2 only): the complete fleet view,
 	// in ID order, with Seq pointing at the directory holding each full
 	// record and the volatile overlay fields.
@@ -266,6 +272,11 @@ type FleetState struct {
 	// the whole fleet for a full checkpoint, the dirty subset for an
 	// incremental one (Manifest.Refs then carries the full fleet view).
 	Sessions []SessionRecord
+	// TailRoot is the verified Merkle root of the replication batch this
+	// state was decoded from (TailReader.ReadBatch only; zero elsewhere).
+	// A follower records it per-epoch so divergence from the primary is
+	// attributable to a specific batch at promotion time.
+	TailRoot [wal.HashSize]byte
 }
 
 const (

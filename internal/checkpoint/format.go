@@ -61,6 +61,13 @@ const (
 	RecModel = byte(2)
 	// RecSession is a gob-encoded SessionRecord.
 	RecSession = byte(3)
+	// RecSeal closes one replication-tail batch with a Merkle root over the
+	// batch's record payloads: count uint32 LE | root [32]byte (see
+	// internal/wal for the tree shape). The receiver recomputes the root
+	// from what it decoded and refuses the batch on mismatch, so a follower
+	// detects stream divergence at apply time — before promotion could ever
+	// serve silently corrupt state.
+	RecSeal = byte(4)
 )
 
 // maxRecordLen bounds a single record so a corrupted length field cannot ask

@@ -2,12 +2,14 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"sort"
 
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/wal"
 )
 
 // The replication tail: a long-lived stream of incremental checkpoint batches
@@ -17,7 +19,7 @@ import (
 // sequence of deltas:
 //
 //	tail  := header(kind=5) batch*
-//	batch := manifest-record model-record* session-record*
+//	batch := manifest-record model-record* session-record* seal-record
 //
 // Each batch's manifest carries the replication epoch in Seq (1, 2, 3, … per
 // connection — the receiver rejects gaps, so a batch from a stale connection
@@ -29,6 +31,12 @@ import (
 // records are the dirty subset since the previous batch, usually empty or a
 // handful — steady-state replication costs a manifest per interval, not a
 // fleet rewrite.
+//
+// Every batch ends in a RecSeal carrying the Merkle root (internal/wal tree
+// shape) over the batch's record payloads in wire order. The reader
+// recomputes the root from what it decoded and rejects the batch on
+// mismatch, and both ends expose the root, so a diverged follower is caught
+// at apply time — promotion never has to trust an unverified stream.
 
 // TailWriter ships incremental FleetState batches onto one stream. It is the
 // sender half of warm-standby replication: construct one per connection,
@@ -54,15 +62,16 @@ func NewTailWriter(w io.Writer) (*TailWriter, error) {
 // dirty records for this interval, its Manifest.Refs the full live view. The
 // state must be self-contained (no ModelRefs); models already shipped on
 // this writer are deduplicated away. Returns the model and session record
-// counts actually written. A batch is all-or-nothing on the wire only in the
-// sense that any error leaves the stream unusable — abandon the writer and
-// its connection on error.
-func (tw *TailWriter) WriteBatch(state *FleetState) (modelsSent, sessionsSent int, err error) {
+// counts actually written plus the batch's Merkle root (also framed onto the
+// wire as the closing seal record). A batch is all-or-nothing on the wire
+// only in the sense that any error leaves the stream unusable — abandon the
+// writer and its connection on error.
+func (tw *TailWriter) WriteBatch(state *FleetState) (modelsSent, sessionsSent int, root [wal.HashSize]byte, err error) {
 	if state == nil {
-		return 0, 0, fmt.Errorf("checkpoint: nil state")
+		return 0, 0, root, fmt.Errorf("checkpoint: nil state")
 	}
 	if len(state.ModelRefs) > 0 {
-		return 0, 0, fmt.Errorf("checkpoint: tail requires a self-contained state (has %d model refs)", len(state.ModelRefs))
+		return 0, 0, root, fmt.Errorf("checkpoint: tail requires a self-contained state (has %d model refs)", len(state.ModelRefs))
 	}
 	man := state.Manifest
 	tw.epoch++
@@ -86,37 +95,48 @@ func (tw *TailWriter) WriteBatch(state *FleetState) (modelsSent, sessionsSent in
 		man.Models = append(man.Models, ModelEntry{Key: key, MACs: state.ModelMACs[key]})
 	}
 
+	var leaves [][wal.HashSize]byte
 	var mbuf bytes.Buffer
 	if err := gob.NewEncoder(&mbuf).Encode(&man); err != nil {
-		return 0, 0, fmt.Errorf("checkpoint: tail manifest: %w", err)
+		return 0, 0, root, fmt.Errorf("checkpoint: tail manifest: %w", err)
 	}
 	if err := tw.fw.writeRecord(RecManifest, mbuf.Bytes()); err != nil {
-		return 0, 0, fmt.Errorf("checkpoint: tail manifest: %w", err)
+		return 0, 0, root, fmt.Errorf("checkpoint: tail manifest: %w", err)
 	}
+	leaves = append(leaves, wal.HashLeaf(mbuf.Bytes()))
 	for _, key := range keys {
 		var payload bytes.Buffer
 		if err := models.Save(&payload, state.Models[key]); err != nil {
-			return 0, 0, fmt.Errorf("checkpoint: tail model %q: %w", key, err)
+			return 0, 0, root, fmt.Errorf("checkpoint: tail model %q: %w", key, err)
 		}
 		if err := tw.fw.writeRecord(RecModel, payload.Bytes()); err != nil {
-			return 0, 0, fmt.Errorf("checkpoint: tail model %q: %w", key, err)
+			return 0, 0, root, fmt.Errorf("checkpoint: tail model %q: %w", key, err)
 		}
+		leaves = append(leaves, wal.HashLeaf(payload.Bytes()))
 	}
 	for i := range state.Sessions {
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(&state.Sessions[i]); err != nil {
-			return 0, 0, fmt.Errorf("checkpoint: tail session %d: %w", state.Sessions[i].ID, err)
+			return 0, 0, root, fmt.Errorf("checkpoint: tail session %d: %w", state.Sessions[i].ID, err)
 		}
 		if err := tw.fw.writeRecord(RecSession, buf.Bytes()); err != nil {
-			return 0, 0, fmt.Errorf("checkpoint: tail session %d: %w", state.Sessions[i].ID, err)
+			return 0, 0, root, fmt.Errorf("checkpoint: tail session %d: %w", state.Sessions[i].ID, err)
 		}
+		leaves = append(leaves, wal.HashLeaf(buf.Bytes()))
+	}
+	root = wal.Root(leaves)
+	seal := make([]byte, 4+wal.HashSize)
+	binary.LittleEndian.PutUint32(seal[:4], uint32(len(leaves)))
+	copy(seal[4:], root[:])
+	if err := tw.fw.writeRecord(RecSeal, seal); err != nil {
+		return 0, 0, root, fmt.Errorf("checkpoint: tail seal: %w", err)
 	}
 	// Only a fully framed batch marks its models sent: on any error above the
 	// stream is torn and the writer abandoned, so the accounting never drifts.
 	for _, key := range keys {
 		tw.sent[key] = struct{}{}
 	}
-	return len(keys), len(state.Sessions), nil
+	return len(keys), len(state.Sessions), root, nil
 }
 
 // Epoch returns the sequence number of the last batch written (0 before the
@@ -144,9 +164,12 @@ func NewTailReader(r io.Reader) (*TailReader, error) {
 // ReadBatch decodes exactly one batch, blocking until its manifest record
 // arrives. It returns io.EOF at a clean inter-batch boundary (the sender
 // closed the connection between batches); a tear inside a batch wraps
-// ErrCorrupt. The returned state carries the batch's dirty session records
-// in Sessions, the newly shipped models in Models, and the full live view in
-// Manifest.Refs.
+// ErrCorrupt. The batch's closing seal is verified — a Merkle root
+// recomputed from the decoded payloads that does not match what the sender
+// framed is divergence, reported as ErrCorrupt before any of the batch can
+// be applied. The returned state carries the batch's dirty session records
+// in Sessions, the newly shipped models in Models, the full live view in
+// Manifest.Refs, and the verified root in TailRoot.
 func (tr *TailReader) ReadBatch() (*FleetState, error) {
 	typ, payload, err := tr.fr.readRecord()
 	if err != nil {
@@ -188,11 +211,13 @@ func (tr *TailReader) ReadBatch() (*FleetState, error) {
 		Models:    make(map[string]models.Classifier, len(man.Models)),
 		ModelMACs: make(map[string]int64, len(man.Models)),
 	}
+	leaves := [][wal.HashSize]byte{wal.HashLeaf(payload)}
 	for _, me := range man.Models {
 		payload, err := next(RecModel, fmt.Sprintf("model %q", me.Key))
 		if err != nil {
 			return nil, err
 		}
+		leaves = append(leaves, wal.HashLeaf(payload))
 		clf, err := models.Load(bytes.NewReader(payload))
 		if err != nil {
 			return nil, fmt.Errorf("%w: tail model %q: %v", ErrCorrupt, me.Key, err)
@@ -205,11 +230,29 @@ func (tr *TailReader) ReadBatch() (*FleetState, error) {
 		if err != nil {
 			return nil, err
 		}
+		leaves = append(leaves, wal.HashLeaf(payload))
 		var rec SessionRecord
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
 			return nil, fmt.Errorf("%w: tail session record %d: %v", ErrCorrupt, i, err)
 		}
 		state.Sessions = append(state.Sessions, rec)
 	}
+	seal, err := next(RecSeal, "batch seal")
+	if err != nil {
+		return nil, err
+	}
+	if len(seal) != 4+wal.HashSize {
+		return nil, fmt.Errorf("%w: tail seal length %d", ErrCorrupt, len(seal))
+	}
+	if n := binary.LittleEndian.Uint32(seal[:4]); int(n) != len(leaves) {
+		return nil, fmt.Errorf("%w: tail seal covers %d records, batch framed %d", ErrCorrupt, n, len(leaves))
+	}
+	var sent [wal.HashSize]byte
+	copy(sent[:], seal[4:])
+	if got := wal.Root(leaves); got != sent {
+		return nil, fmt.Errorf("%w: replica stream diverged: batch merkle root mismatch (sender %x…, receiver %x…)",
+			ErrCorrupt, sent[:6], got[:6])
+	}
+	state.TailRoot = sent
 	return state, nil
 }

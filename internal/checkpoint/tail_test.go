@@ -2,10 +2,15 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"reflect"
+	"strings"
 	"testing"
+
+	"cognitivearm/internal/wal"
 )
 
 // tailState decorates testState with the Refs view a replication capture
@@ -30,18 +35,21 @@ func TestTailRoundTripAndModelDedup(t *testing.T) {
 	}
 	state := tailState(t)
 
-	models1, sessions1, err := tw.WriteBatch(state)
+	models1, sessions1, root1, err := tw.WriteBatch(state)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if models1 != 2 || sessions1 != 2 {
 		t.Fatalf("first batch wrote %d models / %d sessions, want 2 / 2", models1, sessions1)
 	}
+	if root1 == ([wal.HashSize]byte{}) {
+		t.Fatal("first batch sealed with a zero merkle root")
+	}
 	// Second interval: only one session is dirty, and both models already
 	// rode the tail — they must not be re-sent.
 	delta := tailState(t)
 	delta.Sessions = delta.Sessions[:1]
-	models2, sessions2, err := tw.WriteBatch(delta)
+	models2, sessions2, root2, err := tw.WriteBatch(delta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,6 +77,9 @@ func TestTailRoundTripAndModelDedup(t *testing.T) {
 	if len(b1.Models) != 2 || len(b1.Sessions) != 2 {
 		t.Fatalf("first batch decoded %d models / %d sessions, want 2 / 2", len(b1.Models), len(b1.Sessions))
 	}
+	if b1.TailRoot != root1 {
+		t.Fatalf("first batch verified root %x, sender framed %x", b1.TailRoot, root1)
+	}
 	if !reflect.DeepEqual(b1.Sessions, state.Sessions) {
 		t.Fatalf("session records mangled through the tail:\n got %+v\nwant %+v", b1.Sessions, state.Sessions)
 	}
@@ -91,6 +102,12 @@ func TestTailRoundTripAndModelDedup(t *testing.T) {
 	if len(b2.Manifest.Refs) != 2 {
 		t.Fatalf("second batch carries %d refs, want the full live view of 2", len(b2.Manifest.Refs))
 	}
+	if b2.TailRoot != root2 {
+		t.Fatalf("second batch verified root %x, sender framed %x", b2.TailRoot, root2)
+	}
+	if root1 == root2 {
+		t.Fatal("distinct batches sealed with the same merkle root")
+	}
 	// The sender closed cleanly between batches: io.EOF, not corruption.
 	if _, err := tr.ReadBatch(); err != io.EOF {
 		t.Fatalf("clean tail end returned %v, want io.EOF", err)
@@ -104,10 +121,10 @@ func TestTailWriterRejectsUnresolvedState(t *testing.T) {
 	}
 	state := tailState(t)
 	state.ModelRefs = []ModelEntry{{Key: "cnn", Seq: 1}}
-	if _, _, err := tw.WriteBatch(state); err == nil {
+	if _, _, _, err := tw.WriteBatch(state); err == nil {
 		t.Fatal("tail accepted a state with unresolved model refs")
 	}
-	if _, _, err := tw.WriteBatch(nil); err == nil {
+	if _, _, _, err := tw.WriteBatch(nil); err == nil {
 		t.Fatal("tail accepted a nil state")
 	}
 }
@@ -118,7 +135,7 @@ func TestTailTruncationIsCorrupt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := tw.WriteBatch(tailState(t)); err != nil {
+	if _, _, _, err := tw.WriteBatch(tailState(t)); err != nil {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
@@ -137,6 +154,42 @@ func TestTailTruncationIsCorrupt(t *testing.T) {
 	// A tear inside the stream header fails construction.
 	if _, err := NewTailReader(bytes.NewReader(full[:headerLen-2])); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("torn header returned %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTailReaderDetectsDivergence: a seal whose root disagrees with the
+// batch's records must be refused as divergence. The CRC of the tampered
+// record is recomputed so it passes framing — only the Merkle check can
+// catch it, which is exactly the attack/bitrot class the seal exists for.
+func TestTailReaderDetectsDivergence(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTailWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := tw.WriteBatch(tailState(t)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	const sealFrame = 5 + 4 + wal.HashSize + 4
+	frame := full[len(full)-sealFrame:]
+	if frame[0] != RecSeal {
+		t.Fatalf("stream does not end in a seal record (type %d)", frame[0])
+	}
+	frame[5+4+3] ^= 0x01 // flip one byte of the framed root
+	crc := crc32.Update(0, castagnoli, frame[:5+4+wal.HashSize])
+	binary.LittleEndian.PutUint32(frame[len(frame)-4:], crc)
+
+	tr, err := NewTailReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr.ReadBatch()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered seal returned %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("tampered seal error %q does not name divergence", err)
 	}
 }
 

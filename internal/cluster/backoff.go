@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Replication dial backoff. A standby that refuses dials would otherwise be
+// re-dialed on every replication sweep — with sub-second ReplicateEvery that
+// is a connect storm against a host that is likely rebooting, and with many
+// primaries replicating to one dead standby the storms synchronize. Each
+// target therefore gets capped exponential backoff with deterministic,
+// per-node-seeded jitter: failures double the pause from DefaultBackoffBase
+// up to DefaultBackoffCap, each pause is drawn uniformly from [d/2, d) so
+// fleets desynchronize, and one acknowledged batch resets the target to
+// eager redial.
+
+// Backoff defaults; Config.DialBackoffBase/Cap override.
+const (
+	DefaultBackoffBase = 250 * time.Millisecond
+	DefaultBackoffCap  = 15 * time.Second
+)
+
+// dialBackoff tracks per-target redial pacing. It is NOT safe for concurrent
+// use: the replication sweep owns it under replMu, the same way it owns the
+// link table.
+type dialBackoff struct {
+	base time.Duration
+	cap  time.Duration
+	rng  uint64 // splitmix64 state; seeded per node, deterministic
+	tgt  map[string]*backoffState
+}
+
+type backoffState struct {
+	fails int
+	next  time.Time
+}
+
+// newDialBackoff builds a policy with the given bounds (defaults applied for
+// non-positive values) and a deterministic jitter stream seeded from seed —
+// node IDs are unique per fleet, so distinct nodes draw distinct jitter while
+// a test rerun draws the same sequence.
+func newDialBackoff(base, cap time.Duration, seed string) *dialBackoff {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	if cap < base {
+		cap = base
+	}
+	h := fnv.New64a()
+	h.Write([]byte(seed))
+	return &dialBackoff{base: base, cap: cap, rng: h.Sum64(), tgt: map[string]*backoffState{}}
+}
+
+// rand is splitmix64 over the seeded state: cheap, deterministic, and
+// stateful enough that successive failures of one target jitter differently.
+func (b *dialBackoff) rand() uint64 {
+	b.rng += 0x9e3779b97f4a7c15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ready reports whether target may be dialed at now.
+func (b *dialBackoff) ready(target string, now time.Time) bool {
+	st, ok := b.tgt[target]
+	return !ok || !now.Before(st.next)
+}
+
+// failure records a failed dial or batch at now and returns the pause before
+// the next attempt: min(cap, base·2^(fails-1)), jittered into [d/2, d).
+func (b *dialBackoff) failure(target string, now time.Time) time.Duration {
+	st, ok := b.tgt[target]
+	if !ok {
+		st = &backoffState{}
+		b.tgt[target] = st
+	}
+	st.fails++
+	d := b.cap
+	if shift := uint(st.fails - 1); shift < 32 {
+		if exp := b.base << shift; exp > 0 && exp < b.cap {
+			d = exp
+		}
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(b.rand()%uint64(half))
+	}
+	st.next = now.Add(d)
+	return d
+}
+
+// success resets target to eager redial.
+func (b *dialBackoff) success(target string) {
+	delete(b.tgt, target)
+}
+
+// forget drops state for a target that is no longer a standby.
+func (b *dialBackoff) forget(target string) {
+	delete(b.tgt, target)
+}
+
+// failures returns the consecutive failure count for target.
+func (b *dialBackoff) failures(target string) int {
+	if st, ok := b.tgt[target]; ok {
+		return st.fails
+	}
+	return 0
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"cognitivearm/internal/cluster/faultnet"
+	"cognitivearm/internal/serve"
+)
+
+// TestDialBackoffSchedule pins the policy math: exponential growth from the
+// base, jitter inside [d/2, d), the cap as the ceiling, reset on success,
+// and determinism for a fixed seed.
+func TestDialBackoffSchedule(t *testing.T) {
+	const base, cap = 250 * time.Millisecond, 15 * time.Second
+	b := newDialBackoff(base, cap, "node-a")
+	now := time.Unix(1000, 0)
+	expected := base
+	for i := 1; i <= 12; i++ {
+		d := b.failure("s", now)
+		if expected > cap {
+			expected = cap
+		}
+		if d < expected/2 || d >= expected {
+			t.Fatalf("failure %d: pause %v outside [%v, %v)", i, d, expected/2, expected)
+		}
+		if b.ready("s", now.Add(d-time.Nanosecond)) {
+			t.Fatalf("failure %d: target ready before its pause elapsed", i)
+		}
+		if !b.ready("s", now.Add(d)) {
+			t.Fatalf("failure %d: target not ready after its pause elapsed", i)
+		}
+		expected *= 2
+	}
+	if b.failures("s") != 12 {
+		t.Fatalf("failure count %d, want 12", b.failures("s"))
+	}
+	b.success("s")
+	if b.failures("s") != 0 || !b.ready("s", now) {
+		t.Fatal("success did not reset the target to eager redial")
+	}
+
+	// Determinism: the same seed draws the same schedule; a different seed
+	// (a different node) draws a different one somewhere in 12 rounds.
+	first := newDialBackoff(base, cap, "node-a")
+	second := newDialBackoff(base, cap, "node-a")
+	other := newDialBackoff(base, cap, "node-b")
+	diverged := false
+	for i := 0; i < 12; i++ {
+		d := first.failure("s", now)
+		if got := second.failure("s", now); got != d {
+			t.Fatalf("round %d: same seed drew %v then %v", i, d, got)
+		}
+		if other.failure("s", now) != d {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("distinct seeds drew identical 12-round schedules")
+	}
+}
+
+// TestReplicationDialBackoff drives a primary against a standby that refuses
+// dials, with an explicit clock and a faultnet dial budget as the ground
+// truth: sweeps inside the backoff window must not dial at all, the window
+// must grow exponentially, and one successful batch must reset it.
+func TestReplicationDialBackoff(t *testing.T) {
+	clf, norm := sharedModel(t)
+	nw := faultnet.NewNetwork(5)
+
+	hubA := newHub(t, registryWith(clf))
+	defer hubA.Stop()
+	nodeA, err := NewNode(Config{ID: "node-a", Rebind: dropRebind, Logf: t.Logf,
+		Dial: nw.Dial, Replicas: 1}, hubA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	hubB := newHub(t, registryWith(clf))
+	defer hubB.Stop()
+	nodeB, err := NewNode(Config{ID: "node-b", Rebind: dropRebind, Logf: t.Logf}, hubB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	if err := nodeB.Join(nodeA.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodeA.Admit(serve.SessionConfig{ModelKey: "rf", Source: &scriptSource{}, Norm: norm, Tag: "s"}); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := nw.Plan(nodeB.Addr())
+	now := time.Unix(2000, 0)
+	tel := clusterTel()
+	skipsBefore := tel.replBackoffSkips.Value()
+
+	// First failure: the dial is attempted (budget consumed) and fails.
+	plan.RefuseDials(true)
+	dials := plan.Dials()
+	if err := nodeA.ReplicateAt(now); err == nil {
+		t.Fatal("replication toward a dial-refusing standby reported success")
+	}
+	if got := plan.Dials() - dials; got != 1 {
+		t.Fatalf("first failing sweep consumed %d dials, want 1", got)
+	}
+
+	// Sweeps inside the backoff window: zero dials, counted as skips.
+	dials = plan.Dials()
+	for i := 0; i < 3; i++ {
+		nodeA.ReplicateAt(now.Add(50 * time.Millisecond))
+	}
+	if got := plan.Dials() - dials; got != 0 {
+		t.Fatalf("backed-off sweeps dialed %d times, want 0", got)
+	}
+	if got := tel.replBackoffSkips.Value() - skipsBefore; got != 3 {
+		t.Fatalf("backoff-skip counter moved by %d, want 3", got)
+	}
+
+	// Drive repeated failures far apart so every attempt is ready: each
+	// consumes exactly one dial and doubles the pause.
+	step := now
+	for i := 0; i < 5; i++ {
+		step = step.Add(DefaultBackoffCap) // certainly past any pause
+		dials = plan.Dials()
+		nodeA.ReplicateAt(step)
+		if got := plan.Dials() - dials; got != 1 {
+			t.Fatalf("ready failing sweep %d consumed %d dials, want 1", i, got)
+		}
+	}
+	nodeA.replMu.Lock()
+	fails := nodeA.backoff.failures(nodeB.ID())
+	nodeA.replMu.Unlock()
+	if fails != 6 {
+		t.Fatalf("consecutive failure count %d, want 6", fails)
+	}
+
+	// Heal the network: the next ready sweep reconnects, ships, and resets
+	// the target to eager redial.
+	plan.RefuseDials(false)
+	step = step.Add(DefaultBackoffCap)
+	if err := nodeA.ReplicateAt(step); err != nil {
+		t.Fatalf("replication after heal: %v", err)
+	}
+	nodeA.replMu.Lock()
+	fails = nodeA.backoff.failures(nodeB.ID())
+	nodeA.replMu.Unlock()
+	if fails != 0 {
+		t.Fatalf("failure count %d after an acknowledged batch, want 0", fails)
+	}
+	// And with the link healthy, subsequent sweeps reuse it: no new dials.
+	dials = plan.Dials()
+	if err := nodeA.ReplicateAt(step.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Dials() - dials; got != 0 {
+		t.Fatalf("healthy sweep dialed %d times, want 0 (link reuse)", got)
+	}
+}
+
+// TestReplicationBackoffTransientDialBudget: FailNextDials(n) models a
+// standby rebooting — exactly n dials fail, then service returns. The
+// primary must reconnect on its first ready attempt after the budget drains
+// and resume shipping acknowledged batches.
+func TestReplicationBackoffTransientDialBudget(t *testing.T) {
+	clf, norm := sharedModel(t)
+	nw := faultnet.NewNetwork(6)
+
+	hubA := newHub(t, registryWith(clf))
+	defer hubA.Stop()
+	nodeA, err := NewNode(Config{ID: "node-a", Rebind: dropRebind, Logf: t.Logf,
+		Dial: nw.Dial, Replicas: 1}, hubA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	hubB := newHub(t, registryWith(clf))
+	defer hubB.Stop()
+	nodeB, err := NewNode(Config{ID: "node-b", Rebind: dropRebind, Logf: t.Logf}, hubB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	if err := nodeB.Join(nodeA.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodeA.Admit(serve.SessionConfig{ModelKey: "rf", Source: &scriptSource{}, Norm: norm, Tag: "s"}); err != nil {
+		t.Fatal(err)
+	}
+
+	nw.Plan(nodeB.Addr()).FailNextDials(2)
+	now := time.Unix(3000, 0)
+	failed := 0
+	for i := 0; i < 10 && failed < 2; i++ {
+		if err := nodeA.ReplicateAt(now); err != nil {
+			failed++
+		}
+		now = now.Add(DefaultBackoffCap)
+	}
+	if failed != 2 {
+		t.Fatalf("consumed %d dial failures of the budgeted 2", failed)
+	}
+	if err := nodeA.ReplicateAt(now.Add(DefaultBackoffCap)); err != nil {
+		t.Fatalf("replication after the dial budget drained: %v", err)
+	}
+	if got := nodeB.replicas.total(); got != 1 {
+		t.Fatalf("standby holds %d replica sessions after recovery, want 1", got)
+	}
+}

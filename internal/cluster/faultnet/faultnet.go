@@ -15,6 +15,7 @@ package faultnet
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -275,4 +276,49 @@ func (l *listener) Accept() (net.Conn, error) {
 		return nil, err
 	}
 	return Wrap(conn, l.plan), nil
+}
+
+// CutWriter applies the plan's write budget to an arbitrary io.Writer — the
+// file-side counterpart of Conn.Write, used to tear WAL frames at exact byte
+// offsets. Once the budget is exhausted the allowed prefix is written and
+// every later write fails, exactly like a process killed mid-write: bytes up
+// to the cut are on disk, nothing after.
+type CutWriter struct {
+	w    io.Writer
+	plan *Plan
+}
+
+// NewCutWriter wraps w with plan's write faults. A nil plan leaves w unfaulted.
+func NewCutWriter(w io.Writer, plan *Plan) *CutWriter {
+	return &CutWriter{w: w, plan: plan}
+}
+
+// Write implements io.Writer with the plan's CutWritesAfter budget.
+func (c *CutWriter) Write(b []byte) (int, error) {
+	p := c.plan
+	if p == nil {
+		return c.w.Write(b)
+	}
+	p.mu.Lock()
+	allowed := int64(len(b))
+	cut := false
+	if p.cutWriteAfter >= 0 {
+		if remain := p.cutWriteAfter - p.written; remain < allowed {
+			if remain < 0 {
+				remain = 0
+			}
+			allowed, cut = remain, true
+		}
+	}
+	p.written += allowed
+	p.mu.Unlock()
+	n := 0
+	var err error
+	if allowed > 0 {
+		n, err = c.w.Write(b[:allowed])
+	}
+	if cut {
+		return n, fmt.Errorf("faultnet: write cut after %d bytes", p.Written())
+	}
+	return n, err
 }

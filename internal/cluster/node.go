@@ -104,6 +104,12 @@ type Config struct {
 	// promoted session can lose. 0 runs no loop: tests (and embedders that
 	// pace replication themselves) call ReplicateOnce directly.
 	ReplicateEvery time.Duration
+	// DialBackoffBase and DialBackoffCap bound the capped exponential
+	// backoff applied to a standby's redial after replication failures
+	// (DefaultBackoffBase / DefaultBackoffCap when zero). One acknowledged
+	// batch resets the target to eager redial.
+	DialBackoffBase time.Duration
+	DialBackoffCap  time.Duration
 	// HeartbeatEvery is the ping interval. 0 runs no loop: tests call
 	// SendHeartbeats and DetectFailures directly with explicit clocks.
 	HeartbeatEvery time.Duration
@@ -150,6 +156,7 @@ type Node struct {
 	replicas   *replicaStore
 	replMu     sync.Mutex
 	links      map[string]*replLink
+	backoff    *dialBackoff // per-standby redial pacing; owned by replMu
 	lastReplOK atomic.Int64 // unix nanos of the last fully acknowledged sweep
 
 	migratedIn  atomic.Uint64
@@ -202,6 +209,7 @@ func NewNode(cfg Config, hub *serve.Hub) (*Node, error) {
 		replicaN: cfg.Replicas,
 		replicas: newReplicaStore(),
 		links:    map[string]*replLink{},
+		backoff:  newDialBackoff(cfg.DialBackoffBase, cfg.DialBackoffCap, id),
 	}
 	n.ring.Add(id)
 	clusterTel().members.Set(float64(n.ring.Len()))

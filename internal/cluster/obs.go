@@ -24,17 +24,18 @@ type clusterObs struct {
 
 	// High-availability plane: heartbeat outcomes, detector reaps, failover
 	// promotions, and the replication tail's traffic and health.
-	hbOK            *obs.Counter
-	hbFail          *obs.Counter
-	reaps           *obs.Counter
-	failovers       *obs.Counter
-	promoted        *obs.Counter
-	replBatchesOut  *obs.Counter
-	replBatchesIn   *obs.Counter
-	replRecords     *obs.Counter
-	replFails       *obs.Counter
-	replLag         *obs.Gauge
-	replicaSessions *obs.Gauge
+	hbOK             *obs.Counter
+	hbFail           *obs.Counter
+	reaps            *obs.Counter
+	failovers        *obs.Counter
+	promoted         *obs.Counter
+	replBatchesOut   *obs.Counter
+	replBatchesIn    *obs.Counter
+	replRecords      *obs.Counter
+	replFails        *obs.Counter
+	replBackoffSkips *obs.Counter
+	replLag          *obs.Gauge
+	replicaSessions  *obs.Gauge
 
 	events *obs.EventRing
 }
@@ -89,6 +90,8 @@ func clusterTel() *clusterObs {
 				"Dirty session records shipped on replication tails (sender side)."),
 			replFails: reg.Counter("cogarm_cluster_replication_failures_total",
 				"Replication batches that failed (sender side; the tail reconnects and full-resyncs)."),
+			replBackoffSkips: reg.Counter("cogarm_cluster_replication_backoff_skips_total",
+				"Replication sweeps that skipped a standby still inside its dial-backoff window."),
 			replLag: reg.Gauge("cogarm_cluster_replication_lag_seconds",
 				"Seconds since every standby last acknowledged a replication batch (0 = fully replicated this interval)."),
 			replicaSessions: reg.Gauge("cogarm_cluster_replica_sessions",

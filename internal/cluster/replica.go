@@ -10,6 +10,7 @@ import (
 
 	"cognitivearm/internal/checkpoint"
 	"cognitivearm/internal/models"
+	"cognitivearm/internal/wal"
 )
 
 // Warm-standby replication. The sender half (Node.ReplicateOnce) captures
@@ -41,6 +42,11 @@ type replicaSet struct {
 	sessions map[uint64]checkpoint.SessionRecord
 	batches  uint64
 	lastAt   time.Time
+	// lastRoot is the Merkle root of the last applied batch, as verified by
+	// checkpoint.TailReader against the sender's seal. It makes the image's
+	// provenance auditable at promotion time: the promoting node can state
+	// exactly which verified batch its serving state descends from.
+	lastRoot [wal.HashSize]byte
 }
 
 // replicaStore holds one replicaSet per primary replicating to this node.
@@ -127,6 +133,7 @@ func (s *replicaStore) apply(src string, batch *checkpoint.FleetState, now time.
 	}
 	rs.batches++
 	rs.lastAt = now
+	rs.lastRoot = batch.TailRoot
 	return len(rs.sessions), nil
 }
 
@@ -189,12 +196,20 @@ func (n *Node) Standbys() []string {
 }
 
 // ReplicateOnce ships one dirty-delta batch to every standby, opening or
-// reopening tails as needed. It is the body of the replication loop and the
-// manual drive of deterministic tests. Links to members that are no longer
-// standbys (membership changed) are torn down; a failed batch tears its link
-// down and the next call reconnects with a full resync. Returns the first
-// error encountered; the other standbys are still attempted.
+// reopening tails as needed. It is the body of the replication loop. Links
+// to members that are no longer standbys (membership changed) are torn down;
+// a failed batch tears its link down and backs the target off, and a later
+// call reconnects with a full resync. Returns the first error encountered;
+// the other standbys are still attempted.
 func (n *Node) ReplicateOnce() error {
+	return n.ReplicateAt(time.Now())
+}
+
+// ReplicateAt is ReplicateOnce against an explicit clock — the deterministic
+// drive for tests, and the only consumer of the dial-backoff schedule: a
+// target still inside its backoff window at now is skipped (counted on
+// cogarm_cluster_replication_backoff_skips_total), not dialed.
+func (n *Node) ReplicateAt(now time.Time) error {
 	if n.replicaN <= 0 {
 		return nil
 	}
@@ -213,6 +228,7 @@ func (n *Node) ReplicateOnce() error {
 			//cogarm:allow nolockblock -- replMu is the sweep's private lock (see above); Close here cannot stall serving
 			link.conn.Close()
 			delete(n.links, id)
+			n.backoff.forget(id)
 		}
 	}
 	t := clusterTel()
@@ -227,13 +243,22 @@ func (n *Node) ReplicateOnce() error {
 	for _, target := range targets {
 		link, ok := n.links[target]
 		if !ok {
+			if !n.backoff.ready(target, now) {
+				// Inside the backoff window: the standby is not consulted at
+				// all this sweep. Skipping is not a fresh failure — the pause
+				// only grows when an actual attempt fails.
+				t.replBackoffSkips.Inc()
+				allOK = false
+				continue
+			}
 			var err error
 			//cogarm:allow nolockblock -- dialing under replMu serializes sweeps by design; no serving path waits on it
 			if link, err = n.linkTo(target); err != nil {
+				pause := n.backoff.failure(target, now)
 				t.replFails.Inc()
 				allOK = false
 				if firstErr == nil {
-					firstErr = fmt.Errorf("cluster: replication tail to %s: %w", target, err)
+					firstErr = fmt.Errorf("cluster: replication tail to %s (retry in %v): %w", target, pause, err)
 				}
 				continue
 			}
@@ -244,14 +269,16 @@ func (n *Node) ReplicateOnce() error {
 			//cogarm:allow nolockblock -- tearing down the failed link, same private-lock argument
 			link.conn.Close()
 			delete(n.links, target)
+			pause := n.backoff.failure(target, now)
 			t.replFails.Inc()
 			allOK = false
 			if firstErr == nil {
-				firstErr = fmt.Errorf("cluster: replication batch to %s: %w", target, err)
+				firstErr = fmt.Errorf("cluster: replication batch to %s (retry in %v): %w", target, pause, err)
 			}
+			continue
 		}
+		n.backoff.success(target)
 	}
-	now := time.Now()
 	if allOK {
 		n.lastReplOK.Store(now.UnixNano())
 		t.replLag.Set(0)
@@ -307,7 +334,7 @@ func (n *Node) linkTo(target string) (*replLink, error) {
 func (n *Node) shipBatch(link *replLink) error {
 	delta := n.hub.CaptureDelta(link.lastRefs)
 	link.conn.SetDeadline(time.Now().Add(ioTimeout))
-	_, sessions, err := link.tw.WriteBatch(delta)
+	_, sessions, _, err := link.tw.WriteBatch(delta)
 	if err != nil {
 		return err
 	}

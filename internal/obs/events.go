@@ -46,6 +46,9 @@ const (
 	// EvFailover: replica sessions of a dead member were promoted to live
 	// serving here (sessions, 0).
 	EvFailover
+	// EvWalTruncate: WAL recovery cut a torn tail back to the last sealed
+	// batch boundary (bytes, entries dropped).
+	EvWalTruncate
 	evSentinel // keep last
 )
 
@@ -65,6 +68,7 @@ var eventNames = [...]string{
 	EvInletDrop:             "inlet_drop",
 	EvReap:                  "reap",
 	EvFailover:              "failover",
+	EvWalTruncate:           "wal_truncate",
 }
 
 // argNames maps each type's A/B arguments to JSON field names; an empty name
@@ -80,6 +84,7 @@ var argNames = [...][2]string{
 	EvDrain:                 {"members", ""},
 	EvReap:                  {"members", ""},
 	EvFailover:              {"sessions", ""},
+	EvWalTruncate:           {"bytes", "entries"},
 	evSentinel:              {},
 }
 

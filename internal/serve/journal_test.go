@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cognitivearm/internal/stream"
+	"cognitivearm/internal/wal"
+)
+
+// journalFleet builds the standard two-session victim/reference pair used by
+// the WAL recovery tests: one script-fed session, one ring-fed session with
+// the whole stream buffered upfront (so a kill always leaves pending
+// samples in flight).
+func journalFleet(t *testing.T, hub *Hub, streamA, streamB []stream.Sample) (ids []SessionID, script *scriptSource) {
+	t.Helper()
+	_, p := testFleet(t)
+	script = &scriptSource{samples: streamA}
+	ring := stream.NewRing(len(streamB) + 1)
+	for _, smp := range streamB {
+		ring.Push(smp)
+	}
+	for _, src := range []Source{script, RingSource{Ring: ring}} {
+		id, err := hub.Admit(SessionConfig{ModelKey: "rf", Source: src, Norm: p.NormFor(0), Tag: "s"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, script
+}
+
+// journalSource rebinds sources for a hub restored from WAL replay: the
+// script session resumes at the position the killed process had consumed up
+// to its last flush; the ring session's remainder rides in as pending
+// records, so its new ring is empty.
+func journalSource(t *testing.T, streamA []stream.Sample, consumed int) SourceFactory {
+	byID := map[int]bool{}
+	return func(rec RestoredSession) (Source, error) {
+		t.Helper()
+		if byID[int(rec.ID)] {
+			t.Fatalf("session %d restored twice", rec.ID)
+		}
+		byID[int(rec.ID)] = true
+		if int(rec.ID) == 1 {
+			return &scriptSource{samples: streamA[consumed:]}, nil
+		}
+		return RingSource{Ring: stream.NewRing(8)}, nil
+	}
+}
+
+// TestJournalWalOnlyRecoveryBitwise is the acceptance test for the WAL as a
+// standalone durability layer: a hub that never wrote a checkpoint, killed
+// after its last journal flush (losing the post-flush ticks), must restore
+// from WAL replay alone and then emit exactly the per-tick decode sequence
+// the uninterrupted reference hub emits from the flush boundary on.
+func TestJournalWalOnlyRecoveryBitwise(t *testing.T) {
+	reg, _ := testFleet(t)
+	cfg := Config{Shards: 2, MaxSessionsPerShard: 2, TickHz: 15, LatencyWindow: 32}
+	const (
+		totalSamples = 700
+		totalTicks   = 60
+		flushTick    = 20 // journal flush boundary: everything after is lost
+		killTick     = 27
+	)
+	streamA := scriptedEEG(0, 41, totalSamples)
+	streamB := scriptedEEG(0, 97, totalSamples)
+
+	ref, err := NewHub(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Stop()
+	refIDs, _ := journalFleet(t, ref, streamA, streamB)
+	var want []SessionStats
+	for i := 0; i < totalTicks; i++ {
+		want = append(want, tickStats(t, ref, refIDs)...)
+	}
+
+	victim, err := NewHub(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, script := journalFleet(t, victim, streamA, streamB)
+	walDir := t.TempDir()
+	j, info, err := NewJournal(victim, wal.Options{Dir: walDir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Segments != 0 {
+		t.Fatalf("fresh WAL recovered %d segments", info.Segments)
+	}
+	for i := 0; i < flushTick; i++ {
+		victim.TickAll()
+	}
+	if _, last, err := j.Flush(); err != nil || last == 0 {
+		t.Fatalf("flush: last=%d err=%v", last, err)
+	}
+	consumed := script.pos
+	// Post-flush ticks advance the victim beyond what the WAL holds; the
+	// kill throws them away, and recovery must land exactly on the flush.
+	for i := flushTick; i < killTick; i++ {
+		victim.TickAll()
+	}
+	victim.Stop() // the "kill": journal never closed, WAL never rotated
+
+	state, applied, err := ReplayWAL(walDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state == nil || applied == 0 {
+		t.Fatalf("replay applied %d entries, state=%v", applied, state)
+	}
+	restored, err := RestoreHub(state, journalSource(t, streamA, consumed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Stop()
+	if restored.Sessions() != 2 {
+		t.Fatalf("restored %d sessions, want 2", restored.Sessions())
+	}
+	var got []SessionStats
+	for i := flushTick; i < totalTicks; i++ {
+		got = append(got, tickStats(t, restored, ids)...)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[flushTick*len(ids)+i]) {
+			t.Fatalf("tick %d session %d diverged after WAL-only restore:\n got %+v\nwant %+v",
+				flushTick+i/len(ids), i%len(ids), got[i], want[flushTick*len(ids)+i])
+		}
+	}
+}
+
+// TestJournalCheckpointFencesAndTruncates drives the full durability
+// pipeline: flush → checkpoint (snapshot + WAL truncation) → more flushes →
+// kill. Recovery composes the checkpoint base with the surviving WAL tail
+// and must resume bitwise-identically from the last flush. The checkpoint
+// must also have compacted the WAL (truncated the covered segments) and
+// fenced its manifest so replay skips what the checkpoint already holds.
+func TestJournalCheckpointFencesAndTruncates(t *testing.T) {
+	reg, _ := testFleet(t)
+	cfg := Config{Shards: 2, MaxSessionsPerShard: 2, TickHz: 15, LatencyWindow: 32}
+	const (
+		totalSamples = 700
+		totalTicks   = 60
+		ckptTick     = 15
+		flushTick    = 30
+		killTick     = 36
+	)
+	streamA := scriptedEEG(0, 41, totalSamples)
+	streamB := scriptedEEG(0, 97, totalSamples)
+
+	ref, err := NewHub(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Stop()
+	refIDs, _ := journalFleet(t, ref, streamA, streamB)
+	var want []SessionStats
+	for i := 0; i < totalTicks; i++ {
+		want = append(want, tickStats(t, ref, refIDs)...)
+	}
+
+	victim, err := NewHub(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, script := journalFleet(t, victim, streamA, streamB)
+	walDir, ckptRoot := t.TempDir(), t.TempDir()
+	// Tiny segments force organic rotation between flushes, so truncation
+	// after the checkpoint has finalized segments to actually remove.
+	j, _, err := NewJournal(victim, wal.Options{Dir: walDir, SegmentBytes: 4 << 10, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ckptTick; i++ {
+		victim.TickAll()
+	}
+	if _, _, err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Checkpoint(ckptRoot); err != nil {
+		t.Fatal(err)
+	}
+	fence := j.Log().LastSealed()
+	if fence == 0 {
+		t.Fatal("checkpoint left a zero WAL fence")
+	}
+	for i := ckptTick; i < flushTick; i++ {
+		victim.TickAll()
+	}
+	if _, _, err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	consumed := script.pos
+	for i := flushTick; i < killTick; i++ {
+		victim.TickAll()
+	}
+	victim.Stop() // kill
+
+	restored, dir, applied, err := RestoreHubWal(ckptRoot, walDir, journalSource(t, streamA, consumed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Stop()
+	if dir == "" {
+		t.Fatal("restore ignored the checkpoint base")
+	}
+	if applied == 0 {
+		t.Fatal("restore applied no WAL entries over the checkpoint")
+	}
+	var got []SessionStats
+	for i := flushTick; i < totalTicks; i++ {
+		got = append(got, tickStats(t, restored, ids)...)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[flushTick*len(ids)+i]) {
+			t.Fatalf("tick %d session %d diverged after checkpoint+WAL restore:\n got %+v\nwant %+v",
+				flushTick+i/len(ids), i%len(ids), got[i], want[flushTick*len(ids)+i])
+		}
+	}
+	// The checkpoint compacted the WAL: every entry at or below the fence
+	// lives only in the checkpoint now, so replay must start past it.
+	minSeq := ^uint64(0)
+	if err := wal.Dump(walDir, func(e wal.Entry) error {
+		if e.Seq < minSeq {
+			minSeq = e.Seq
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if minSeq <= fence {
+		t.Fatalf("WAL still holds entry %d at or below the checkpoint fence %d", minSeq, fence)
+	}
+}
+
+// TestJournalTornTailRecoversToLastFlush truncates the WAL at raw byte
+// offsets — the serve-level stand-in for kill -9 mid-write — and requires
+// recovery to land exactly on the last sealed flush, never on a partial one.
+func TestJournalTornTailRecoversToLastFlush(t *testing.T) {
+	reg, _ := testFleet(t)
+	cfg := Config{Shards: 1, MaxSessionsPerShard: 2, TickHz: 15, LatencyWindow: 16}
+	streamA := scriptedEEG(0, 41, 400)
+	streamB := scriptedEEG(0, 97, 400)
+
+	hub, err := NewHub(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, script := journalFleet(t, hub, streamA, streamB)
+	walDir := t.TempDir()
+	j, _, err := NewJournal(hub, wal.Options{Dir: walDir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		hub.TickAll()
+	}
+	if _, _, err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	consumed := script.pos
+	sealedState, _, err := ReplayWAL(walDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 20; i++ {
+		hub.TickAll()
+	}
+	if _, _, err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	hub.Stop()
+
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v, err %v", segs, err)
+	}
+	full, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find where the first flush's seal ends by replaying frame lengths.
+	var sealedEnd int64
+	func() {
+		off := int64(8)
+		for off < int64(len(full)) {
+			plen := int64(uint32(full[off+1]) | uint32(full[off+2])<<8 | uint32(full[off+3])<<16 | uint32(full[off+4])<<24)
+			end := off + 9 + plen
+			if full[off] == 2 { // recSeal
+				sealedEnd = end
+				return
+			}
+			off = end
+		}
+	}()
+	if sealedEnd == 0 {
+		t.Fatal("no seal found in segment")
+	}
+	// Cut mid-way through the second flush's records: everything after the
+	// first seal must be dropped, and the replayed state must equal the
+	// state captured right after the first flush.
+	cut := sealedEnd + (int64(len(full))-sealedEnd)/2
+	if err := os.Truncate(segs[0], cut); err != nil {
+		t.Fatal(err)
+	}
+	l, info, err := wal.Open(wal.Options{Dir: walDir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TornSegment == "" || info.TruncatedBytes == 0 {
+		t.Fatalf("recovery reported no truncation: %+v", info)
+	}
+	l.Close()
+	state, _, err := ReplayWAL(walDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(state.Sessions, sealedState.Sessions) {
+		t.Fatalf("torn-tail replay state diverged from the sealed flush:\n got %+v\nwant %+v",
+			state.Sessions, sealedState.Sessions)
+	}
+	restored, err := RestoreHub(state, journalSource(t, streamA, consumed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Stop()
+}
+
+// TestJournalAuditAndDecisionTrail: flushes journal the event ring (exactly
+// once per event) and a decision summary per dirty session, all queryable
+// from a cold Dump.
+func TestJournalAuditAndDecisionTrail(t *testing.T) {
+	reg, _ := testFleet(t)
+	hub, err := NewHub(Config{Shards: 1, MaxSessionsPerShard: 2, TickHz: 15, LatencyWindow: 16}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Stop()
+	ids, _ := journalFleet(t, hub, scriptedEEG(0, 41, 200), scriptedEEG(0, 97, 200))
+	walDir := t.TempDir()
+	j, _, err := NewJournal(hub, wal.Options{Dir: walDir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		hub.TickAll()
+	}
+	if _, _, err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		hub.TickAll()
+	}
+	if _, _, err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	decisions := map[uint64]int{}
+	auditSeqs := map[uint64]int{}
+	if err := wal.Dump(walDir, func(e wal.Entry) error {
+		switch e.Kind {
+		case wal.KindDecision:
+			d, err := wal.DecodeDecision(e.Data)
+			if err != nil {
+				return err
+			}
+			decisions[d.Session]++
+		case wal.KindAudit:
+			ev, err := wal.DecodeEvent(e.Data)
+			if err != nil {
+				return err
+			}
+			auditSeqs[ev.Seq]++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if decisions[uint64(id)] == 0 {
+			t.Fatalf("no decision entries journaled for session %d", id)
+		}
+	}
+	for seq, n := range auditSeqs {
+		if n != 1 {
+			t.Fatalf("audit event %d journaled %d times, want exactly once", seq, n)
+		}
+	}
+	if _, err := wal.Verify(walDir); err != nil {
+		t.Fatalf("closed journal fails verification: %v", err)
+	}
+}
+
+// TestJournalEmptyFlushAppendsNothing: a quiet interval (no dirty sessions,
+// no departures) must not grow the WAL. Sessions are script-fed with nothing
+// buffered — a session with pending samples counts as dirty by design.
+func TestJournalEmptyFlushAppendsNothing(t *testing.T) {
+	reg, p := testFleet(t)
+	hub, err := NewHub(Config{Shards: 1, MaxSessionsPerShard: 2, TickHz: 15, LatencyWindow: 16}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Stop()
+	for _, seed := range []uint64{41, 97} {
+		src := &scriptSource{samples: scriptedEEG(0, seed, 50)}
+		if _, err := hub.Admit(SessionConfig{ModelKey: "rf", Source: src, Norm: p.NormFor(0), Tag: "s"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j, _, err := NewJournal(hub, wal.Options{Dir: t.TempDir(), NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.TickAll()
+	if _, _, err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := j.Log().LastSealed()
+	// No ticks, and the first flush drained the ring: nothing to journal.
+	if _, last, err := j.Flush(); err != nil || last != before {
+		t.Fatalf("idle flush moved the sealed frontier %d -> %d (err %v)", before, last, err)
+	}
+}

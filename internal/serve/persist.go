@@ -52,6 +52,28 @@ func (h *Hub) Checkpoint(root string) (string, error) {
 	return checkpoint.Save(root, h.captureState(prev))
 }
 
+// CheckpointWithWal is Checkpoint with the manifest fenced against a
+// write-ahead log: walSeq — the WAL's last sealed entry sequence as of this
+// capture — rides into Manifest.WalSeq, so a later recovery replays only the
+// WAL entries this checkpoint does not already contain. The serve Journal is
+// the intended caller; it flushes (seals) before capturing, keeping the fence
+// conservative: state journaled after walSeq is at least as new in the WAL
+// as in this checkpoint, and replay's latest-record fold makes reapplying it
+// harmless.
+func (h *Hub) CheckpointWithWal(root string, walSeq uint64) (string, error) {
+	h.ckptMu.Lock()
+	defer h.ckptMu.Unlock()
+	//cogarm:allow nolockblock -- ckptMu exists to serialize checkpoint I/O; no tick-path code takes it
+	prev, err := checkpoint.LatestManifest(root)
+	if err != nil {
+		prev = nil // no (readable) previous checkpoint: write a full one
+	}
+	state := h.captureState(prev)
+	state.Manifest.WalSeq = walSeq
+	//cogarm:allow nolockblock -- ckptMu exists to serialize checkpoint I/O; no tick-path code takes it
+	return checkpoint.Save(root, state)
+}
+
 // CaptureState snapshots the hub's complete state into a self-contained
 // checkpoint.FleetState without touching disk — the in-memory half of a full
 // Checkpoint, exposed for tests and for callers that ship state elsewhere

@@ -27,6 +27,10 @@ type StatusDoc struct {
 	// the daemon runs without persistence.
 	Checkpoint *CheckpointStatus `json:"checkpoint,omitempty"`
 
+	// Wal is the write-ahead-log status (wal.Log.Status); nil when the
+	// daemon journals nothing.
+	Wal any `json:"wal,omitempty"`
+
 	// Cluster is the node's ring view; nil on a single-node daemon.
 	Cluster any `json:"cluster,omitempty"`
 }
@@ -49,7 +53,8 @@ var statusStart = time.Now()
 
 // Status assembles the hub's /statusz document. ckptRoot names the
 // checkpoint directory ("" = no persistence section); cluster, when non-nil,
-// supplies the cluster section (e.g. cluster.Node.Status).
+// supplies the cluster section (e.g. cluster.Node.Status). A journaling
+// daemon attaches the WAL section afterwards (Journal.Status).
 func (h *Hub) Status(ckptRoot string, cluster func() any) StatusDoc {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

@@ -1,0 +1,83 @@
+// Audit-entry codecs. The serve journal drains the process event ring into
+// KindAudit entries and emits one KindDecision entry per dirty session at
+// each flush, turning the in-memory lifecycle trail into a durable,
+// Merkle-verifiable record queryable with `cogarm wal dump`. Payloads are
+// fixed-width little-endian — no reflection, no per-field framing — so a
+// dump tool from any version can skip entries it does not understand by
+// length alone.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cognitivearm/internal/obs"
+)
+
+const eventPayLen = 8 + 8 + 1 + 4 + 8 + 8 + 8 // Seq, Time, Type, Shard, Session, A, B
+
+// EncodeEvent appends the fixed-binary form of ev to dst.
+func EncodeEvent(dst []byte, ev obs.Event) []byte {
+	var b [eventPayLen]byte
+	binary.LittleEndian.PutUint64(b[0:8], ev.Seq)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(ev.Time))
+	b[16] = byte(ev.Type)
+	binary.LittleEndian.PutUint32(b[17:21], uint32(ev.Shard))
+	binary.LittleEndian.PutUint64(b[21:29], ev.Session)
+	binary.LittleEndian.PutUint64(b[29:37], uint64(ev.A))
+	binary.LittleEndian.PutUint64(b[37:45], uint64(ev.B))
+	return append(dst, b[:]...)
+}
+
+// DecodeEvent parses a KindAudit payload.
+func DecodeEvent(p []byte) (obs.Event, error) {
+	if len(p) != eventPayLen {
+		return obs.Event{}, fmt.Errorf("wal: audit payload length %d, want %d", len(p), eventPayLen)
+	}
+	return obs.Event{
+		Seq:     binary.LittleEndian.Uint64(p[0:8]),
+		Time:    int64(binary.LittleEndian.Uint64(p[8:16])),
+		Type:    obs.EventType(p[16]),
+		Shard:   int32(binary.LittleEndian.Uint32(p[17:21])),
+		Session: binary.LittleEndian.Uint64(p[21:29]),
+		A:       int64(binary.LittleEndian.Uint64(p[29:37])),
+		B:       int64(binary.LittleEndian.Uint64(p[37:45])),
+	}, nil
+}
+
+// Decision summarizes one session's prediction activity as of a journal
+// flush: cumulative decoded windows and debounced agreements, plus the
+// session's mutation version. Granularity is the flush cadence, not per
+// tick — the WAL must never tax the zero-alloc tick path, so decisions are
+// journaled when the dirty session record is.
+type Decision struct {
+	Session uint64
+	Ver     uint64
+	Decoded uint64
+	Agreed  uint64
+}
+
+const decisionPayLen = 8 * 4
+
+// EncodeDecision appends the fixed-binary form of d to dst.
+func EncodeDecision(dst []byte, d Decision) []byte {
+	var b [decisionPayLen]byte
+	binary.LittleEndian.PutUint64(b[0:8], d.Session)
+	binary.LittleEndian.PutUint64(b[8:16], d.Ver)
+	binary.LittleEndian.PutUint64(b[16:24], d.Decoded)
+	binary.LittleEndian.PutUint64(b[24:32], d.Agreed)
+	return append(dst, b[:]...)
+}
+
+// DecodeDecision parses a KindDecision payload.
+func DecodeDecision(p []byte) (Decision, error) {
+	if len(p) != decisionPayLen {
+		return Decision{}, fmt.Errorf("wal: decision payload length %d, want %d", len(p), decisionPayLen)
+	}
+	return Decision{
+		Session: binary.LittleEndian.Uint64(p[0:8]),
+		Ver:     binary.LittleEndian.Uint64(p[8:16]),
+		Decoded: binary.LittleEndian.Uint64(p[16:24]),
+		Agreed:  binary.LittleEndian.Uint64(p[24:32]),
+	}, nil
+}

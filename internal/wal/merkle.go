@@ -1,0 +1,50 @@
+// Merkle batching over WAL entry hashes. Every appended entry contributes
+// one SHA-256 leaf (hashed over the framed record payload, so kind and
+// sequence number are covered, not just the caller's bytes); Seal folds the
+// pending leaves into a batch root, and segment rotation folds the batch
+// roots into a single segment root stored in the footer. A verifier can
+// therefore prove an entire segment with one 32-byte comparison, or narrow a
+// mismatch to a batch without replaying payloads.
+//
+// The tree shape follows the usual duplicate-last convention: leaves are
+// combined pairwise (sha256(left || right)); an odd node at any level is
+// paired with itself. A single leaf's root is the leaf hash. The empty root
+// is all zeroes and never written — sealing an empty batch is a no-op.
+package wal
+
+import "crypto/sha256"
+
+// HashSize is the width of every leaf, batch root, and segment root.
+const HashSize = sha256.Size
+
+// HashLeaf hashes one record payload into a Merkle leaf.
+func HashLeaf(payload []byte) [HashSize]byte {
+	return sha256.Sum256(payload)
+}
+
+// Root folds leaf hashes into a Merkle root, pairwise with duplicate-last.
+// It does not modify leaves. Root(nil) is the zero hash.
+func Root(leaves [][HashSize]byte) [HashSize]byte {
+	switch len(leaves) {
+	case 0:
+		return [HashSize]byte{}
+	case 1:
+		return leaves[0]
+	}
+	level := append([][HashSize]byte(nil), leaves...)
+	var buf [2 * HashSize]byte
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			right := i
+			if i+1 < len(level) {
+				right = i + 1
+			}
+			copy(buf[:HashSize], level[i][:])
+			copy(buf[HashSize:], level[right][:])
+			next = append(next, sha256.Sum256(buf[:]))
+		}
+		level = next
+	}
+	return level[0]
+}

@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"testing"
+)
+
+func leafOf(s string) [HashSize]byte { return HashLeaf([]byte(s)) }
+
+func TestRootEmptyAndSingle(t *testing.T) {
+	var zero [HashSize]byte
+	if got := Root(nil); got != zero {
+		t.Fatalf("Root(nil) = %x, want zero", got)
+	}
+	l := leafOf("a")
+	if got := Root([][HashSize]byte{l}); got != l {
+		t.Fatalf("single-leaf root should be the leaf")
+	}
+}
+
+func TestRootPairAndDuplicateLast(t *testing.T) {
+	a, b, c := leafOf("a"), leafOf("b"), leafOf("c")
+	pair := func(x, y [HashSize]byte) [HashSize]byte {
+		var buf [2 * HashSize]byte
+		copy(buf[:HashSize], x[:])
+		copy(buf[HashSize:], y[:])
+		return sha256.Sum256(buf[:])
+	}
+	if got, want := Root([][HashSize]byte{a, b}), pair(a, b); got != want {
+		t.Fatalf("two-leaf root mismatch")
+	}
+	// Odd level: c pairs with itself.
+	want := pair(pair(a, b), pair(c, c))
+	if got := Root([][HashSize]byte{a, b, c}); got != want {
+		t.Fatalf("three-leaf duplicate-last root mismatch")
+	}
+}
+
+func TestRootOrderAndContentSensitivity(t *testing.T) {
+	a, b, c, d := leafOf("a"), leafOf("b"), leafOf("c"), leafOf("d")
+	base := Root([][HashSize]byte{a, b, c, d})
+	if base == Root([][HashSize]byte{b, a, c, d}) {
+		t.Fatalf("root ignores leaf order")
+	}
+	if base == Root([][HashSize]byte{a, b, c, leafOf("e")}) {
+		t.Fatalf("root ignores leaf content")
+	}
+	// Root must not mutate its input.
+	leaves := [][HashSize]byte{a, b, c, d}
+	Root(leaves)
+	if leaves[0] != a || leaves[3] != d {
+		t.Fatalf("Root mutated its input")
+	}
+}

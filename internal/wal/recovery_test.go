@@ -1,0 +1,235 @@
+package wal
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cognitivearm/internal/cluster/faultnet"
+)
+
+// The crash-recovery matrix: the same scripted write sequence is killed by a
+// faultnet byte-budgeted cut at every frame-boundary class — mid segment
+// header, mid entry record, at an unsealed entry boundary, mid seal, at a
+// sealed batch boundary, mid footer, and on both sides of a rotation — and
+// recovery must truncate to the last sealed batch with a bitwise-identical
+// dump of everything before it, report exactly what was dropped, and leave
+// the log appendable.
+
+// walScript drives a fixed write sequence, ignoring errors (after the cut,
+// every operation fails — exactly like instructions after a kill -9 never
+// executing). Returns the entry payloads in append order.
+func walScript(l *Log) [][]byte {
+	payloads := [][]byte{
+		[]byte("alpha-entry-1"), []byte("beta-entry-2"), []byte("gamma-entry-3"),
+		[]byte("delta-entry-4"), []byte("epsilon-entry-5"),
+		[]byte("zeta-entry-6"), []byte("eta-entry-7"),
+	}
+	kinds := []Kind{KindSession, KindSession, KindAudit, KindSession, KindDecision, KindSession, KindAudit}
+	step := 0
+	app := func(n int) {
+		for i := 0; i < n; i++ {
+			l.Append(kinds[step], payloads[step])
+			step++
+		}
+	}
+	app(3)
+	l.Seal() // batch 1: entries 1-3
+	app(2)
+	l.Seal()   // batch 2: entries 4-5
+	l.Rotate() // segment 1 footered; segment 2 opened
+	app(1)
+	l.Seal() // batch 3: entry 6 (segment 2)
+	app(1)   // entry 7 left unsealed
+	return payloads
+}
+
+func TestTornTailMatrix(t *testing.T) {
+	// Reference run, uncut: gives the frame offsets the budgets derive from.
+	refDir := t.TempDir()
+	rl, _, err := Open(Options{Dir: refDir, NoSync: true})
+	if err != nil {
+		t.Fatalf("reference Open: %v", err)
+	}
+	payloads := walScript(rl)
+	rl.Close()
+	seg1Raw, err := os.ReadFile(filepath.Join(refDir, segName(1)))
+	if err != nil {
+		t.Fatalf("read reference segment 1: %v", err)
+	}
+	offs1, types1 := frameOffsets(t, filepath.Join(refDir, segName(1)))
+	// Expected frame sequence in segment 1: e1 e2 e3 seal e4 e5 seal footer.
+	wantTypes := []byte{recEntry, recEntry, recEntry, recSeal, recEntry, recEntry, recSeal, recFooter}
+	if !bytes.Equal(types1, wantTypes) {
+		t.Fatalf("reference segment 1 frames = %v, want %v", types1, wantTypes)
+	}
+	seg1Size := int64(len(seg1Raw))
+
+	// truncBytes: +1 = recovery must report cut bytes, 0 = must report a
+	// clean tail, -1 = indifferent (an empty next segment is removed without
+	// any real bytes lost).
+	cases := []struct {
+		name       string
+		budget     int64 // total bytes allowed through the plan before the cut
+		recovered  int   // sealed entries surviving recovery
+		dropped    int   // valid-but-unsealed entries recovery discards
+		truncBytes int
+	}{
+		{"mid-segment-header", 3, 0, 0, +1},
+		{"mid-entry-record", offs1[0] + 6, 0, 0, +1},
+		{"unsealed-entry-boundary", offs1[2], 0, 2, +1},
+		{"mid-seal", offs1[3] + 10, 0, 3, +1},
+		{"sealed-batch-boundary", offs1[4], 3, 0, 0},
+		{"mid-footer", offs1[7] + 5, 5, 0, +1},
+		{"rotation-boundary-empty-next", seg1Size, 5, 0, -1},
+		{"mid-entry-after-rotation", seg1Size + headerLen + 4, 5, 0, +1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			plan := faultnet.NewPlan()
+			plan.CutWritesAfter(tc.budget)
+			cut := Options{Dir: dir, NoSync: true,
+				wrap: func(w io.Writer) io.Writer { return faultnet.NewCutWriter(w, plan) }}
+			if l, _, err := Open(cut); err == nil {
+				walScript(l)
+				l.Close() // kill: the fd drops; sticky errors forbid new bytes
+			}
+
+			l, info, err := Open(Options{Dir: dir, NoSync: true})
+			if err != nil {
+				t.Fatalf("recovery Open: %v", err)
+			}
+			defer l.Close()
+
+			if info.DroppedEntries != tc.dropped {
+				t.Fatalf("DroppedEntries = %d, want %d (info %+v)", info.DroppedEntries, tc.dropped, info)
+			}
+			switch tc.truncBytes {
+			case +1:
+				if info.TruncatedBytes <= 0 || info.TornSegment == "" {
+					t.Fatalf("expected a reported truncation, got %+v", info)
+				}
+			case 0:
+				if info.TruncatedBytes != 0 || info.TornSegment != "" {
+					t.Fatalf("unexpected truncation %+v", info)
+				}
+			}
+
+			// Bitwise-identical restore of everything before the cut.
+			got := collect(t, dir)
+			if len(got) != tc.recovered {
+				t.Fatalf("recovered %d entries, want %d", len(got), tc.recovered)
+			}
+			for i, e := range got {
+				if e.Seq != uint64(i+1) || !bytes.Equal(e.Data, payloads[i]) || !e.Sealed {
+					t.Fatalf("entry %d = {seq %d, sealed %v, data %q}, want %q",
+						i, e.Seq, e.Sealed, e.Data, payloads[i])
+				}
+			}
+			if info.LastSeq != uint64(tc.recovered) || info.SealedEntries != uint64(tc.recovered) {
+				t.Fatalf("recovery info %+v, want last seq %d", info, tc.recovered)
+			}
+			// The recovered log verifies clean and stays appendable, with the
+			// sequence continuing from the last sealed entry.
+			if _, err := Verify(dir); err != nil {
+				t.Fatalf("Verify after recovery: %v", err)
+			}
+			seq, err := l.Append(KindSession, []byte("post-recovery"))
+			if err != nil {
+				t.Fatalf("Append after recovery: %v", err)
+			}
+			if seq != info.LastSeq+1 {
+				t.Fatalf("post-recovery seq = %d, want %d", seq, info.LastSeq+1)
+			}
+			if _, _, _, err := l.Seal(); err != nil {
+				t.Fatalf("Seal after recovery: %v", err)
+			}
+			// And a second reopen is clean: recovery converged.
+			l.Close()
+			_, info2, err := Open(Options{Dir: dir, NoSync: true})
+			if err != nil {
+				t.Fatalf("second reopen: %v", err)
+			}
+			if info2.TruncatedBytes != 0 {
+				t.Fatalf("second reopen still truncating: %+v", info2)
+			}
+		})
+	}
+}
+
+// TestTornTailEveryByteOffset sweeps the cut across every byte of a small
+// WAL stream — not just the curated boundary classes — asserting the
+// recovery invariant holds at all offsets: recovered entries are exactly the
+// sealed prefix, bitwise identical, and the log reopens appendable.
+func TestTornTailEveryByteOffset(t *testing.T) {
+	refDir := t.TempDir()
+	rl, _, err := Open(Options{Dir: refDir, NoSync: true})
+	if err != nil {
+		t.Fatalf("reference Open: %v", err)
+	}
+	small := func(l *Log) {
+		l.Append(KindSession, []byte("aa"))
+		l.Append(KindSession, []byte("bb"))
+		l.Seal()
+		l.Append(KindSession, []byte("cc"))
+		l.Seal()
+	}
+	small(rl)
+	st := rl.Status()
+	streamLen := st.ActiveBytes
+	rl.Close()
+	offs, _ := frameOffsets(t, filepath.Join(refDir, segName(1)))
+	// Sealed boundaries after each Seal: end of frame 2 (seal 1) and end of
+	// frame 4 (seal 2, == streamLen).
+	sealEnds := []int64{offs[3], streamLen}
+	wantAt := func(cut int64) int {
+		n := 0
+		for _, e := range sealEnds {
+			if cut >= e {
+				n++
+			}
+		}
+		switch n {
+		case 0:
+			return 0
+		case 1:
+			return 2
+		default:
+			return 3
+		}
+	}
+	payload := map[int]string{0: "aa", 1: "bb", 2: "cc"}
+
+	for cut := int64(0); cut <= streamLen; cut++ {
+		dir := t.TempDir()
+		plan := faultnet.NewPlan()
+		plan.CutWritesAfter(cut)
+		opts := Options{Dir: dir, NoSync: true,
+			wrap: func(w io.Writer) io.Writer { return faultnet.NewCutWriter(w, plan) }}
+		if l, _, err := Open(opts); err == nil {
+			small(l)
+			l.Close()
+		}
+		l, info, err := Open(Options{Dir: dir, NoSync: true})
+		if err != nil {
+			t.Fatalf("cut %d: recovery Open: %v", cut, err)
+		}
+		want := wantAt(cut)
+		got := collect(t, dir)
+		if len(got) != want {
+			t.Fatalf("cut %d: recovered %d entries, want %d (info %+v)", cut, len(got), want, info)
+		}
+		for i, e := range got {
+			if e.Seq != uint64(i+1) || string(e.Data) != payload[i] {
+				t.Fatalf("cut %d: entry %d = %+v", cut, i, e)
+			}
+		}
+		if seq, err := l.Append(KindAudit, []byte("z")); err != nil || seq != uint64(want)+1 {
+			t.Fatalf("cut %d: post-recovery append = (%d, %v)", cut, seq, err)
+		}
+		l.Close()
+	}
+}

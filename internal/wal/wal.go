@@ -1,0 +1,736 @@
+// Package wal is the repo's one durable mutation stream: an append-only,
+// segmented, CRC-32C-framed write-ahead log with Merkle-batched integrity
+// proofs. Shard ticks journal dirty session records (and the audit stream of
+// admissions, refusals, migrations, reaps, failovers, and prediction
+// decisions) into it; incremental checkpoints become WAL snapshot +
+// truncation; warm standbys tail it carrying batch roots so a follower can
+// detect divergence before promotion.
+//
+// # On-disk format (normative; mirrored in ARCHITECTURE.md)
+//
+// A WAL directory holds numbered segment files, wal-<seq>.seg. Each begins
+// with an 8-byte header:
+//
+//	magic "CAWL" | version uint16 LE | kind uint16 LE (1 = segment)
+//
+// followed by records framed exactly like checkpoint files:
+//
+//	type uint8 | length uint32 LE | payload | crc uint32 LE
+//
+// where crc is CRC-32C (Castagnoli) over type, length, and payload. Record
+// types:
+//
+//	recEntry (1):  kind uint8 | seq uint64 LE | data — one appended entry.
+//	               seq is the log-global entry sequence number, contiguous
+//	               across segments, starting at 1.
+//	recSeal (2):   first uint64 | last uint64 | count uint32 | root [32]byte —
+//	               closes a batch: root is the Merkle root (see merkle.go)
+//	               over the HashLeaf of every entry payload since the prior
+//	               seal. A seal is the durability boundary: it is written
+//	               and fsynced together with everything before it.
+//	recFooter (3): batches uint32 | first uint64 | last uint64 | segroot
+//	               [32]byte — written once when a segment is finalized
+//	               (rotation or clean close); segroot is the Merkle root
+//	               over the segment's batch roots.
+//
+// Every frame is issued as a single Write call, so a crash (or a faultnet
+// byte-budgeted cut) tears at most one frame and recovery can classify the
+// tear by the byte it lands on.
+//
+// # Durability and recovery
+//
+// Append buffers nothing in user space but does not fsync; Seal writes the
+// seal record and fsyncs the segment. On Open, the last segment's tail is
+// scanned: a torn frame, or valid entries past the last seal, are truncated
+// back to the last sealed batch boundary and reported precisely
+// (RecoveryInfo, the cogarm_wal_recovery_truncated_bytes_total counter, and
+// an EvWalTruncate event). Damage anywhere except the active tail is not
+// recoverable garbage from a crash — it is corruption, and Open refuses it.
+//
+// Batches are size-bounded here (Options.BatchEntries/BatchBytes force an
+// inline seal) and time-bounded by the caller: the serve Journal seals on
+// its flush cadence (cogarmd -wal-every), so a seal never rides the tick
+// path.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors, comparable with errors.Is.
+var (
+	// ErrCorrupt marks a structurally damaged segment outside the
+	// recoverable torn tail: bad magic, a CRC mismatch before the last
+	// seal, a tear in a non-final segment, or a Merkle root that does not
+	// match its entries.
+	ErrCorrupt = errors.New("wal: corrupt segment")
+	// ErrVersion marks a segment written by an incompatible format version.
+	ErrVersion = errors.New("wal: unsupported version")
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: closed")
+)
+
+// Kind tags an entry's payload so readers can dispatch without decoding.
+type Kind uint8
+
+// Entry kinds journaled by the serve layer. The WAL itself treats payloads
+// as opaque; these constants just keep writer and reader in one place.
+const (
+	// KindSession: gob-encoded checkpoint.SessionRecord for one dirty session.
+	KindSession Kind = 1
+	// KindRefs: gob-encoded serve journal manifest — the authoritative live
+	// view (session refs + volatile overlay + NextID) as of the seal that
+	// follows it. Replay prunes and overlays by the last one seen.
+	KindRefs Kind = 2
+	// KindModel: gob-encoded model entry (key + frozen payload), appended
+	// once per model per process lifetime so a WAL-only replay can rebuild
+	// sessions without a checkpoint.
+	KindModel Kind = 3
+	// KindAudit: fixed-binary obs.Event (see EncodeEvent) — the audit trail
+	// of admissions, refusals, evictions, migrations, reaps, failovers,
+	// checkpoints, and WAL truncations.
+	KindAudit Kind = 4
+	// KindDecision: fixed-binary prediction-decision summary for one
+	// session at journal granularity (see EncodeDecision).
+	KindDecision Kind = 5
+)
+
+const (
+	walMagic   = "CAWL"
+	walVersion = 1
+	kindSeg    = 1
+	headerLen  = 8
+
+	recEntry  = byte(1)
+	recSeal   = byte(2)
+	recFooter = byte(3)
+
+	frameOverhead = 1 + 4 + 4 // type + length + crc
+	entryHdrLen   = 1 + 8     // kind + seq
+	sealPayLen    = 8 + 8 + 4 + HashSize
+	footerPayLen  = 4 + 8 + 8 + HashSize
+
+	// maxRecordLen bounds a frame's payload so a corrupt length field
+	// cannot drive a giant allocation. Matches the checkpoint framing.
+	maxRecordLen = 256 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Defaults for Options zero values.
+const (
+	DefaultSegmentBytes = 8 << 20
+	DefaultBatchEntries = 1024
+	DefaultBatchBytes   = 1 << 20
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the WAL directory; created if absent.
+	Dir string
+	// SegmentBytes rotates the active segment when it would grow past this
+	// size (default 8 MiB). A single oversized entry still fits — segments
+	// are bounded per rotation decision, not per record.
+	SegmentBytes int64
+	// BatchEntries seals the pending batch when it reaches this many
+	// entries (default 1024).
+	BatchEntries int
+	// BatchBytes seals the pending batch when its payloads reach this many
+	// bytes (default 1 MiB).
+	BatchBytes int64
+	// NoSync skips fsync on seal. For tests and benchmarks only: a crash
+	// can then lose sealed batches, which production must never do.
+	NoSync bool
+
+	// wrap, when set, wraps the active segment's writer — the faultnet
+	// test seam for byte-budgeted torn writes. Frames still go down as
+	// single Write calls.
+	wrap func(io.Writer) io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.BatchEntries <= 0 {
+		o.BatchEntries = DefaultBatchEntries
+	}
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = DefaultBatchBytes
+	}
+	return o
+}
+
+// RecoveryInfo reports what Open found — and, for a torn tail, exactly what
+// it dropped.
+type RecoveryInfo struct {
+	// Segments scanned (including the reopened tail).
+	Segments int
+	// SealedEntries recovered across all segments.
+	SealedEntries uint64
+	// LastSeq is the highest sealed entry sequence number (0 if empty).
+	LastSeq uint64
+	// TruncatedBytes were cut from the tail segment: the torn frame plus
+	// any valid-but-unsealed entries after the last seal.
+	TruncatedBytes int64
+	// DroppedEntries counts complete, CRC-valid entries that were discarded
+	// because no seal covered them. A torn partial frame adds bytes but not
+	// an entry.
+	DroppedEntries int
+	// TornSegment names the truncated file ("" when the tail was clean).
+	TornSegment string
+}
+
+type segMeta struct {
+	name        string
+	seq         uint64
+	first, last uint64 // entry seq range (0,0 when the segment has none)
+	bytes       int64
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use;
+// the segment lock serializes every byte that reaches the active file, which
+// is also the invariant the walsafe analyzer enforces (append-only: no reads
+// or seeks under it).
+type Log struct {
+	opts Options
+
+	//cogarm:walseg
+	mu                sync.Mutex
+	f                 *os.File
+	w                 io.Writer // f, possibly wrapped by opts.wrap
+	segSeq            uint64    // active segment number
+	segPath           string
+	segSize           int64
+	segFirst, segLast uint64           // entry seqs in the active segment
+	roots             [][HashSize]byte // sealed batch roots of the active segment
+
+	leaves    [][HashSize]byte // pending (unsealed) leaf hashes
+	pendFirst uint64
+	pendBytes int64
+	nextSeq   uint64    // next entry sequence number
+	sealedSeq uint64    // last sealed entry sequence number
+	sealed    []segMeta // finalized (footered) segments, oldest first
+	frame     []byte    // frame assembly buffer, reused across appends
+	recovered RecoveryInfo
+	closed    bool
+	err       error // sticky write-path error; the log refuses further use
+}
+
+// Open opens (creating if needed) the WAL in opts.Dir, recovering a torn
+// tail to the last sealed batch boundary. The returned RecoveryInfo says
+// what was found and what, if anything, was dropped.
+func Open(opts Options) (*Log, RecoveryInfo, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("wal: open: %w", err)
+	}
+	names, err := segmentFiles(opts.Dir)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+
+	l := &Log{opts: opts, nextSeq: 1}
+	var info RecoveryInfo
+	for i, name := range names {
+		path := filepath.Join(opts.Dir, name)
+		sc, scanErr := scanSegment(path)
+		if scanErr != nil && !errors.Is(scanErr, errTorn) {
+			return nil, info, scanErr // structural corruption, not a torn tail
+		}
+		last := i == len(names)-1
+		info.Segments++
+		info.SealedEntries += uint64(sc.sealedEntries)
+		if sc.sealedLast > info.LastSeq {
+			info.LastSeq = sc.sealedLast
+		}
+		if !last {
+			if scanErr != nil || !sc.footer {
+				return nil, info, fmt.Errorf("%w: %s is damaged but is not the tail segment", ErrCorrupt, name)
+			}
+			l.sealed = append(l.sealed, segMeta{
+				name: name, seq: segSeqOf(name),
+				first: sc.firstSealed, last: sc.sealedLast, bytes: sc.size,
+			})
+			continue
+		}
+		// Tail segment: cut everything past the last sealed boundary — but
+		// only when the damage can actually be a crash tear. A segment whose
+		// file still ends in a valid footer was finalized; a parse failure
+		// inside it is mid-file corruption, and truncating would silently
+		// discard sealed batches.
+		if scanErr != nil && hasTrailingFooter(path) {
+			return nil, info, fmt.Errorf("%w: %s has a finalized footer but does not parse cleanly (%v)", ErrCorrupt, name, scanErr)
+		}
+		// A tail torn inside the 8-byte header holds nothing recoverable, so
+		// the file is removed outright and its number reused.
+		if !sc.headerOK {
+			if err := os.Remove(path); err != nil {
+				return nil, info, fmt.Errorf("wal: recover %s: %w", name, err)
+			}
+			info.TruncatedBytes = sc.size
+			info.TornSegment = name
+			recordTruncate(sc.size, 0)
+			continue
+		}
+		if cut := sc.size - sc.sealedEnd; cut > 0 {
+			if err := os.Truncate(path, sc.sealedEnd); err != nil {
+				return nil, info, fmt.Errorf("wal: recover %s: %w", name, err)
+			}
+			info.TruncatedBytes = cut
+			info.DroppedEntries = sc.unsealedEntries
+			info.TornSegment = name
+			recordTruncate(cut, sc.unsealedEntries)
+		}
+		if sc.footer {
+			// Finalized by a clean close: keep it read-only and start fresh.
+			l.sealed = append(l.sealed, segMeta{
+				name: name, seq: segSeqOf(name),
+				first: sc.firstSealed, last: sc.sealedLast, bytes: sc.sealedEnd,
+			})
+			continue
+		}
+		// Reopen the truncated tail for appending.
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, info, fmt.Errorf("wal: reopen tail: %w", err)
+		}
+		l.f = f
+		l.segSeq = segSeqOf(name)
+		l.segPath = path
+		l.segSize = sc.sealedEnd
+		l.segFirst, l.segLast = sc.firstSealed, sc.sealedLast
+		l.roots = sc.roots
+	}
+	if info.LastSeq > 0 {
+		l.nextSeq = info.LastSeq + 1
+	}
+	l.sealedSeq = info.LastSeq
+	l.recovered = info
+	if l.f == nil {
+		next := uint64(1)
+		if n := len(l.sealed); n > 0 {
+			next = l.sealed[n-1].seq + 1
+		}
+		if err := l.openSegment(next); err != nil {
+			return nil, info, err
+		}
+	} else if opts.wrap != nil {
+		l.w = opts.wrap(l.f)
+	} else {
+		l.w = l.f
+	}
+	l.updateGauges()
+	return l, info, nil
+}
+
+// segmentFiles lists wal-*.seg names in dir, sorted by segment number.
+func segmentFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, "wal-") && strings.HasSuffix(n, ".seg") {
+			names = append(names, n)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return segSeqOf(names[i]) < segSeqOf(names[j]) })
+	return names, nil
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("wal-%016d.seg", seq) }
+
+func segSeqOf(name string) uint64 {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	n, _ := strconv.ParseUint(s, 10, 64)
+	return n
+}
+
+// openSegment creates and becomes the writer of segment seq. Caller holds
+// l.mu or is Open (single-threaded).
+func (l *Log) openSegment(seq uint64) error {
+	path := filepath.Join(l.opts.Dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:4], walMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], walVersion)
+	binary.LittleEndian.PutUint16(hdr[6:8], kindSeg)
+	w := io.Writer(f)
+	if l.opts.wrap != nil {
+		w = l.opts.wrap(f)
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	l.f = f
+	l.w = w
+	l.segSeq = seq
+	l.segPath = path
+	l.segSize = headerLen
+	l.segFirst, l.segLast = 0, 0
+	l.roots = l.roots[:0]
+	return nil
+}
+
+// buildFrame assembles one framed record into l.frame and returns it.
+func (l *Log) buildFrame(typ byte, payload []byte) []byte {
+	need := frameOverhead + len(payload)
+	if cap(l.frame) < need {
+		l.frame = make([]byte, need)
+	}
+	b := l.frame[:need]
+	b[0] = typ
+	binary.LittleEndian.PutUint32(b[1:5], uint32(len(payload)))
+	copy(b[5:], payload)
+	crc := crc32.Checksum(b[:5+len(payload)], castagnoli)
+	binary.LittleEndian.PutUint32(b[5+len(payload):], crc)
+	return b
+}
+
+// Append journals one entry and returns its sequence number. The entry is
+// on disk (single Write) but not durable until the next Seal; size bounds
+// may trigger that seal (and a segment rotation) inline.
+func (l *Log) Append(kind Kind, data []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//cogarm:allow nolockblock -- the WAL segment lock serializes file appends by design; each is one bounded frame write
+	return l.appendLocked(kind, data)
+}
+
+func (l *Log) appendLocked(kind Kind, data []byte) (uint64, error) {
+	if err := l.usable(); err != nil {
+		return 0, err
+	}
+	payload := make([]byte, entryHdrLen+len(data))
+	payload[0] = byte(kind)
+	seq := l.nextSeq
+	binary.LittleEndian.PutUint64(payload[1:9], seq)
+	copy(payload[entryHdrLen:], data)
+
+	frameLen := int64(frameOverhead + len(payload))
+	if l.segSize+frameLen > l.opts.SegmentBytes && l.segLast != 0 {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	frame := l.buildFrame(recEntry, payload)
+	if err := l.writeAll(frame); err != nil {
+		return 0, err
+	}
+	l.segSize += frameLen
+	if l.segFirst == 0 {
+		l.segFirst = seq
+	}
+	l.segLast = seq
+	if len(l.leaves) == 0 {
+		l.pendFirst = seq
+	}
+	l.leaves = append(l.leaves, HashLeaf(payload))
+	l.pendBytes += int64(len(payload))
+	l.nextSeq = seq + 1
+
+	t := walTel()
+	t.entries.Inc()
+	t.bytes.Add(uint64(frameLen))
+	t.activeBytes.Set(float64(l.activeBytesLocked()))
+
+	if len(l.leaves) >= l.opts.BatchEntries || l.pendBytes >= l.opts.BatchBytes {
+		if _, _, _, err := l.sealLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// writeAll pushes one frame down as a single Write and makes any error
+// sticky: a torn in-flight segment is unrecoverable without a reopen.
+func (l *Log) writeAll(b []byte) error {
+	n, err := l.w.Write(b)
+	if err == nil && n != len(b) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		l.err = fmt.Errorf("wal: write: %w", err)
+		return l.err
+	}
+	return nil
+}
+
+func (l *Log) usable() error {
+	if l.closed {
+		return ErrClosed
+	}
+	return l.err
+}
+
+// Seal closes the pending batch: writes its seal record (Merkle root over
+// the batch's entry payloads) and fsyncs the segment, making everything up
+// to and including the batch durable. With nothing pending it is a no-op
+// returning the zero root.
+func (l *Log) Seal() (root [HashSize]byte, first, last uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usable(); err != nil {
+		return root, 0, 0, err
+	}
+	//cogarm:allow nolockblock -- the WAL segment lock serializes the seal write + fsync by design
+	return l.sealLocked()
+}
+
+func (l *Log) sealLocked() (root [HashSize]byte, first, last uint64, err error) {
+	if len(l.leaves) == 0 {
+		return root, 0, 0, nil
+	}
+	start := time.Now()
+	root = Root(l.leaves)
+	first, last = l.pendFirst, l.segLast
+	var pay [sealPayLen]byte
+	binary.LittleEndian.PutUint64(pay[0:8], first)
+	binary.LittleEndian.PutUint64(pay[8:16], last)
+	binary.LittleEndian.PutUint32(pay[16:20], uint32(len(l.leaves)))
+	copy(pay[20:], root[:])
+	frame := l.buildFrame(recSeal, pay[:])
+	if err := l.writeAll(frame); err != nil {
+		return root, 0, 0, err
+	}
+	l.segSize += int64(len(frame))
+	if err := l.syncLocked(); err != nil {
+		return root, 0, 0, err
+	}
+	l.roots = append(l.roots, root)
+	l.sealedSeq = last
+	l.leaves = l.leaves[:0]
+	l.pendBytes = 0
+	l.pendFirst = 0
+
+	t := walTel()
+	t.seals.Inc()
+	t.sealDur.ObserveDuration(time.Since(start).Nanoseconds())
+	t.activeBytes.Set(float64(l.activeBytesLocked()))
+	return root, first, last, nil
+}
+
+// syncLocked fsyncs the active segment (timed), unless NoSync.
+func (l *Log) syncLocked() error {
+	if l.opts.NoSync {
+		return nil
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: fsync: %w", err)
+		return l.err
+	}
+	walTel().fsyncDur.ObserveDuration(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// Rotate seals any pending batch, finalizes the active segment with its
+// footer (Merkle root over batch roots), and opens the next segment. A
+// finalized segment is immutable and eligible for TruncateBelow.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usable(); err != nil {
+		return err
+	}
+	//cogarm:allow nolockblock -- the WAL segment lock serializes rotation I/O (footer write, fsync, close, create) by design
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if _, _, _, err := l.sealLocked(); err != nil {
+		return err
+	}
+	if l.segLast == 0 && len(l.roots) == 0 {
+		return nil // empty segment: nothing to finalize
+	}
+	segRoot := Root(l.roots)
+	var pay [footerPayLen]byte
+	binary.LittleEndian.PutUint32(pay[0:4], uint32(len(l.roots)))
+	binary.LittleEndian.PutUint64(pay[4:12], l.segFirst)
+	binary.LittleEndian.PutUint64(pay[12:20], l.segLast)
+	copy(pay[20:], segRoot[:])
+	frame := l.buildFrame(recFooter, pay[:])
+	if err := l.writeAll(frame); err != nil {
+		return err
+	}
+	l.segSize += int64(len(frame))
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		l.err = fmt.Errorf("wal: close segment: %w", err)
+		return l.err
+	}
+	l.sealed = append(l.sealed, segMeta{
+		name: segName(l.segSeq), seq: l.segSeq,
+		first: l.segFirst, last: l.segLast, bytes: l.segSize,
+	})
+	if err := l.openSegment(l.segSeq + 1); err != nil {
+		l.err = err
+		return err
+	}
+	l.updateGauges()
+	return nil
+}
+
+// TruncateBelow removes finalized segments whose every entry sequence is
+// ≤ seq — the compaction hook: once a checkpoint covers WAL position seq,
+// the segments behind it are dead weight. The active segment is never
+// removed. Returns how many segments were deleted.
+func (l *Log) TruncateBelow(seq uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usable(); err != nil {
+		return 0, err
+	}
+	removed := 0
+	for len(l.sealed) > 0 {
+		m := l.sealed[0]
+		if m.last == 0 || m.last > seq {
+			break
+		}
+		//cogarm:allow nolockblock -- the WAL segment lock serializes segment removal by design (compaction is rare and bounded)
+		if err := os.Remove(filepath.Join(l.opts.Dir, m.name)); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		l.sealed = l.sealed[1:]
+		removed++
+	}
+	l.updateGauges()
+	return removed, nil
+}
+
+// LastSealed returns the sequence number of the last durably sealed entry.
+func (l *Log) LastSealed() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealedSeq
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.opts.Dir }
+
+// Recovered returns what Open found (stable after Open).
+func (l *Log) Recovered() RecoveryInfo { return l.recovered }
+
+// Close seals any pending batch, finalizes the active segment with its
+// footer, and closes the file. A cleanly closed WAL reopens with no
+// truncation.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	//cogarm:allow nolockblock -- the WAL segment lock serializes shutdown I/O by design
+	err := l.closeLocked()
+	l.closed = true
+	return err
+}
+
+func (l *Log) closeLocked() error {
+	if l.err != nil {
+		l.f.Close()
+		return l.err
+	}
+	if _, _, _, err := l.sealLocked(); err != nil {
+		l.f.Close()
+		return err
+	}
+	if l.segLast != 0 || len(l.roots) > 0 {
+		segRoot := Root(l.roots)
+		var pay [footerPayLen]byte
+		binary.LittleEndian.PutUint32(pay[0:4], uint32(len(l.roots)))
+		binary.LittleEndian.PutUint64(pay[4:12], l.segFirst)
+		binary.LittleEndian.PutUint64(pay[12:20], l.segLast)
+		copy(pay[20:], segRoot[:])
+		if err := l.writeAll(l.buildFrame(recFooter, pay[:])); err != nil {
+			l.f.Close()
+			return err
+		}
+		if err := l.syncLocked(); err != nil {
+			l.f.Close()
+			return err
+		}
+	}
+	return l.f.Close()
+}
+
+// Status is a point-in-time snapshot for /statusz.
+type Status struct {
+	Dir            string `json:"dir"`
+	Segments       int    `json:"segments"`
+	ActiveBytes    int64  `json:"active_bytes"`
+	NextSeq        uint64 `json:"next_seq"`
+	SealedSeq      uint64 `json:"sealed_seq"`
+	PendingEntries int    `json:"pending_entries"`
+	Batches        int    `json:"batches_in_segment"`
+	LastRoot       string `json:"last_root,omitempty"`
+	TruncatedBytes int64  `json:"recovery_truncated_bytes,omitempty"`
+	DroppedEntries int    `json:"recovery_dropped_entries,omitempty"`
+}
+
+// Status reports the log's current shape.
+func (l *Log) Status() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Status{
+		Dir:            l.opts.Dir,
+		Segments:       len(l.sealed) + 1,
+		ActiveBytes:    l.activeBytesLocked(),
+		NextSeq:        l.nextSeq,
+		SealedSeq:      l.sealedSeq,
+		PendingEntries: len(l.leaves),
+		Batches:        len(l.roots),
+		TruncatedBytes: l.recovered.TruncatedBytes,
+		DroppedEntries: l.recovered.DroppedEntries,
+	}
+	if n := len(l.roots); n > 0 {
+		st.LastRoot = hexRoot(l.roots[n-1])
+	}
+	return st
+}
+
+func (l *Log) activeBytesLocked() int64 {
+	total := l.segSize
+	for _, m := range l.sealed {
+		total += m.bytes
+	}
+	return total
+}
+
+func (l *Log) updateGauges() {
+	t := walTel()
+	t.segments.Set(float64(len(l.sealed) + 1))
+	t.activeBytes.Set(float64(l.activeBytesLocked()))
+}
+
+const hexDigits = "0123456789abcdef"
+
+func hexRoot(r [HashSize]byte) string {
+	out := make([]byte, 2*HashSize)
+	for i, b := range r {
+		out[2*i] = hexDigits[b>>4]
+		out[2*i+1] = hexDigits[b&0x0f]
+	}
+	return string(out)
+}

@@ -1,0 +1,396 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// collect dumps dir into a slice, failing the test on error.
+func collect(t *testing.T, dir string) []Entry {
+	t.Helper()
+	var out []Entry
+	if err := Dump(dir, func(e Entry) error { out = append(out, e); return nil }); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	return out
+}
+
+func TestAppendSealReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, info, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if info.Segments != 0 || info.LastSeq != 0 {
+		t.Fatalf("fresh open reported recovery %+v", info)
+	}
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		data := []byte(fmt.Sprintf("entry-%d", i))
+		want = append(want, data)
+		seq, err := l.Append(KindSession, data)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	root, first, last, err := l.Seal()
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if first != 1 || last != 10 || root == ([HashSize]byte{}) {
+		t.Fatalf("Seal = (%x, %d, %d)", root, first, last)
+	}
+	if got := l.LastSealed(); got != 10 {
+		t.Fatalf("LastSealed = %d", got)
+	}
+	// Sealing with nothing pending is a no-op.
+	if r2, _, _, err := l.Seal(); err != nil || r2 != ([HashSize]byte{}) {
+		t.Fatalf("empty Seal = (%x, %v)", r2, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Clean reopen: no truncation, sequence numbers continue.
+	l2, info, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if info.TruncatedBytes != 0 || info.TornSegment != "" {
+		t.Fatalf("clean reopen truncated: %+v", info)
+	}
+	if info.SealedEntries != 10 || info.LastSeq != 10 {
+		t.Fatalf("recovery info %+v", info)
+	}
+	if seq, err := l2.Append(KindAudit, []byte("next")); err != nil || seq != 11 {
+		t.Fatalf("post-reopen Append = (%d, %v)", seq, err)
+	}
+	if _, _, _, err := l2.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+
+	got := collect(t, dir)
+	if len(got) != 11 {
+		t.Fatalf("dumped %d entries, want 11", len(got))
+	}
+	for i, e := range got[:10] {
+		if e.Seq != uint64(i+1) || e.Kind != KindSession || !bytes.Equal(e.Data, want[i]) || !e.Sealed {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+	if got[10].Kind != KindAudit || string(got[10].Data) != "next" {
+		t.Fatalf("entry 11 = %+v", got[10])
+	}
+}
+
+func TestBatchBoundsForceSeal(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, BatchEntries: 3, NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 7; i++ {
+		if _, err := l.Append(KindAudit, []byte{byte(i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// 7 entries with BatchEntries=3: two auto-seals cover 6; the 7th pends.
+	if got := l.LastSealed(); got != 6 {
+		t.Fatalf("LastSealed = %d, want 6", got)
+	}
+	st := l.Status()
+	if st.PendingEntries != 1 || st.Batches != 2 {
+		t.Fatalf("Status = %+v", st)
+	}
+}
+
+func TestRotationAndTruncateBelow(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so appends rotate organically.
+	l, _, err := Open(Options{Dir: dir, SegmentBytes: 256, BatchEntries: 4, NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	payload := bytes.Repeat([]byte("x"), 48)
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(KindSession, payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if _, _, _, err := l.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	st := l.Status()
+	if st.Segments < 3 {
+		t.Fatalf("expected organic rotation, got %d segments", st.Segments)
+	}
+
+	// Entries survive rotation in order.
+	got := collect(t, dir)
+	if len(got) != 20 || got[0].Seq != 1 || got[19].Seq != 20 {
+		t.Fatalf("dump across segments: %d entries", len(got))
+	}
+
+	// Truncating below a mid-log seq removes only fully covered segments.
+	removed, err := l.TruncateBelow(10)
+	if err != nil {
+		t.Fatalf("TruncateBelow: %v", err)
+	}
+	if removed == 0 {
+		t.Fatalf("expected at least one segment removed")
+	}
+	after := collect(t, dir)
+	if len(after) == 0 || after[len(after)-1].Seq != 20 {
+		t.Fatalf("tail entries lost by truncation")
+	}
+	for _, e := range after {
+		if e.Seq > 10 {
+			break
+		}
+	}
+	// Everything still present must verify.
+	if _, err := Verify(dir); err != nil {
+		t.Fatalf("Verify after truncation: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen continues after both rotation and truncation.
+	l2, info, err := Open(Options{Dir: dir, SegmentBytes: 256, NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if info.TruncatedBytes != 0 {
+		t.Fatalf("unexpected truncation on clean reopen: %+v", info)
+	}
+	if seq, err := l2.Append(KindSession, payload); err != nil || seq != 21 {
+		t.Fatalf("Append after reopen = (%d, %v)", seq, err)
+	}
+}
+
+func TestTruncateBelowNeverRemovesActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append(KindSession, []byte("a")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, _, _, err := l.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if removed, err := l.TruncateBelow(99); err != nil || removed != 0 {
+		t.Fatalf("TruncateBelow touched the active segment: (%d, %v)", removed, err)
+	}
+	if got := collect(t, dir); len(got) != 1 {
+		t.Fatalf("active segment lost")
+	}
+}
+
+func TestClosedLogRefusesUse(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := l.Append(KindSession, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v", err)
+	}
+	if _, _, _, err := l.Seal(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Seal after Close = %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+// frameOffsets walks a segment file and returns the byte offset of every
+// frame start, plus each frame's type, using only the on-disk format.
+func frameOffsets(t *testing.T, path string) (offs []int64, types []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	off := int64(headerLen)
+	for off < int64(len(raw)) {
+		offs = append(offs, off)
+		types = append(types, raw[off])
+		plen := binary.LittleEndian.Uint32(raw[off+1 : off+5])
+		off += frameOverhead + int64(plen)
+	}
+	return offs, types
+}
+
+func TestVerifyDetectsFlippedPayloadByte(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(KindSession, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if _, _, _, err := l.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := Verify(dir); err != nil {
+		t.Fatalf("clean Verify: %v", err)
+	}
+
+	seg := filepath.Join(dir, segName(1))
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	offs, types := frameOffsets(t, seg)
+	var entryOff int64 = -1
+	for i, typ := range types {
+		if typ == recEntry {
+			entryOff = offs[i]
+		}
+	}
+	if entryOff < 0 {
+		t.Fatalf("no entry frame found")
+	}
+	plen := binary.LittleEndian.Uint32(raw[entryOff+1 : entryOff+5])
+
+	// Flip one byte of the entry's user data without fixing the CRC: the
+	// framing layer alone must reject the segment.
+	tampered := append([]byte(nil), raw...)
+	tampered[entryOff+5+int64(entryHdrLen)] ^= 0x01
+	if err := os.WriteFile(seg, tampered, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := Verify(dir); err == nil {
+		t.Fatalf("Verify accepted a CRC-invalid segment")
+	}
+
+	// Now also recompute the frame CRC — simulating tampering below the
+	// framing layer. Only the Merkle seal can catch this, and must.
+	crc := crc32.Checksum(tampered[entryOff:entryOff+5+int64(plen)], castagnoli)
+	binary.LittleEndian.PutUint32(tampered[entryOff+5+int64(plen):], crc)
+	if err := os.WriteFile(seg, tampered, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	reports, err := Verify(dir)
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "merkle root mismatch") {
+		t.Fatalf("flip with fixed CRC not caught by merkle layer: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Err == "" {
+		t.Fatalf("reports = %+v", reports)
+	}
+}
+
+func TestVerifyReportsSegmentRoots(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(KindAudit, []byte{byte(i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if _, _, _, err := l.Seal(); err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	reports, err := Verify(dir)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	r := reports[0]
+	if r.Batches != 4 || r.Entries != 4 || !r.Footer || r.Root == "" ||
+		r.FirstSeq != 1 || r.LastSeq != 4 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestOpenRefusesDamagedNonTailSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(KindSession, bytes.Repeat([]byte("a"), 64)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if _, err := l.Append(KindSession, []byte("b")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, _, _, err := l.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Tear the FIRST (non-tail) segment: that is corruption, not recovery.
+	seg1 := filepath.Join(dir, segName(1))
+	raw, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(seg1, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, _, err := Open(Options{Dir: dir, NoSync: true}); err == nil {
+		t.Fatalf("Open accepted a torn non-tail segment")
+	}
+}
+
+func TestStatusShape(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append(KindSession, []byte("x")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, _, _, err := l.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	st := l.Status()
+	if st.Dir != dir || st.Segments != 1 || st.SealedSeq != 1 || st.NextSeq != 2 ||
+		st.ActiveBytes <= headerLen || st.LastRoot == "" {
+		t.Fatalf("Status = %+v", st)
+	}
+}

@@ -37,6 +37,9 @@ type report struct {
 		UsPerInference float64 `json:"us_per_inference"`
 		AllocsPerTick  float64 `json:"allocs_per_tick"`
 	} `json:"models"`
+	Wal struct {
+		AppendUsPerTick float64 `json:"append_us_per_tick"`
+	} `json:"wal"`
 }
 
 func main() {
@@ -94,6 +97,18 @@ func main() {
 		} else {
 			fmt.Printf("benchgate: ok   %s: allocs/tick %.2f -> %.2f\n",
 				name, b.AllocsPerTick, f.AllocsPerTick)
+		}
+	}
+	// WAL append shares the µs tolerance band; a zero baseline means the
+	// committed report predates the column and the gate skips it.
+	if b, f := base.Wal.AppendUsPerTick, fresh.Wal.AppendUsPerTick; b > 0 {
+		growth := 100 * (f - b) / b
+		if growth > *tolerance {
+			fmt.Printf("benchgate: FAIL wal: append µs/tick %.2f -> %.2f (%+.1f%% > %.0f%% tolerance)\n",
+				b, f, growth, *tolerance)
+			failed = true
+		} else {
+			fmt.Printf("benchgate: ok   wal: append µs/tick %.2f -> %.2f (%+.1f%%)\n", b, f, growth)
 		}
 	}
 	if failed {
